@@ -1,0 +1,32 @@
+//! # amr-apps — synthetic AMR applications (Nyx / WarpX equivalents)
+//!
+//! The AMRIC paper evaluates on two AMReX applications; this crate
+//! provides their synthetic stand-ins as time-parametrized analytic field
+//! sets (see DESIGN.md for the substitution argument):
+//!
+//! * [`nyx::NyxScenario`] — clumpy log-normal cosmology fields (baryon /
+//!   dark-matter density, temperature, velocities), hard to compress;
+//! * [`warpx::WarpXScenario`] — a smooth travelling laser pulse (E/B
+//!   fields) on an elongated domain, extremely compressible;
+//! * [`scenario::build_hierarchy`] — tagging + Berger–Rigoutsos
+//!   re-gridding that turns a scenario into a two-level (or deeper)
+//!   [`amr_mesh::AmrHierarchy`] with paper-like fine-level densities;
+//! * [`evolve::TimeSeries`] — the multi-snapshot in-situ loop.
+
+pub mod evolve;
+pub mod noise;
+pub mod nyx;
+pub mod scenario;
+pub mod warpx;
+
+pub use nyx::NyxScenario;
+pub use scenario::{build_hierarchy, level_stats, AmrRunConfig, Scenario};
+pub use warpx::WarpXScenario;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::evolve::{regrid_change, TimeSeries};
+    pub use crate::nyx::{NyxScenario, NYX_FIELDS};
+    pub use crate::scenario::{build_hierarchy, level_stats, AmrRunConfig, LevelStats, Scenario};
+    pub use crate::warpx::{WarpXScenario, WARPX_FIELDS};
+}

@@ -1,0 +1,150 @@
+//! Deterministic multi-octave value noise (fBm) — the texture engine
+//! behind the synthetic Nyx / WarpX field generators.
+//!
+//! Hash-based lattice noise: no tables, fully reproducible from the seed,
+//! smooth (C¹) through quintic fade interpolation, and cheap enough to
+//! evaluate per cell on every level.
+
+/// 64-bit mix hash (splitmix64 finalizer) of a lattice point + seed.
+#[inline]
+fn hash(ix: i64, iy: i64, iz: i64, seed: u64) -> u64 {
+    let mut h = seed
+        ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (iz as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h
+}
+
+/// Lattice value in [-1, 1].
+#[inline]
+fn lattice(ix: i64, iy: i64, iz: i64, seed: u64) -> f64 {
+    (hash(ix, iy, iz, seed) >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+/// Quintic fade (Perlin's 6t⁵−15t⁴+10t³) — C² continuous interpolation.
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Single octave of 3-D value noise at `(x, y, z)` in lattice units.
+/// Smooth, deterministic, output in [-1, 1].
+pub fn value_noise(x: f64, y: f64, z: f64, seed: u64) -> f64 {
+    let (ix, iy, iz) = (x.floor(), y.floor(), z.floor());
+    let (fx, fy, fz) = (x - ix, y - iy, z - iz);
+    let (ix, iy, iz) = (ix as i64, iy as i64, iz as i64);
+    let (ux, uy, uz) = (fade(fx), fade(fy), fade(fz));
+    let mut acc = 0.0;
+    for (dz, wz) in [(0i64, 1.0 - uz), (1, uz)] {
+        for (dy, wy) in [(0i64, 1.0 - uy), (1, uy)] {
+            for (dx, wx) in [(0i64, 1.0 - ux), (1, ux)] {
+                acc += wx * wy * wz * lattice(ix + dx, iy + dy, iz + dz, seed);
+            }
+        }
+    }
+    acc
+}
+
+/// Fractal Brownian motion: `octaves` octaves of value noise with
+/// `lacunarity` frequency steps and `gain` amplitude decay. Output roughly
+/// in [-1, 1] (normalized by the amplitude sum).
+#[allow(clippy::too_many_arguments)]
+pub fn fbm(
+    x: f64,
+    y: f64,
+    z: f64,
+    base_freq: f64,
+    octaves: u32,
+    lacunarity: f64,
+    gain: f64,
+    seed: u64,
+) -> f64 {
+    let mut amp = 1.0;
+    let mut freq = base_freq;
+    let mut sum = 0.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        sum += amp * value_noise(x * freq, y * freq, z * freq, seed.wrapping_add(o as u64 * 7919));
+        norm += amp;
+        amp *= gain;
+        freq *= lacunarity;
+    }
+    sum / norm
+}
+
+/// A Gaussian bump (synthetic "halo") at `center` with radius `r` in the
+/// same coordinates as `(x, y, z)`.
+pub fn gaussian_bump(x: f64, y: f64, z: f64, center: (f64, f64, f64), r: f64) -> f64 {
+    let d2 = (x - center.0).powi(2) + (y - center.1).powi(2) + (z - center.2).powi(2);
+    (-d2 / (2.0 * r * r)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = value_noise(1.37, 2.4, -0.9, 42);
+        let b = value_noise(1.37, 2.4, -0.9, 42);
+        assert_eq!(a, b);
+        let c = value_noise(1.37, 2.4, -0.9, 43);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn bounded() {
+        for i in 0..1000 {
+            let t = i as f64 * 0.173;
+            let v = value_noise(t, t * 0.7, t * 1.3, 7);
+            assert!((-1.0..=1.0).contains(&v), "out of range: {v}");
+            let f = fbm(t, t * 0.7, t * 1.3, 2.0, 5, 2.0, 0.5, 7);
+            assert!((-1.0..=1.0).contains(&f), "fbm out of range: {f}");
+        }
+    }
+
+    #[test]
+    fn continuity_across_lattice_points() {
+        // Values just left/right of an integer lattice plane must be close.
+        let eps = 1e-6;
+        for i in 0..20 {
+            let y = i as f64 * 0.37;
+            let a = value_noise(3.0 - eps, y, 1.5, 11);
+            let b = value_noise(3.0 + eps, y, 1.5, 11);
+            assert!((a - b).abs() < 1e-4, "discontinuity: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fbm_octaves_add_detail() {
+        // Higher octave counts change values (more high-frequency energy)
+        // but stay bounded.
+        let base = fbm(0.4, 0.5, 0.6, 4.0, 1, 2.0, 0.5, 3);
+        let detailed = fbm(0.4, 0.5, 0.6, 4.0, 6, 2.0, 0.5, 3);
+        assert_ne!(base, detailed);
+    }
+
+    #[test]
+    fn bump_peaks_at_center() {
+        let c = (0.5, 0.5, 0.5);
+        assert!((gaussian_bump(0.5, 0.5, 0.5, c, 0.1) - 1.0).abs() < 1e-12);
+        assert!(gaussian_bump(0.9, 0.5, 0.5, c, 0.1) < 0.01);
+    }
+
+    #[test]
+    fn mean_near_zero() {
+        // Value noise should be roughly balanced around zero.
+        let mut sum = 0.0;
+        let n = 4000;
+        for i in 0..n {
+            let t = i as f64;
+            sum += value_noise(t * 0.731, t * 0.417, t * 0.913, 19);
+        }
+        assert!((sum / n as f64).abs() < 0.05);
+    }
+}

@@ -1,0 +1,344 @@
+//! Berger–Rigoutsos point clustering: turn a [`TagField`] into a set of
+//! rectangular grids for the next finer level (AMReX `Cluster` /
+//! `MakeBoxes` equivalent).
+//!
+//! The classic algorithm recursively splits a candidate box at signature
+//! holes or inflection points until every box has tagging efficiency above a
+//! target threshold, then snaps boxes to the blocking factor so the fine
+//! grids satisfy the AMReX alignment invariant AMRIC depends on (§3.1 of the
+//! paper: overlap boundaries align with unit blocks).
+
+use crate::geom::{IntBox, IntVect};
+use crate::tagging::TagField;
+
+/// Grid-generation parameters (names follow AMReX inputs).
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterParams {
+    /// Minimum fraction of tagged cells in an accepted box
+    /// (`amr.grid_eff`).
+    pub grid_eff: f64,
+    /// All accepted boxes are snapped outward to multiples of this
+    /// (`amr.blocking_factor`), expressed in *coarse-level* cells.
+    pub blocking_factor: i64,
+    /// Maximum box extent in any dimension (`amr.max_grid_size`), in coarse
+    /// cells.
+    pub max_grid_size: i64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            grid_eff: 0.7,
+            blocking_factor: 8,
+            max_grid_size: 64,
+        }
+    }
+}
+
+/// Cluster tagged cells into boxes (in the same index space as the tags).
+/// The returned boxes are disjoint, blocking-factor aligned, cover every
+/// tagged cell, and respect `max_grid_size`.
+pub fn berger_rigoutsos(tags: &TagField, params: &ClusterParams) -> Vec<IntBox> {
+    let Some(seed) = tags.bounding_box_in(tags.domain()) else {
+        return Vec::new();
+    };
+    let mut accepted = Vec::new();
+    let mut work = vec![seed];
+    while let Some(candidate) = work.pop() {
+        // Berger–Rigoutsos step 1: shrink to the minimal box of tags.
+        let Some(b) = tags.bounding_box_in(&candidate) else {
+            continue;
+        };
+        let ntags = tags.count_in(&b);
+        let eff = ntags as f64 / b.num_cells() as f64;
+        let small = (0..3).all(|d| b.size().get(d) <= params.blocking_factor);
+        if (eff >= params.grid_eff || small) && fits(&b, params.max_grid_size) {
+            accepted.push(b);
+            continue;
+        }
+        match split(tags, &b, params) {
+            Some((l, r)) => {
+                work.push(l);
+                work.push(r);
+            }
+            None => accepted.push(b),
+        }
+    }
+    snap_and_dedup(tags, accepted, params)
+}
+
+fn fits(b: &IntBox, max: i64) -> bool {
+    (0..3).all(|d| b.size().get(d) <= max)
+}
+
+/// Tag counts along each plane of dimension `d` ("signature").
+fn signature(tags: &TagField, b: &IntBox, d: usize) -> Vec<usize> {
+    let lo = b.lo.get(d);
+    let n = b.size().get(d) as usize;
+    let mut sig = vec![0usize; n];
+    for p in b.iter_points() {
+        if tags.get(&p) {
+            sig[(p.get(d) - lo) as usize] += 1;
+        }
+    }
+    sig
+}
+
+/// Choose a split plane: prefer the widest zero-signature hole, then the
+/// strongest Laplacian inflection, then the midpoint of the longest axis.
+fn split(tags: &TagField, b: &IntBox, params: &ClusterParams) -> Option<(IntBox, IntBox)> {
+    // Longest-first dimension ordering.
+    let mut dims: Vec<usize> = (0..3).collect();
+    dims.sort_by_key(|&d| std::cmp::Reverse(b.size().get(d)));
+
+    // 1. Holes: cut at the center of the widest zero-signature run. After
+    //    the shrink step holes never touch the box faces.
+    let mut best_hole: Option<(usize, usize, i64)> = None; // (width, dim, plane)
+    for &d in &dims {
+        let sig = signature(tags, b, d);
+        let mut run_start = None;
+        for i in 0..=sig.len() {
+            let zero = i < sig.len() && sig[i] == 0;
+            match (zero, run_start) {
+                (true, None) => run_start = Some(i),
+                (false, Some(s)) => {
+                    let width = i - s;
+                    // Cut in the middle of the hole; both children then
+                    // shrink away their half of the hole.
+                    let plane = b.lo.get(d) + (s + width / 2).max(1) as i64;
+                    if best_hole.is_none_or(|(w, _, _)| width > w) {
+                        best_hole = Some((width, d, plane));
+                    }
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some((_, d, plane)) = best_hole {
+        if let Some(pair) = cut(b, d, plane) {
+            return Some(pair);
+        }
+    }
+
+    // 2. Inflection of the signature Laplacian.
+    let mut best_inf: Option<(i64, usize, i64)> = None; // (strength, dim, plane)
+    for &d in &dims {
+        if b.size().get(d) < 4 {
+            continue;
+        }
+        let sig = signature(tags, b, d);
+        let lap: Vec<i64> = (1..sig.len() - 1)
+            .map(|i| sig[i - 1] as i64 - 2 * sig[i] as i64 + sig[i + 1] as i64)
+            .collect();
+        for i in 0..lap.len().saturating_sub(1) {
+            if lap[i].signum() != lap[i + 1].signum() && lap[i] != 0 && lap[i + 1] != 0 {
+                let strength = (lap[i] - lap[i + 1]).abs();
+                let plane = b.lo.get(d) + i as i64 + 1;
+                if best_inf.is_none_or(|(s, _, _)| strength > s) {
+                    best_inf = Some((strength, d, plane));
+                }
+            }
+        }
+    }
+    if let Some((_, d, plane)) = best_inf {
+        if let Some(pair) = cut(b, d, plane) {
+            return Some(pair);
+        }
+    }
+
+    // 3. Midpoint of the longest splittable axis, snapped to the blocking
+    //    factor when possible so children stay alignable.
+    for &d in &dims {
+        if b.size().get(d) >= 2 {
+            let mut plane = b.lo.get(d) + b.size().get(d) / 2;
+            let bf = params.blocking_factor;
+            let snapped = plane.div_euclid(bf) * bf;
+            if snapped > b.lo.get(d) && snapped <= b.hi.get(d) {
+                plane = snapped;
+            }
+            if let Some(pair) = cut(b, d, plane) {
+                return Some(pair);
+            }
+        }
+    }
+    None
+}
+
+/// Split `b` at `plane` along `d`: left gets `..plane-1`, right `plane..`.
+fn cut(b: &IntBox, d: usize, plane: i64) -> Option<(IntBox, IntBox)> {
+    if plane <= b.lo.get(d) || plane > b.hi.get(d) {
+        return None;
+    }
+    let mut lhi = b.hi;
+    lhi.0[d] = plane - 1;
+    let mut rlo = b.lo;
+    rlo.0[d] = plane;
+    Some((IntBox::new(b.lo, lhi), IntBox::new(rlo, b.hi)))
+}
+
+/// Snap boxes outward to the blocking factor, clip to the tag domain,
+/// split anything exceeding `max_grid_size`, and resolve overlaps created
+/// by snapping (first box wins; later boxes keep their non-overlapping
+/// pieces).
+fn snap_and_dedup(tags: &TagField, boxes: Vec<IntBox>, params: &ClusterParams) -> Vec<IntBox> {
+    let bf = params.blocking_factor;
+    let domain = *tags.domain();
+    let mut snapped: Vec<IntBox> = Vec::with_capacity(boxes.len());
+    for b in boxes {
+        let lo = IntVect::new(
+            b.lo.get(0).div_euclid(bf) * bf,
+            b.lo.get(1).div_euclid(bf) * bf,
+            b.lo.get(2).div_euclid(bf) * bf,
+        );
+        let hi = IntVect::new(
+            ((b.hi.get(0) + bf).div_euclid(bf)) * bf - 1,
+            ((b.hi.get(1) + bf).div_euclid(bf)) * bf - 1,
+            ((b.hi.get(2) + bf).div_euclid(bf)) * bf - 1,
+        );
+        let s = IntBox::new(lo, hi)
+            .intersection(&domain)
+            .expect("snapped box leaves domain");
+        snapped.push(s);
+    }
+    // Resolve overlaps.
+    let mut disjoint: Vec<IntBox> = Vec::with_capacity(snapped.len());
+    for b in snapped {
+        let mut pieces = vec![b];
+        for existing in &disjoint {
+            let mut next = Vec::new();
+            for p in pieces {
+                next.extend(p.subtract(existing));
+            }
+            pieces = next;
+        }
+        disjoint.extend(pieces);
+    }
+    // Enforce max_grid_size; drop tag-free fragments created by snapping.
+    let mut out = Vec::new();
+    for b in disjoint {
+        for t in b.tiles(params.max_grid_size) {
+            if tags.any_in(&t) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::IntVect;
+
+    fn params(bf: i64) -> ClusterParams {
+        ClusterParams {
+            grid_eff: 0.7,
+            blocking_factor: bf,
+            max_grid_size: 64,
+        }
+    }
+
+    fn tag_region(domain: IntBox, region: IntBox) -> TagField {
+        let mut tags = TagField::new(domain);
+        for p in region.iter_points() {
+            tags.set(&p, true);
+        }
+        tags
+    }
+
+    fn check_invariants(tags: &TagField, boxes: &[IntBox], p: &ClusterParams) {
+        // Every tag covered.
+        for q in tags.domain().iter_points() {
+            if tags.get(&q) {
+                assert!(
+                    boxes.iter().any(|b| b.contains(&q)),
+                    "tag {q:?} not covered"
+                );
+            }
+        }
+        // Disjoint.
+        for (i, a) in boxes.iter().enumerate() {
+            for b in &boxes[i + 1..] {
+                assert!(!a.intersects(b), "{a:?} overlaps {b:?}");
+            }
+        }
+        // Aligned (interior boxes; domain-clipped boxes stay aligned because
+        // the domain itself is a multiple of bf in these tests).
+        for b in boxes {
+            assert!(b.is_aligned(p.blocking_factor), "{b:?} not aligned");
+            for d in 0..3 {
+                assert!(b.size().get(d) <= p.max_grid_size);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster() {
+        let domain = IntBox::from_extents(32, 32, 32);
+        let region = IntBox::new(IntVect::new(8, 8, 8), IntVect::new(15, 15, 15));
+        let tags = tag_region(domain, region);
+        let p = params(8);
+        let boxes = berger_rigoutsos(&tags, &p);
+        check_invariants(&tags, &boxes, &p);
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0], region);
+    }
+
+    #[test]
+    fn two_separated_clusters() {
+        let domain = IntBox::from_extents(64, 32, 32);
+        let mut tags = tag_region(
+            domain,
+            IntBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7)),
+        );
+        for p in IntBox::new(IntVect::new(48, 16, 16), IntVect::new(55, 23, 23)).iter_points() {
+            tags.set(&p, true);
+        }
+        let p = params(8);
+        let boxes = berger_rigoutsos(&tags, &p);
+        check_invariants(&tags, &boxes, &p);
+        assert_eq!(boxes.len(), 2, "hole split should separate clusters");
+        let covered: u64 = boxes.iter().map(|b| b.num_cells()).sum();
+        assert_eq!(covered, 2 * 8 * 8 * 8, "tight boxes expected: {boxes:?}");
+    }
+
+    #[test]
+    fn empty_tags_no_boxes() {
+        let tags = TagField::new(IntBox::from_extents(16, 16, 16));
+        assert!(berger_rigoutsos(&tags, &params(8)).is_empty());
+    }
+
+    #[test]
+    fn l_shape_splits() {
+        let domain = IntBox::from_extents(32, 32, 32);
+        let mut tags = tag_region(
+            domain,
+            IntBox::new(IntVect::new(0, 0, 0), IntVect::new(23, 7, 7)),
+        );
+        for q in IntBox::new(IntVect::new(0, 8, 0), IntVect::new(7, 23, 7)).iter_points() {
+            tags.set(&q, true);
+        }
+        let p = params(8);
+        let boxes = berger_rigoutsos(&tags, &p);
+        check_invariants(&tags, &boxes, &p);
+        // An efficient covering of an L uses 2–3 boxes, never the bounding
+        // box (efficiency of bounding box = (24*8+8*16)/ (24*24*8) < 0.7).
+        let total: u64 = boxes.iter().map(|b| b.num_cells()).sum();
+        assert!(total < 24 * 24 * 8, "bounding box not split: {boxes:?}");
+    }
+
+    #[test]
+    fn max_grid_size_respected() {
+        let domain = IntBox::from_extents(128, 16, 16);
+        let tags = tag_region(domain, domain);
+        let p = ClusterParams {
+            grid_eff: 0.7,
+            blocking_factor: 8,
+            max_grid_size: 32,
+        };
+        let boxes = berger_rigoutsos(&tags, &p);
+        check_invariants(&tags, &boxes, &p);
+        assert!(boxes.len() >= 4);
+    }
+}

@@ -1,0 +1,214 @@
+//! [`FArrayBox`]: field data on a single box (AMReX `FArrayBox` equivalent).
+//!
+//! A fab stores `ncomp` floating-point components over the cells of one
+//! [`IntBox`], in Fortran order with the component index slowest
+//! (`data[comp][k][j][i]`, x fastest) — exactly AMReX's layout. All of the
+//! AMRIC data-layout work (§3.3 of the paper) is about how this
+//! component-slowest-per-box layout interacts with HDF5 chunking, so the
+//! layout here must match AMReX's.
+
+use crate::geom::{IntBox, IntVect};
+
+/// Field data over one box. Components are stored contiguously one after
+/// another ("struct of arrays" per box), matching AMReX.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FArrayBox {
+    domain: IntBox,
+    ncomp: usize,
+    data: Vec<f64>,
+}
+
+impl FArrayBox {
+    /// Allocate a zero-filled fab.
+    pub fn new(domain: IntBox, ncomp: usize) -> Self {
+        assert!(ncomp > 0, "fab needs at least one component");
+        let n = domain.num_cells() as usize * ncomp;
+        FArrayBox {
+            domain,
+            ncomp,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Construct from existing component-slowest data.
+    pub fn from_data(domain: IntBox, ncomp: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            domain.num_cells() as usize * ncomp,
+            "data length does not match box volume × ncomp"
+        );
+        FArrayBox {
+            domain,
+            ncomp,
+            data,
+        }
+    }
+
+    /// The index-space region this fab covers.
+    pub fn domain(&self) -> &IntBox {
+        &self.domain
+    }
+
+    /// Number of components.
+    pub fn ncomp(&self) -> usize {
+        self.ncomp
+    }
+
+    /// Cells per component.
+    pub fn cells(&self) -> usize {
+        self.domain.num_cells() as usize
+    }
+
+    /// Raw storage (all components, component-slowest).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One component as a slice (Fortran-ordered over the box).
+    pub fn comp(&self, c: usize) -> &[f64] {
+        assert!(c < self.ncomp);
+        let n = self.cells();
+        &self.data[c * n..(c + 1) * n]
+    }
+
+    /// One component, mutable.
+    pub fn comp_mut(&mut self, c: usize) -> &mut [f64] {
+        assert!(c < self.ncomp);
+        let n = self.cells();
+        &mut self.data[c * n..(c + 1) * n]
+    }
+
+    /// Value at a point.
+    #[inline]
+    pub fn get(&self, p: &IntVect, c: usize) -> f64 {
+        self.comp(c)[self.domain.linear_index(p)]
+    }
+
+    /// Set the value at a point.
+    #[inline]
+    pub fn set(&mut self, p: &IntVect, c: usize, v: f64) {
+        let idx = self.domain.linear_index(p);
+        self.comp_mut(c)[idx] = v;
+    }
+
+    /// Fill every cell of component `c` by evaluating `f` at the cell index.
+    pub fn fill_with(&mut self, c: usize, mut f: impl FnMut(&IntVect) -> f64) {
+        let domain = self.domain;
+        let comp = self.comp_mut(c);
+        for (i, p) in domain.iter_points().enumerate() {
+            comp[i] = f(&p);
+        }
+    }
+
+    /// Copy the sub-region `region` (must lie inside both fabs' domains) of
+    /// component `src_c` from `src` into component `dst_c` of `self`.
+    pub fn copy_region(&mut self, src: &FArrayBox, region: &IntBox, src_c: usize, dst_c: usize) {
+        assert!(self.domain.contains_box(region));
+        assert!(src.domain.contains_box(region));
+        let dst_domain = self.domain;
+        let src_domain = src.domain;
+        // Copy x-runs at a time: the region is contiguous along x in both.
+        let sz = region.size();
+        let run = sz.get(0) as usize;
+        for z in region.lo.get(2)..=region.hi.get(2) {
+            for y in region.lo.get(1)..=region.hi.get(1) {
+                let start = IntVect::new(region.lo.get(0), y, z);
+                let si = src_domain.linear_index(&start);
+                let di = dst_domain.linear_index(&start);
+                let (s_off, d_off) = (src_c * src.cells(), dst_c * self.cells());
+                let src_slice = &src.data[s_off + si..s_off + si + run];
+                self.data[d_off + di..d_off + di + run].copy_from_slice(src_slice);
+            }
+        }
+    }
+
+    /// Extract the sub-region `region` of component `c` into a new Fortran-
+    /// ordered buffer of `region.num_cells()` values.
+    pub fn extract_region(&self, region: &IntBox, c: usize) -> Vec<f64> {
+        assert!(self.domain.contains_box(region), "{region:?} outside fab");
+        let mut out = Vec::with_capacity(region.num_cells() as usize);
+        let comp = self.comp(c);
+        let run = region.size().get(0) as usize;
+        for z in region.lo.get(2)..=region.hi.get(2) {
+            for y in region.lo.get(1)..=region.hi.get(1) {
+                let start = IntVect::new(region.lo.get(0), y, z);
+                let si = self.domain.linear_index(&start);
+                out.extend_from_slice(&comp[si..si + run]);
+            }
+        }
+        out
+    }
+
+    /// Min and max of one component. Returns `(f64::INFINITY, -INFINITY)`
+    /// for empty data (cannot happen for a valid box).
+    pub fn min_max(&self, c: usize) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in self.comp(c) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_component_slowest() {
+        let b = IntBox::from_extents(2, 2, 1);
+        let mut fab = FArrayBox::new(b, 2);
+        fab.set(&IntVect::new(0, 0, 0), 0, 1.0);
+        fab.set(&IntVect::new(1, 0, 0), 0, 2.0);
+        fab.set(&IntVect::new(0, 0, 0), 1, 10.0);
+        assert_eq!(fab.data()[0], 1.0);
+        assert_eq!(fab.data()[1], 2.0);
+        assert_eq!(fab.data()[4], 10.0); // second component starts at cells()
+    }
+
+    #[test]
+    fn fill_and_extract_region() {
+        let b = IntBox::from_extents(4, 4, 4);
+        let mut fab = FArrayBox::new(b, 1);
+        fab.fill_with(0, |p| (p.get(0) + 10 * p.get(1) + 100 * p.get(2)) as f64);
+        let region = IntBox::new(IntVect::new(1, 1, 1), IntVect::new(2, 2, 2));
+        let sub = fab.extract_region(&region, 0);
+        assert_eq!(sub.len(), 8);
+        assert_eq!(sub[0], 111.0);
+        assert_eq!(sub[1], 112.0); // x fastest
+        assert_eq!(sub[2], 121.0);
+        assert_eq!(sub[4], 211.0);
+    }
+
+    #[test]
+    fn copy_region_roundtrip() {
+        let b = IntBox::from_extents(6, 6, 6);
+        let mut src = FArrayBox::new(b, 2);
+        src.fill_with(1, |p| (p.get(0) * p.get(1) * p.get(2)) as f64 + 0.5);
+        let mut dst = FArrayBox::new(b, 2);
+        let region = IntBox::new(IntVect::new(2, 0, 3), IntVect::new(5, 4, 5));
+        dst.copy_region(&src, &region, 1, 0);
+        for p in region.iter_points() {
+            assert_eq!(dst.get(&p, 0), src.get(&p, 1));
+        }
+        // Outside the region stays zero.
+        assert_eq!(dst.get(&IntVect::new(0, 0, 0), 0), 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let b = IntBox::from_extents(3, 3, 3);
+        let mut fab = FArrayBox::new(b, 1);
+        fab.fill_with(0, |p| p.get(0) as f64 - p.get(2) as f64);
+        let (lo, hi) = fab.min_max(0);
+        assert_eq!(lo, -2.0);
+        assert_eq!(hi, 2.0);
+    }
+}

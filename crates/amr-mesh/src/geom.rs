@@ -1,0 +1,412 @@
+//! Integer index-space geometry: [`IntVect`] and [`IntBox`].
+//!
+//! Patch-based AMR frameworks (AMReX, BoxLib, Chombo) describe every grid as
+//! a rectangular region of a structured integer index space. All geometry in
+//! this crate follows the AMReX conventions:
+//!
+//! * boxes are **inclusive** on both ends (`lo..=hi` in each dimension),
+//! * level 0 is the *coarsest* level,
+//! * refining a box by ratio `r` maps cell `i` to cells `r*i ..= r*i + r-1`,
+//! * coarsening maps cell `i` to `floor(i / r)`.
+
+use std::fmt;
+
+/// Number of spatial dimensions. The whole stack is 3-D, matching the paper.
+pub const DIM: usize = 3;
+
+/// A point (or extent) in the 3-D integer index space.
+///
+/// Deliberately does not implement `Ord`: ordering of index-space points is
+/// ambiguous (lexicographic vs component-wise); use [`IntVect::min`] /
+/// [`IntVect::max`] for the component-wise lattice operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntVect(pub [i64; DIM]);
+
+impl IntVect {
+    /// All-zero vector.
+    pub const ZERO: IntVect = IntVect([0; DIM]);
+    /// All-one vector.
+    pub const ONE: IntVect = IntVect([1; DIM]);
+
+    /// Construct from components.
+    pub const fn new(x: i64, y: i64, z: i64) -> Self {
+        IntVect([x, y, z])
+    }
+
+    /// Vector with the same value in every component.
+    pub const fn splat(v: i64) -> Self {
+        IntVect([v; DIM])
+    }
+
+    /// Component accessor.
+    #[inline]
+    pub fn get(&self, d: usize) -> i64 {
+        self.0[d]
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: &IntVect) -> IntVect {
+        IntVect([
+            self.0[0].min(other.0[0]),
+            self.0[1].min(other.0[1]),
+            self.0[2].min(other.0[2]),
+        ])
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &IntVect) -> IntVect {
+        IntVect([
+            self.0[0].max(other.0[0]),
+            self.0[1].max(other.0[1]),
+            self.0[2].max(other.0[2]),
+        ])
+    }
+
+    /// Product of the components, as `u64`. Panics if any component is
+    /// negative (extents must be non-negative).
+    pub fn volume(&self) -> u64 {
+        assert!(
+            self.0.iter().all(|&c| c >= 0),
+            "volume of negative extent {self:?}"
+        );
+        self.0.iter().map(|&c| c as u64).product()
+    }
+
+    /// Component-wise multiplication by a refinement ratio.
+    pub fn scaled(&self, r: i64) -> IntVect {
+        IntVect([self.0[0] * r, self.0[1] * r, self.0[2] * r])
+    }
+
+    /// Component-wise floor-division (used for coarsening).
+    pub fn coarsened(&self, r: i64) -> IntVect {
+        IntVect([
+            self.0[0].div_euclid(r),
+            self.0[1].div_euclid(r),
+            self.0[2].div_euclid(r),
+        ])
+    }
+}
+
+impl fmt::Debug for IntVect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+impl std::ops::Add for IntVect {
+    type Output = IntVect;
+    fn add(self, rhs: IntVect) -> IntVect {
+        IntVect([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+        ])
+    }
+}
+
+impl std::ops::Sub for IntVect {
+    type Output = IntVect;
+    fn sub(self, rhs: IntVect) -> IntVect {
+        IntVect([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+        ])
+    }
+}
+
+/// A rectangular region of index space, inclusive on both ends
+/// (AMReX `Box` semantics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntBox {
+    /// Smallest contained index in each dimension.
+    pub lo: IntVect,
+    /// Largest contained index in each dimension.
+    pub hi: IntVect,
+}
+
+impl fmt::Debug for IntBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}..{:?}]", self.lo, self.hi)
+    }
+}
+
+impl IntBox {
+    /// Construct from corner points. `lo` must be `<= hi` component-wise.
+    pub fn new(lo: IntVect, hi: IntVect) -> Self {
+        debug_assert!(
+            (0..DIM).all(|d| lo.get(d) <= hi.get(d)),
+            "invalid box lo={lo:?} hi={hi:?}"
+        );
+        IntBox { lo, hi }
+    }
+
+    /// A box anchored at the origin with the given extents.
+    pub fn from_extents(nx: i64, ny: i64, nz: i64) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "extents must be positive");
+        IntBox::new(IntVect::ZERO, IntVect::new(nx - 1, ny - 1, nz - 1))
+    }
+
+    /// Extent (number of cells) in each dimension.
+    pub fn size(&self) -> IntVect {
+        self.hi - self.lo + IntVect::ONE
+    }
+
+    /// Number of cells contained in the box.
+    pub fn num_cells(&self) -> u64 {
+        self.size().volume()
+    }
+
+    /// Does the box contain the point?
+    pub fn contains(&self, p: &IntVect) -> bool {
+        (0..DIM).all(|d| self.lo.get(d) <= p.get(d) && p.get(d) <= self.hi.get(d))
+    }
+
+    /// Does the box fully contain `other`?
+    pub fn contains_box(&self, other: &IntBox) -> bool {
+        self.contains(&other.lo) && self.contains(&other.hi)
+    }
+
+    /// Do the two boxes share at least one cell?
+    pub fn intersects(&self, other: &IntBox) -> bool {
+        (0..DIM).all(|d| self.lo.get(d) <= other.hi.get(d) && other.lo.get(d) <= self.hi.get(d))
+    }
+
+    /// The shared region, if any.
+    pub fn intersection(&self, other: &IntBox) -> Option<IntBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(IntBox::new(self.lo.max(&other.lo), self.hi.min(&other.hi)))
+    }
+
+    /// Refine by ratio `r`: every cell becomes an `r³` block of fine cells.
+    pub fn refined(&self, r: i64) -> IntBox {
+        assert!(r >= 1);
+        IntBox::new(
+            self.lo.scaled(r),
+            IntVect::new(
+                self.hi.get(0) * r + r - 1,
+                self.hi.get(1) * r + r - 1,
+                self.hi.get(2) * r + r - 1,
+            ),
+        )
+    }
+
+    /// Coarsen by ratio `r` (floor semantics; the result covers the box).
+    pub fn coarsened(&self, r: i64) -> IntBox {
+        assert!(r >= 1);
+        IntBox::new(self.lo.coarsened(r), self.hi.coarsened(r))
+    }
+
+    /// Translate by `shift`.
+    pub fn shifted(&self, shift: IntVect) -> IntBox {
+        IntBox::new(self.lo + shift, self.hi + shift)
+    }
+
+    /// Subtract `other` from `self`, returning the (up to six) disjoint
+    /// rectangular pieces of `self` not covered by `other`.
+    ///
+    /// This is the classic axis-sweep box subtraction used throughout
+    /// block-structured AMR codes.
+    pub fn subtract(&self, other: &IntBox) -> Vec<IntBox> {
+        let Some(mid) = self.intersection(other) else {
+            return vec![*self];
+        };
+        if mid == *self {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut rem = *self;
+        for d in 0..DIM {
+            // Piece below the intersection along dimension d.
+            if rem.lo.get(d) < mid.lo.get(d) {
+                let mut hi = rem.hi;
+                hi.0[d] = mid.lo.get(d) - 1;
+                out.push(IntBox::new(rem.lo, hi));
+                rem.lo.0[d] = mid.lo.get(d);
+            }
+            // Piece above the intersection along dimension d.
+            if rem.hi.get(d) > mid.hi.get(d) {
+                let mut lo = rem.lo;
+                lo.0[d] = mid.hi.get(d) + 1;
+                out.push(IntBox::new(lo, rem.hi));
+                rem.hi.0[d] = mid.hi.get(d);
+            }
+        }
+        debug_assert_eq!(rem, mid);
+        out
+    }
+
+    /// Iterate over all contained points in Fortran order (x fastest),
+    /// matching AMReX's fab storage order.
+    pub fn iter_points(&self) -> impl Iterator<Item = IntVect> + '_ {
+        let lo = self.lo;
+        let sz = self.size();
+        (0..sz.volume() as i64).map(move |lin| {
+            let x = lin % sz.get(0);
+            let y = (lin / sz.get(0)) % sz.get(1);
+            let z = lin / (sz.get(0) * sz.get(1));
+            IntVect::new(lo.get(0) + x, lo.get(1) + y, lo.get(2) + z)
+        })
+    }
+
+    /// Linear (Fortran-order) offset of `p` within the box.
+    #[inline]
+    pub fn linear_index(&self, p: &IntVect) -> usize {
+        debug_assert!(self.contains(p), "{p:?} not in {self:?}");
+        let sz = self.size();
+        let dx = p.get(0) - self.lo.get(0);
+        let dy = p.get(1) - self.lo.get(1);
+        let dz = p.get(2) - self.lo.get(2);
+        (dx + sz.get(0) * (dy + sz.get(1) * dz)) as usize
+    }
+
+    /// Split the box into uniform tiles of `tile` cells, anchored at tile
+    /// boundaries of the index space (i.e. at multiples of `tile`). Edge
+    /// tiles are clipped to the box.
+    pub fn tiles(&self, tile: i64) -> Vec<IntBox> {
+        assert!(tile >= 1);
+        let tlo = self.lo.coarsened(tile);
+        let thi = self.hi.coarsened(tile);
+        let mut out = Vec::new();
+        for tz in tlo.get(2)..=thi.get(2) {
+            for ty in tlo.get(1)..=thi.get(1) {
+                for tx in tlo.get(0)..=thi.get(0) {
+                    let full = IntBox::new(
+                        IntVect::new(tx * tile, ty * tile, tz * tile),
+                        IntVect::new(
+                            tx * tile + tile - 1,
+                            ty * tile + tile - 1,
+                            tz * tile + tile - 1,
+                        ),
+                    );
+                    if let Some(clip) = full.intersection(self) {
+                        out.push(clip);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Is every face of the box aligned to multiples of `bf` (AMReX
+    /// "blocking factor" invariant: `lo` divisible by `bf`, `hi+1` divisible
+    /// by `bf`)?
+    pub fn is_aligned(&self, bf: i64) -> bool {
+        (0..DIM).all(|d| {
+            self.lo.get(d).rem_euclid(bf) == 0 && (self.hi.get(d) + 1).rem_euclid(bf) == 0
+        })
+    }
+
+    /// Grow the box by `n` cells on every side.
+    pub fn grown(&self, n: i64) -> IntBox {
+        IntBox::new(self.lo - IntVect::splat(n), self.hi + IntVect::splat(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_basics() {
+        let b = IntBox::from_extents(4, 3, 2);
+        assert_eq!(b.num_cells(), 24);
+        assert_eq!(b.size(), IntVect::new(4, 3, 2));
+        assert!(b.contains(&IntVect::new(3, 2, 1)));
+        assert!(!b.contains(&IntVect::new(4, 0, 0)));
+    }
+
+    #[test]
+    fn intersection_symmetric() {
+        let a = IntBox::new(IntVect::new(0, 0, 0), IntVect::new(7, 7, 7));
+        let b = IntBox::new(IntVect::new(4, 4, 4), IntVect::new(11, 11, 11));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, b.intersection(&a).unwrap());
+        assert_eq!(i, IntBox::new(IntVect::new(4, 4, 4), IntVect::new(7, 7, 7)));
+        let c = IntBox::new(IntVect::new(8, 0, 0), IntVect::new(9, 1, 1));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn refine_coarsen_roundtrip() {
+        let b = IntBox::new(IntVect::new(2, 4, 6), IntVect::new(5, 7, 9));
+        let r = b.refined(2);
+        assert_eq!(r.lo, IntVect::new(4, 8, 12));
+        assert_eq!(r.hi, IntVect::new(11, 15, 19));
+        assert_eq!(r.coarsened(2), b);
+        assert_eq!(r.num_cells(), b.num_cells() * 8);
+    }
+
+    #[test]
+    fn coarsen_floor_semantics() {
+        // Cells 0..=2 coarsen to 0..=1 with ratio 2 (cell 2 -> 1).
+        let b = IntBox::new(IntVect::ZERO, IntVect::new(2, 2, 2));
+        let c = b.coarsened(2);
+        assert_eq!(c.hi, IntVect::new(1, 1, 1));
+        // Negative indices floor correctly.
+        let n = IntBox::new(IntVect::new(-3, -3, -3), IntVect::new(-1, -1, -1));
+        assert_eq!(n.coarsened(2).lo, IntVect::new(-2, -2, -2));
+    }
+
+    #[test]
+    fn subtraction_covers_complement() {
+        let a = IntBox::from_extents(8, 8, 8);
+        let b = IntBox::new(IntVect::new(2, 2, 2), IntVect::new(5, 5, 5));
+        let pieces = a.subtract(&b);
+        let total: u64 = pieces.iter().map(|p| p.num_cells()).sum();
+        assert_eq!(total, a.num_cells() - b.num_cells());
+        // Pieces must be disjoint from each other and from b.
+        for (i, p) in pieces.iter().enumerate() {
+            assert!(!p.intersects(&b));
+            for q in &pieces[i + 1..] {
+                assert!(!p.intersects(q), "{p:?} overlaps {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_disjoint_and_contained() {
+        let a = IntBox::from_extents(4, 4, 4);
+        let far = IntBox::new(IntVect::new(10, 10, 10), IntVect::new(12, 12, 12));
+        assert_eq!(a.subtract(&far), vec![a]);
+        let all = IntBox::new(IntVect::new(-1, -1, -1), IntVect::new(5, 5, 5));
+        assert!(a.subtract(&all).is_empty());
+    }
+
+    #[test]
+    fn linear_index_fortran_order() {
+        let b = IntBox::new(IntVect::new(1, 1, 1), IntVect::new(3, 3, 3));
+        assert_eq!(b.linear_index(&IntVect::new(1, 1, 1)), 0);
+        assert_eq!(b.linear_index(&IntVect::new(2, 1, 1)), 1);
+        assert_eq!(b.linear_index(&IntVect::new(1, 2, 1)), 3);
+        assert_eq!(b.linear_index(&IntVect::new(1, 1, 2)), 9);
+        // iter_points visits in the same order
+        for (i, p) in b.iter_points().enumerate() {
+            assert_eq!(b.linear_index(&p), i);
+        }
+    }
+
+    #[test]
+    fn tiles_partition_box() {
+        let b = IntBox::from_extents(20, 12, 8);
+        let tiles = b.tiles(8);
+        let total: u64 = tiles.iter().map(|t| t.num_cells()).sum();
+        assert_eq!(total, b.num_cells());
+        for (i, t) in tiles.iter().enumerate() {
+            for u in &tiles[i + 1..] {
+                assert!(!t.intersects(u));
+            }
+        }
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(IntBox::from_extents(16, 32, 8).is_aligned(8));
+        assert!(!IntBox::from_extents(12, 32, 8).is_aligned(8));
+        let shifted = IntBox::from_extents(16, 16, 16).shifted(IntVect::new(8, 8, 8));
+        assert!(shifted.is_aligned(8));
+        assert!(!shifted.shifted(IntVect::new(1, 0, 0)).is_aligned(8));
+    }
+}

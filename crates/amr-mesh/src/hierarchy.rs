@@ -1,0 +1,225 @@
+//! [`AmrHierarchy`]: the full multi-level mesh + data (AMReX `Amr`
+//! equivalent), with AMReX numbering — level 0 is the coarsest.
+
+use crate::boxarray::{BoxArray, DistributionMapping};
+use crate::geom::{IntBox, IntVect};
+use crate::multifab::MultiFab;
+
+/// One refinement level: its grids, data and the refinement ratio *to the
+/// next finer level* (AMReX stores ratios the same way).
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// Index-space domain of the whole level (covers the problem domain at
+    /// this resolution).
+    pub domain: IntBox,
+    /// Field data over this level's grids.
+    pub data: MultiFab,
+}
+
+/// A patch-based AMR hierarchy.
+#[derive(Clone, Debug)]
+pub struct AmrHierarchy {
+    levels: Vec<Level>,
+    /// `ref_ratio[l]` refines level `l` to level `l+1`. Length
+    /// `levels.len() - 1`.
+    ref_ratio: Vec<i64>,
+    field_names: Vec<String>,
+}
+
+impl AmrHierarchy {
+    /// Start a hierarchy from a coarse (level-0) domain decomposition.
+    pub fn new(
+        domain: IntBox,
+        max_grid_size: i64,
+        nranks: usize,
+        field_names: Vec<String>,
+    ) -> Self {
+        let ba = BoxArray::decompose(domain, max_grid_size);
+        let dm = DistributionMapping::knapsack(&ba, nranks);
+        let data = MultiFab::new(ba, dm, field_names.clone());
+        AmrHierarchy {
+            levels: vec![Level { domain, data }],
+            ref_ratio: Vec::new(),
+            field_names,
+        }
+    }
+
+    /// Append a finer level with the given grids (expressed in the finer
+    /// index space).
+    pub fn push_level(&mut self, ba: BoxArray, ratio: i64, nranks: usize) {
+        assert!(ratio >= 2, "refinement ratio must be ≥ 2");
+        let coarse_domain = self.levels.last().expect("non-empty").domain;
+        let domain = coarse_domain.refined(ratio);
+        for b in ba.iter() {
+            assert!(
+                domain.contains_box(b),
+                "fine box {b:?} escapes domain {domain:?}"
+            );
+        }
+        let dm = DistributionMapping::knapsack(&ba, nranks);
+        let data = MultiFab::new(ba, dm, self.field_names.clone());
+        self.levels.push(Level { domain, data });
+        self.ref_ratio.push(ratio);
+    }
+
+    /// Number of levels (≥ 1).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level accessor (0 = coarsest).
+    pub fn level(&self, l: usize) -> &Level {
+        &self.levels[l]
+    }
+
+    /// Mutable level accessor.
+    pub fn level_mut(&mut self, l: usize) -> &mut Level {
+        &mut self.levels[l]
+    }
+
+    /// Refinement ratio from level `l` to `l+1`.
+    pub fn ref_ratio(&self, l: usize) -> i64 {
+        self.ref_ratio[l]
+    }
+
+    /// Field names shared by every level.
+    pub fn field_names(&self) -> &[String] {
+        &self.field_names
+    }
+
+    /// Iterate over levels, coarse to fine.
+    pub fn levels(&self) -> impl Iterator<Item = &Level> {
+        self.levels.iter()
+    }
+
+    /// Total cells stored across all levels (including redundant coarse
+    /// cells — the quantity patch-based AMR actually writes).
+    pub fn total_cells(&self) -> u64 {
+        self.levels.iter().map(|l| l.data.num_cells()).sum()
+    }
+
+    /// Bytes of raw field data for one snapshot (f64).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.total_cells() * self.field_names.len() as u64 * 8
+    }
+
+    /// Fill a field on every level by evaluating `f` at the *physical*
+    /// location of each cell, expressed in level-normalised coordinates in
+    /// `[0,1)³` (cell centers). Coarse and fine levels therefore sample the
+    /// same underlying continuous field, as a nested AMR solver would.
+    pub fn fill_field_physical(&mut self, c: usize, f: impl Fn(f64, f64, f64) -> f64 + Sync) {
+        for level in &mut self.levels {
+            let n = level.domain.size();
+            let (nx, ny, nz) = (n.get(0) as f64, n.get(1) as f64, n.get(2) as f64);
+            let lo = level.domain.lo;
+            let nfabs = level.data.box_array().len();
+            for i in 0..nfabs {
+                level.data.fab_mut(i).fill_with(c, |p: &IntVect| {
+                    let x = (p.get(0) - lo.get(0)) as f64 / nx + 0.5 / nx;
+                    let y = (p.get(1) - lo.get(1)) as f64 / ny + 0.5 / ny;
+                    let z = (p.get(2) - lo.get(2)) as f64 / nz + 0.5 / nz;
+                    f(x, y, z)
+                });
+            }
+        }
+    }
+
+    /// Up-sample everything to the finest level's resolution, preferring the
+    /// finest data available at each point (the post-analysis "uniform
+    /// resolution" conversion of the paper's Fig. 3). Piecewise-constant
+    /// (injection) upsampling, which is what AMReX's plotfile tools default
+    /// to for cell-centered data.
+    pub fn flatten_to_uniform(&self, c: usize) -> (IntBox, Vec<f64>) {
+        let finest = self.levels.len() - 1;
+        let domain = self.levels[finest].domain;
+        let sz = domain.size();
+        let mut out = vec![f64::NAN; domain.num_cells() as usize];
+        // Fill coarse-to-fine so finer levels overwrite redundant coarse data.
+        let mut ratio_to_finest = vec![1i64; self.levels.len()];
+        for l in (0..finest).rev() {
+            ratio_to_finest[l] = ratio_to_finest[l + 1] * self.ref_ratio[l];
+        }
+        for (l, level) in self.levels.iter().enumerate() {
+            let r = ratio_to_finest[l];
+            for (_, fab) in level.data.iter() {
+                for p in fab.domain().iter_points() {
+                    let v = fab.get(&p, c);
+                    let fine = IntBox::new(p, p).refined(r);
+                    for q in fine.iter_points() {
+                        let idx = ((q.get(0) - domain.lo.get(0))
+                            + sz.get(0)
+                                * ((q.get(1) - domain.lo.get(1))
+                                    + sz.get(1) * (q.get(2) - domain.lo.get(2))))
+                            as usize;
+                        out[idx] = v;
+                    }
+                }
+            }
+        }
+        (domain, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::IntVect;
+
+    fn two_level() -> AmrHierarchy {
+        let mut h = AmrHierarchy::new(
+            IntBox::from_extents(16, 16, 16),
+            8,
+            2,
+            vec!["rho".into(), "T".into()],
+        );
+        // Refine the lower-left octant: coarse cells [0..8)³ → fine [0..16)³.
+        let fine = BoxArray::new(vec![IntBox::from_extents(16, 16, 16)]);
+        h.push_level(fine, 2, 2);
+        h
+    }
+
+    #[test]
+    fn construction() {
+        let h = two_level();
+        assert_eq!(h.num_levels(), 2);
+        assert_eq!(h.ref_ratio(0), 2);
+        assert_eq!(h.level(1).domain, IntBox::from_extents(32, 32, 32));
+        assert_eq!(h.total_cells(), 16 * 16 * 16 + 16 * 16 * 16);
+        assert_eq!(h.snapshot_bytes(), h.total_cells() * 2 * 8);
+    }
+
+    #[test]
+    fn physical_fill_consistency() {
+        let mut h = two_level();
+        h.fill_field_physical(0, |x, y, z| x + 2.0 * y + 4.0 * z);
+        // A coarse cell and the average of its fine children should be close
+        // (equal for an affine function).
+        let coarse_v = h.level(0).data.value_at(&IntVect::new(2, 2, 2), 0).unwrap();
+        let mut fine_sum = 0.0;
+        let children = IntBox::new(IntVect::new(2, 2, 2), IntVect::new(2, 2, 2)).refined(2);
+        for q in children.iter_points() {
+            fine_sum += h.level(1).data.value_at(&q, 0).unwrap();
+        }
+        assert!((coarse_v - fine_sum / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flatten_prefers_fine() {
+        let mut h = two_level();
+        // Make levels distinguishable.
+        for i in 0..h.level(0).data.box_array().len() {
+            h.level_mut(0).data.fab_mut(i).fill_with(0, |_| 1.0);
+        }
+        for i in 0..h.level(1).data.box_array().len() {
+            h.level_mut(1).data.fab_mut(i).fill_with(0, |_| 2.0);
+        }
+        let (domain, flat) = h.flatten_to_uniform(0);
+        assert_eq!(domain, IntBox::from_extents(32, 32, 32));
+        // Point inside the refined octant sees fine data.
+        let idx = |x: i64, y: i64, z: i64| (x + 32 * (y + 32 * z)) as usize;
+        assert_eq!(flat[idx(0, 0, 0)], 2.0);
+        // Point outside sees upsampled coarse data.
+        assert_eq!(flat[idx(31, 31, 31)], 1.0);
+        assert!(flat.iter().all(|v| !v.is_nan()));
+    }
+}

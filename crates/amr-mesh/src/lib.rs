@@ -1,0 +1,57 @@
+//! # amr-mesh — patch-based AMR substrate (AMReX data-model equivalent)
+//!
+//! This crate reimplements the slice of AMReX that the AMRIC paper (SC '23)
+//! builds on: integer index-space geometry, per-level grids ([`BoxArray`]),
+//! per-box field data ([`FArrayBox`] / [`MultiFab`]), the multi-level
+//! [`AmrHierarchy`], cell tagging and Berger–Rigoutsos grid generation, and
+//! the coarse/fine overlap (redundancy) queries AMRIC's pre-processing uses.
+//!
+//! Conventions follow AMReX exactly:
+//! * level 0 is the coarsest level; refining by ratio 2 doubles resolution;
+//! * boxes are inclusive `[lo, hi]` index ranges, data Fortran-ordered with
+//!   x fastest and the field/component index slowest;
+//! * grids are aligned to a blocking factor, so coarse/fine boundaries land
+//!   on unit-block boundaries (the alignment AMRIC's truncation exploits).
+//!
+//! ```
+//! use amr_mesh::prelude::*;
+//!
+//! // A 32³ coarse level decomposed into 16³ grids on 4 ranks.
+//! let mut h = AmrHierarchy::new(IntBox::from_extents(32, 32, 32), 16, 4,
+//!                               vec!["density".into()]);
+//! h.fill_field_physical(0, |x, y, z| x + y + z);
+//! // Tag hot cells and build a refined level.
+//! let tags = tag_above(&h.level(0).data, 0, 2.0, h.level(0).domain);
+//! let boxes = berger_rigoutsos(&tags, &ClusterParams::default());
+//! if !boxes.is_empty() {
+//!     let fine = BoxArray::new(boxes).refined(2);
+//!     h.push_level(fine, 2, 4);
+//! }
+//! ```
+
+pub mod boxarray;
+pub mod cluster;
+pub mod fab;
+pub mod geom;
+pub mod hierarchy;
+pub mod multifab;
+pub mod overlap;
+pub mod tagging;
+
+pub use boxarray::{BoxArray, DistributionMapping};
+pub use fab::FArrayBox;
+pub use geom::{IntBox, IntVect};
+pub use hierarchy::AmrHierarchy;
+pub use multifab::MultiFab;
+
+/// Convenient re-exports of the commonly used types.
+pub mod prelude {
+    pub use crate::boxarray::{BoxArray, DistributionMapping};
+    pub use crate::cluster::{berger_rigoutsos, ClusterParams};
+    pub use crate::fab::FArrayBox;
+    pub use crate::geom::{IntBox, IntVect, DIM};
+    pub use crate::hierarchy::{AmrHierarchy, Level};
+    pub use crate::multifab::{BoxPayload, MultiFab};
+    pub use crate::overlap::{coverage, summarize, BoxCoverage, RedundancySummary};
+    pub use crate::tagging::{field_mean, tag_above, tag_gradient, TagField};
+}

@@ -1,0 +1,227 @@
+//! [`MultiFab`]: all field data on one AMR level (AMReX `MultiFab`
+//! equivalent) — a [`BoxArray`], a [`DistributionMapping`] and one
+//! [`FArrayBox`] per box.
+//!
+//! In a real distributed run each rank only allocates its local fabs; the
+//! thread-rank runtime in `rankpar` follows the same discipline via
+//! [`MultiFab::local_view`].
+
+use crate::boxarray::{BoxArray, DistributionMapping};
+use crate::fab::FArrayBox;
+use crate::geom::{IntBox, IntVect};
+
+/// Field data over every box of one level.
+#[derive(Clone, Debug)]
+pub struct MultiFab {
+    ba: BoxArray,
+    dm: DistributionMapping,
+    ncomp: usize,
+    fabs: Vec<FArrayBox>,
+    field_names: Vec<String>,
+}
+
+impl MultiFab {
+    /// Allocate zero-filled fabs for every box.
+    pub fn new(ba: BoxArray, dm: DistributionMapping, field_names: Vec<String>) -> Self {
+        let ncomp = field_names.len();
+        assert!(ncomp > 0, "MultiFab needs at least one field");
+        let fabs = ba.iter().map(|b| FArrayBox::new(*b, ncomp)).collect();
+        MultiFab {
+            ba,
+            dm,
+            ncomp,
+            fabs,
+            field_names,
+        }
+    }
+
+    /// The level's grids.
+    pub fn box_array(&self) -> &BoxArray {
+        &self.ba
+    }
+
+    /// The grid → rank assignment.
+    pub fn distribution(&self) -> &DistributionMapping {
+        &self.dm
+    }
+
+    /// Number of components (fields).
+    pub fn ncomp(&self) -> usize {
+        self.ncomp
+    }
+
+    /// Field names, in component order.
+    pub fn field_names(&self) -> &[String] {
+        &self.field_names
+    }
+
+    /// Component index of a named field.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.field_names.iter().position(|n| n == name)
+    }
+
+    /// Fab for box `i`.
+    pub fn fab(&self, i: usize) -> &FArrayBox {
+        &self.fabs[i]
+    }
+
+    /// Mutable fab for box `i`.
+    pub fn fab_mut(&mut self, i: usize) -> &mut FArrayBox {
+        &mut self.fabs[i]
+    }
+
+    /// Iterate over (box index, fab).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &FArrayBox)> {
+        self.fabs.iter().enumerate()
+    }
+
+    /// The fabs owned by `rank` under the distribution mapping.
+    pub fn local_view(&self, rank: usize) -> Vec<(usize, &FArrayBox)> {
+        self.dm
+            .local_boxes(rank)
+            .into_iter()
+            .map(|i| (i, &self.fabs[i]))
+            .collect()
+    }
+
+    /// Fill one field everywhere by evaluating `f(cell)`.
+    pub fn fill_field(&mut self, c: usize, f: impl Fn(&IntVect) -> f64 + Sync) {
+        for fab in &mut self.fabs {
+            fab.fill_with(c, |p| f(p));
+        }
+    }
+
+    /// Global min/max of one field across all boxes.
+    pub fn min_max(&self, c: usize) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for fab in &self.fabs {
+            let (l, h) = fab.min_max(c);
+            lo = lo.min(l);
+            hi = hi.max(h);
+        }
+        (lo, hi)
+    }
+
+    /// Total cells on the level.
+    pub fn num_cells(&self) -> u64 {
+        self.ba.num_cells()
+    }
+
+    /// Value of field `c` at `p`, searching the owning box. `None` when no
+    /// box covers `p`.
+    pub fn value_at(&self, p: &IntVect, c: usize) -> Option<f64> {
+        for (i, b) in self.ba.iter().enumerate() {
+            if b.contains(p) {
+                return Some(self.fabs[i].get(p, c));
+            }
+        }
+        None
+    }
+
+    /// Copy all components of every intersecting region of `src` into this
+    /// MultiFab (both on the same index space). Used to move data between
+    /// box layouts, e.g. after regridding.
+    pub fn copy_from(&mut self, src: &MultiFab) {
+        assert_eq!(self.ncomp, src.ncomp);
+        for (di, dbox) in self.ba.boxes().iter().enumerate() {
+            for (si, isect) in src.ba.intersections(dbox) {
+                for c in 0..self.ncomp {
+                    self.fabs[di].copy_region(&src.fabs[si], &isect, c, c);
+                }
+            }
+        }
+    }
+}
+
+/// A box of data extracted for I/O: the flattened field payloads of one box
+/// in AMReX plotfile order (all of field 0's cells, then field 1, ...).
+#[derive(Clone, Debug)]
+pub struct BoxPayload {
+    /// Which box of the level this is.
+    pub box_index: usize,
+    /// Index-space region.
+    pub domain: IntBox,
+    /// `ncomp * cells` values, component slowest.
+    pub data: Vec<f64>,
+}
+
+impl MultiFab {
+    /// Extract the payload of box `i` (all fields) exactly as AMReX stages
+    /// it into the HDF5 write buffer: per box, fields concatenated.
+    pub fn payload(&self, i: usize) -> BoxPayload {
+        let fab = &self.fabs[i];
+        BoxPayload {
+            box_index: i,
+            domain: *fab.domain(),
+            data: fab.data().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mf2() -> MultiFab {
+        let ba = BoxArray::decompose(IntBox::from_extents(8, 8, 8), 4);
+        let dm = DistributionMapping::round_robin(ba.len(), 2);
+        MultiFab::new(ba, dm, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn field_lookup() {
+        let mf = mf2();
+        assert_eq!(mf.field_index("b"), Some(1));
+        assert_eq!(mf.field_index("nope"), None);
+        assert_eq!(mf.ncomp(), 2);
+    }
+
+    #[test]
+    fn fill_and_query() {
+        let mut mf = mf2();
+        mf.fill_field(0, |p| p.get(0) as f64);
+        mf.fill_field(1, |p| 100.0 + p.get(2) as f64);
+        assert_eq!(mf.value_at(&IntVect::new(5, 1, 1), 0), Some(5.0));
+        assert_eq!(mf.value_at(&IntVect::new(1, 1, 6), 1), Some(106.0));
+        assert_eq!(mf.value_at(&IntVect::new(9, 0, 0), 0), None);
+        let (lo, hi) = mf.min_max(0);
+        assert_eq!((lo, hi), (0.0, 7.0));
+    }
+
+    #[test]
+    fn local_view_partitions_boxes() {
+        let mf = mf2();
+        let n0 = mf.local_view(0).len();
+        let n1 = mf.local_view(1).len();
+        assert_eq!(n0 + n1, mf.box_array().len());
+        assert_eq!(n0, 4); // 8 boxes round-robin across 2 ranks
+    }
+
+    #[test]
+    fn copy_from_relayout() {
+        let mut src = mf2();
+        src.fill_field(0, |p| (p.get(0) + p.get(1) * 10 + p.get(2) * 100) as f64);
+        src.fill_field(1, |p| -(p.get(0) as f64));
+        // Different layout: single box covering the same domain.
+        let ba = BoxArray::single(IntBox::from_extents(8, 8, 8));
+        let dm = DistributionMapping::round_robin(1, 1);
+        let mut dst = MultiFab::new(ba, dm, vec!["a".into(), "b".into()]);
+        dst.copy_from(&src);
+        for p in IntBox::from_extents(8, 8, 8).iter_points() {
+            assert_eq!(dst.value_at(&p, 0), src.value_at(&p, 0));
+            assert_eq!(dst.value_at(&p, 1), src.value_at(&p, 1));
+        }
+    }
+
+    #[test]
+    fn payload_is_component_slowest() {
+        let mut mf = mf2();
+        mf.fill_field(1, |_| 7.0);
+        let pay = mf.payload(0);
+        let cells = pay.domain.num_cells() as usize;
+        assert_eq!(pay.data.len(), cells * 2);
+        assert!(pay.data[..cells].iter().all(|&v| v == 0.0));
+        assert!(pay.data[cells..].iter().all(|&v| v == 7.0));
+    }
+}

@@ -1,0 +1,224 @@
+//! Cell tagging for refinement (AMReX `TagBox` / `ErrorEst` equivalent).
+//!
+//! A [`TagField`] is a boolean field over a level's domain marking cells
+//! that need refinement. The paper (§2.3) describes the usual criteria:
+//! tag a cell when its value, or the norm of its gradient, exceeds a
+//! threshold (e.g. the field mean).
+
+use crate::geom::{IntBox, IntVect};
+use crate::multifab::MultiFab;
+
+/// Dense boolean tag field over a level domain.
+#[derive(Clone, Debug)]
+pub struct TagField {
+    domain: IntBox,
+    tags: Vec<bool>,
+}
+
+impl TagField {
+    /// All-false tags over `domain`.
+    pub fn new(domain: IntBox) -> Self {
+        TagField {
+            tags: vec![false; domain.num_cells() as usize],
+            domain,
+        }
+    }
+
+    /// The tagged region's domain.
+    pub fn domain(&self) -> &IntBox {
+        &self.domain
+    }
+
+    /// Is `p` tagged?
+    #[inline]
+    pub fn get(&self, p: &IntVect) -> bool {
+        self.tags[self.domain.linear_index(p)]
+    }
+
+    /// Tag or untag `p`.
+    #[inline]
+    pub fn set(&mut self, p: &IntVect, v: bool) {
+        let i = self.domain.linear_index(p);
+        self.tags[i] = v;
+    }
+
+    /// Number of tagged cells.
+    pub fn count(&self) -> usize {
+        self.tags.iter().filter(|&&t| t).count()
+    }
+
+    /// Count of tagged cells within `region`.
+    pub fn count_in(&self, region: &IntBox) -> usize {
+        region
+            .intersection(&self.domain)
+            .map(|r| r.iter_points().filter(|p| self.get(p)).count())
+            .unwrap_or(0)
+    }
+
+    /// Any tagged cell within `region`?
+    pub fn any_in(&self, region: &IntBox) -> bool {
+        match region.intersection(&self.domain) {
+            Some(r) => r.iter_points().any(|p| self.get(&p)),
+            None => false,
+        }
+    }
+
+    /// Minimal box containing every tagged cell in `region` (None if no
+    /// tags).
+    pub fn bounding_box_in(&self, region: &IntBox) -> Option<IntBox> {
+        let r = region.intersection(&self.domain)?;
+        let mut lo = IntVect::splat(i64::MAX);
+        let mut hi = IntVect::splat(i64::MIN);
+        let mut any = false;
+        for p in r.iter_points() {
+            if self.get(&p) {
+                lo = lo.min(&p);
+                hi = hi.max(&p);
+                any = true;
+            }
+        }
+        any.then(|| IntBox::new(lo, hi))
+    }
+
+    /// Grow every tag by `n` cells in each direction (AMReX
+    /// `TagBox::buffer`, ensures refined regions have a safety margin),
+    /// clipped to the domain.
+    pub fn buffer(&self, n: i64) -> TagField {
+        let mut out = TagField::new(self.domain);
+        for p in self.domain.iter_points() {
+            if self.get(&p) {
+                let grown = IntBox::new(p, p).grown(n);
+                if let Some(clip) = grown.intersection(&self.domain) {
+                    for q in clip.iter_points() {
+                        out.set(&q, true);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Tag every cell whose field value exceeds `threshold` (the paper's
+/// "refine a block when its maximum value surpasses a threshold" criterion,
+/// applied cell-wise before clustering).
+pub fn tag_above(mf: &MultiFab, comp: usize, threshold: f64, domain: IntBox) -> TagField {
+    let mut tags = TagField::new(domain);
+    for (_, fab) in mf.iter() {
+        for p in fab.domain().iter_points() {
+            if fab.get(&p, comp) > threshold {
+                tags.set(&p, true);
+            }
+        }
+    }
+    tags
+}
+
+/// Tag cells whose centered-difference gradient norm exceeds `threshold`.
+/// One-sided differences at level edges; differences never cross box
+/// boundaries (cheap and local, adequate for synthetic workloads).
+pub fn tag_gradient(mf: &MultiFab, comp: usize, threshold: f64, domain: IntBox) -> TagField {
+    let mut tags = TagField::new(domain);
+    for (_, fab) in mf.iter() {
+        let b = *fab.domain();
+        for p in b.iter_points() {
+            let mut g2 = 0.0;
+            for d in 0..3 {
+                let mut hi = p;
+                hi.0[d] = (p.get(d) + 1).min(b.hi.get(d));
+                let mut lo = p;
+                lo.0[d] = (p.get(d) - 1).max(b.lo.get(d));
+                let span = (hi.get(d) - lo.get(d)).max(1) as f64;
+                let diff = (fab.get(&hi, comp) - fab.get(&lo, comp)) / span;
+                g2 += diff * diff;
+            }
+            if g2.sqrt() > threshold {
+                tags.set(&p, true);
+            }
+        }
+    }
+    tags
+}
+
+/// Mean of a field over all boxes (a common refinement threshold in the
+/// paper: "e.g., the average value of the entire field").
+pub fn field_mean(mf: &MultiFab, comp: usize) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (_, fab) in mf.iter() {
+        sum += fab.comp(comp).iter().sum::<f64>();
+        n += fab.cells();
+    }
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxarray::{BoxArray, DistributionMapping};
+
+    fn mf_with(f: impl Fn(&IntVect) -> f64 + Sync) -> (MultiFab, IntBox) {
+        let domain = IntBox::from_extents(16, 16, 16);
+        let ba = BoxArray::decompose(domain, 8);
+        let dm = DistributionMapping::round_robin(ba.len(), 1);
+        let mut mf = MultiFab::new(ba, dm, vec!["f".into()]);
+        mf.fill_field(0, f);
+        (mf, domain)
+    }
+
+    #[test]
+    fn tag_above_threshold() {
+        let (mf, domain) = mf_with(|p| p.get(0) as f64);
+        let tags = tag_above(&mf, 0, 12.0, domain);
+        // Cells with x in 13..=15 are tagged: 3 * 16 * 16.
+        assert_eq!(tags.count(), 3 * 16 * 16);
+        assert!(tags.get(&IntVect::new(13, 0, 0)));
+        assert!(!tags.get(&IntVect::new(12, 0, 0)));
+    }
+
+    #[test]
+    fn tag_gradient_flags_jump() {
+        // Jump interior to a box (boxes span y 8..=15, jump at y=12) because
+        // tag_gradient differences do not cross box boundaries.
+        let (mf, domain) = mf_with(|p| if p.get(1) >= 12 { 10.0 } else { 0.0 });
+        let tags = tag_gradient(&mf, 0, 1.0, domain);
+        assert!(tags.count() > 0);
+        // Gradient is confined near the jump plane y≈12.
+        assert!(tags.get(&IntVect::new(4, 12, 4)) || tags.get(&IntVect::new(4, 11, 4)));
+        assert!(!tags.get(&IntVect::new(4, 0, 4)));
+        assert!(!tags.get(&IntVect::new(4, 15, 4)));
+    }
+
+    #[test]
+    fn mean_matches() {
+        let (mf, _) = mf_with(|_| 3.5);
+        assert!((field_mean(&mf, 0) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_grows_tags() {
+        let domain = IntBox::from_extents(8, 8, 8);
+        let mut tags = TagField::new(domain);
+        tags.set(&IntVect::new(4, 4, 4), true);
+        let grown = tags.buffer(1);
+        assert_eq!(grown.count(), 27);
+        let edge = {
+            let mut t = TagField::new(domain);
+            t.set(&IntVect::new(0, 0, 0), true);
+            t.buffer(1)
+        };
+        assert_eq!(edge.count(), 8); // clipped at the domain corner
+    }
+
+    #[test]
+    fn bounding_box_of_tags() {
+        let domain = IntBox::from_extents(8, 8, 8);
+        let mut tags = TagField::new(domain);
+        tags.set(&IntVect::new(1, 2, 3), true);
+        tags.set(&IntVect::new(5, 2, 6), true);
+        let bb = tags.bounding_box_in(&domain).unwrap();
+        assert_eq!(bb.lo, IntVect::new(1, 2, 3));
+        assert_eq!(bb.hi, IntVect::new(5, 2, 6));
+        assert_eq!(tags.count_in(&bb), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! AMR workflow integration tests: the tag → cluster → refine → overlap
+//! cycle AMReX applications run every regrid, exercised end to end.
+
+use amr_mesh::prelude::*;
+
+/// Build a level-0 field with two separated hot blobs and run the full
+/// regrid cycle.
+fn blob_field() -> (AmrHierarchy, IntBox) {
+    let domain = IntBox::from_extents(32, 32, 32);
+    let mut h = AmrHierarchy::new(domain, 16, 2, vec!["phi".into()]);
+    h.fill_field_physical(0, |x, y, z| {
+        let blob = |cx: f64, cy: f64, cz: f64| {
+            let d2 = (x - cx).powi(2) + (y - cy).powi(2) + (z - cz).powi(2);
+            (-d2 / 0.01).exp()
+        };
+        blob(0.25, 0.25, 0.25) + blob(0.75, 0.75, 0.75)
+    });
+    (h, domain)
+}
+
+#[test]
+fn regrid_cycle_produces_nested_aligned_grids() {
+    let (mut h, domain) = blob_field();
+    let tags = tag_above(&h.level(0).data, 0, 0.5, domain);
+    assert!(tags.count() > 0);
+    let params = ClusterParams {
+        grid_eff: 0.7,
+        blocking_factor: 4,
+        max_grid_size: 16,
+    };
+    let boxes = berger_rigoutsos(&tags, &params);
+    assert!(boxes.len() >= 2, "two blobs → at least two clusters");
+    let fine = BoxArray::new(boxes).refined(2);
+    assert!(fine.check_blocking_factor(8));
+    h.push_level(fine, 2, 2);
+    // Fine grids must nest inside the refined coarse domain.
+    let fine_domain = h.level(1).domain;
+    for b in h.level(1).data.box_array().iter() {
+        assert!(fine_domain.contains_box(b));
+    }
+}
+
+#[test]
+fn overlap_accounting_closes() {
+    let (mut h, domain) = blob_field();
+    let tags = tag_above(&h.level(0).data, 0, 0.5, domain);
+    let params = ClusterParams {
+        grid_eff: 0.7,
+        blocking_factor: 4,
+        max_grid_size: 16,
+    };
+    let boxes = berger_rigoutsos(&tags, &params);
+    let fine = BoxArray::new(boxes).refined(2);
+    h.push_level(fine, 2, 2);
+    let cov = coverage(
+        h.level(0).data.box_array(),
+        h.level(1).data.box_array(),
+        2,
+    );
+    // covered + valid == every coarse box, cell-exactly.
+    for c in &cov {
+        let total = h.level(0).data.box_array().get(c.box_index).num_cells();
+        assert_eq!(c.covered_cells() + c.valid_cells(), total);
+    }
+    let s = summarize(&cov, h.level(0).data.box_array());
+    let fine_in_coarse = h.level(1).data.num_cells() / 8;
+    assert_eq!(s.covered_cells, fine_in_coarse);
+}
+
+#[test]
+fn flatten_respects_finest_data() {
+    let (mut h, domain) = blob_field();
+    let tags = tag_above(&h.level(0).data, 0, 0.5, domain);
+    let params = ClusterParams {
+        grid_eff: 0.7,
+        blocking_factor: 4,
+        max_grid_size: 16,
+    };
+    let fine = BoxArray::new(berger_rigoutsos(&tags, &params)).refined(2);
+    h.push_level(fine, 2, 2);
+    h.fill_field_physical(0, |x, y, z| x + 10.0 * y + 100.0 * z);
+    let (fdomain, flat) = h.flatten_to_uniform(0);
+    assert_eq!(fdomain, IntBox::from_extents(64, 64, 64));
+    assert_eq!(flat.len(), 64 * 64 * 64);
+    assert!(flat.iter().all(|v| v.is_finite()));
+    // Inside a refined region the flattened value equals the fine sample.
+    let fb = *h.level(1).data.box_array().get(0);
+    let p = fb.lo;
+    let idx = (p.get(0) + 64 * (p.get(1) + 64 * p.get(2))) as usize;
+    let fine_v = h.level(1).data.value_at(&p, 0).unwrap();
+    assert_eq!(flat[idx], fine_v);
+}
+
+#[test]
+fn knapsack_beats_round_robin_on_skewed_boxes() {
+    // Boxes of very different sizes: knapsack balances cells, round-robin
+    // balances counts.
+    let boxes = vec![
+        IntBox::from_extents(32, 32, 32),
+        IntBox::from_extents(8, 8, 8).shifted(IntVect::new(40, 0, 0)),
+        IntBox::from_extents(8, 8, 8).shifted(IntVect::new(40, 16, 0)),
+        IntBox::from_extents(8, 8, 8).shifted(IntVect::new(40, 32, 0)),
+        IntBox::from_extents(8, 8, 8).shifted(IntVect::new(40, 48, 0)),
+    ];
+    let ba = BoxArray::new(boxes);
+    let imbalance = |dm: &DistributionMapping| {
+        let load = dm.load_per_rank(&ba);
+        *load.iter().max().unwrap() as f64 / *load.iter().min().unwrap().max(&1) as f64
+    };
+    let ks = DistributionMapping::knapsack(&ba, 2);
+    let rr = DistributionMapping::round_robin(ba.len(), 2);
+    assert!(imbalance(&ks) <= imbalance(&rr));
+}
+
+#[test]
+fn gradient_tagging_on_hierarchy() {
+    let (h, domain) = blob_field();
+    let tags = tag_gradient(&h.level(0).data, 0, 0.05, domain);
+    // Gradients are largest on the blob flanks, not at the flat corners.
+    assert!(tags.count() > 0);
+    assert!(!tags.get(&IntVect::new(0, 0, 31)));
+}
+
+#[test]
+fn mean_threshold_criterion() {
+    // The paper's "refine where value exceeds the field mean" rule.
+    let (h, domain) = blob_field();
+    let mean = field_mean(&h.level(0).data, 0);
+    let tags = tag_above(&h.level(0).data, 0, mean, domain);
+    let frac = tags.count() as f64 / domain.num_cells() as f64;
+    assert!(frac > 0.0 && frac < 0.5, "tagged fraction {frac}");
+}
+
+#[test]
+fn three_level_hierarchy() {
+    let (mut h, domain) = blob_field();
+    let params = ClusterParams {
+        grid_eff: 0.7,
+        blocking_factor: 4,
+        max_grid_size: 16,
+    };
+    let tags = tag_above(&h.level(0).data, 0, 0.5, domain);
+    let l1 = BoxArray::new(berger_rigoutsos(&tags, &params)).refined(2);
+    h.push_level(l1, 2, 2);
+    h.fill_field_physical(0, |x, y, z| {
+        (-((x - 0.25).powi(2) + (y - 0.25).powi(2) + (z - 0.25).powi(2)) / 0.01).exp()
+    });
+    // Tag on the level-1 data for a third level.
+    let t1 = tag_above(&h.level(1).data, 0, 0.8, h.level(1).domain);
+    if t1.count() > 0 {
+        let l2 = BoxArray::new(berger_rigoutsos(&t1, &params)).refined(2);
+        if !l2.is_empty() {
+            h.push_level(l2, 2, 2);
+            assert_eq!(h.num_levels(), 3);
+            assert_eq!(h.level(2).domain, IntBox::from_extents(128, 128, 128));
+        }
+    }
+}

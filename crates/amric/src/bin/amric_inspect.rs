@@ -1,0 +1,121 @@
+//! `amric-inspect` — h5ls-style inspection of h5lite plotfiles.
+//!
+//! ```text
+//! amric_inspect <file.h5l>              # dataset table + totals
+//! amric_inspect <file.h5l> --chunks     # per-chunk detail
+//! amric_inspect <file.h5l> --header     # decoded AMR header/box metadata
+//! ```
+
+use h5lite::prelude::*;
+use std::process::ExitCode;
+
+fn human(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+fn filter_name(id: u32) -> &'static str {
+    match id {
+        0 => "none",
+        1 => "sz",
+        100 => "amric",
+        _ => "custom",
+    }
+}
+
+fn print_datasets(r: &H5Reader, chunks: bool) {
+    let mut total_logical = 0u64;
+    let mut total_stored = 0u64;
+    println!(
+        "{:<28} {:>12} {:>12} {:>10} {:>8} {:>7} {:>6}",
+        "dataset", "elems", "stored", "chunk", "filter", "mode", "CR"
+    );
+    for name in r.dataset_names() {
+        let m = r.meta(name).expect("listed dataset");
+        let stored = m.stored_bytes();
+        total_logical += m.total_elems * 8;
+        total_stored += stored;
+        println!(
+            "{:<28} {:>12} {:>12} {:>10} {:>8} {:>7} {:>6.1}",
+            name,
+            m.total_elems,
+            human(stored),
+            m.chunk_elems,
+            filter_name(m.filter_id),
+            match m.filter_mode {
+                FilterMode::Standard => "std",
+                FilterMode::SizeAware => "aware",
+            },
+            m.compression_ratio(),
+        );
+        if chunks {
+            for (i, c) in m.chunks.iter().enumerate() {
+                println!(
+                    "    chunk {:<4} offset {:>10}  stored {:>10}  logical {:>10}",
+                    i,
+                    c.offset,
+                    human(c.stored_bytes),
+                    c.logical_elems
+                );
+            }
+        }
+    }
+    println!(
+        "\ntotals: logical {} stored {} overall CR {:.1}",
+        human(total_logical),
+        human(total_stored),
+        total_logical as f64 / total_stored.max(1) as f64
+    );
+}
+
+fn print_header(path: &str) {
+    match amric::reader::read_amric_hierarchy(path) {
+        Ok(pf) => {
+            println!("AMRIC plotfile: {} levels, fields {:?}", pf.levels.len(), pf.field_names);
+            println!("blocking factor {}, redundancy removed: {}", pf.bf, pf.remove_redundancy);
+            for (l, (mf, domain)) in pf.levels.iter().zip(&pf.domains).enumerate() {
+                let n = domain.size();
+                println!(
+                    "  level {l}: domain {}x{}x{}, {} boxes, density {:.2}%",
+                    n.get(0),
+                    n.get(1),
+                    n.get(2),
+                    mf.box_array().len(),
+                    mf.box_array().density_in(domain) * 100.0
+                );
+            }
+        }
+        Err(e) => println!("not an AMRIC plotfile ({e}); raw dataset listing only"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: amric_inspect <file.h5l> [--chunks] [--header]");
+        return ExitCode::FAILURE;
+    };
+    let r = match H5Reader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_datasets(&r, args.iter().any(|a| a == "--chunks"));
+    if args.iter().any(|a| a == "--header") {
+        println!();
+        print_header(path);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,125 @@
+//! AMRIC configuration: compressor choice, error bounds, and the ablation
+//! switches for every design decision §3 of the paper introduces.
+
+use sz_codec::SzAlgorithm;
+
+/// How unit blocks are merged before SZ sees them (paper §3.1–3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Linear merging (LM): stack unit blocks along z and compress as one
+    /// domain — predictions cross unit boundaries (the baseline AMRIC
+    /// improves on, Fig. 6 right).
+    LinearMerge,
+    /// Shared Lossless Encoding (SLE): predict each unit independently,
+    /// encode together under one Huffman tree (§3.2 Solution 1).
+    SharedEncoding,
+}
+
+/// Full AMRIC pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AmricConfig {
+    /// Which SZ algorithm compresses the arranged data.
+    pub algorithm: SzAlgorithm,
+    /// Value-range-relative error bound, resolved per field per rank
+    /// (the paper's Table 1 bounds).
+    pub rel_eb: f64,
+    /// Merge policy for SZ_L/R (ignored by SZ_Interp).
+    pub merge: MergePolicy,
+    /// Adaptive SZ block size per Equation 1 (§3.2 Solution 2). When
+    /// false, stock 6³ blocks are used regardless of unit size.
+    pub adaptive_block_size: bool,
+    /// Cluster (cube-like) arrangement for SZ_Interp (§3.1, Fig. 5).
+    /// When false, unit blocks are arranged linearly.
+    pub cluster_arrangement: bool,
+    /// Remove coarse data covered by finer levels (§3.1). Disabling keeps
+    /// the redundant cells (ablation).
+    pub remove_redundancy: bool,
+    /// Pass actual per-rank data sizes to the HDF5 filter (§3.3
+    /// Solution 2). When false, ranks pad to the global chunk size.
+    pub size_aware_filter: bool,
+}
+
+impl AmricConfig {
+    /// The paper's AMRIC(SZ_L/R) configuration.
+    pub fn lr(rel_eb: f64) -> Self {
+        AmricConfig {
+            algorithm: SzAlgorithm::LorenzoRegression,
+            rel_eb,
+            merge: MergePolicy::SharedEncoding,
+            adaptive_block_size: true,
+            cluster_arrangement: false,
+            remove_redundancy: true,
+            size_aware_filter: true,
+        }
+    }
+
+    /// The paper's AMRIC(SZ_Interp) configuration.
+    pub fn interp(rel_eb: f64) -> Self {
+        AmricConfig {
+            algorithm: SzAlgorithm::Interpolation,
+            rel_eb,
+            merge: MergePolicy::SharedEncoding,
+            adaptive_block_size: false,
+            cluster_arrangement: true,
+            remove_redundancy: true,
+            size_aware_filter: true,
+        }
+    }
+
+    /// SZ block size for a given unit edge under this config.
+    pub fn sz_block_size(&self, unit_edge: usize) -> usize {
+        if self.adaptive_block_size {
+            sz_codec::adaptive::adaptive_block_size(unit_edge)
+        } else {
+            6
+        }
+    }
+}
+
+/// AMReX-baseline configuration (the paper's comparison target): 1-D SZ
+/// through small standard-mode chunks on the interleaved layout.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineConfig {
+    /// Value-range-relative error bound.
+    pub rel_eb: f64,
+    /// HDF5 chunk size in elements (1024 in stock AMReX; the paper bumps
+    /// WarpX_3 to 4096).
+    pub chunk_elems: usize,
+}
+
+impl BaselineConfig {
+    /// Stock AMReX compression settings.
+    pub fn new(rel_eb: f64) -> Self {
+        BaselineConfig {
+            rel_eb,
+            chunk_elems: 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let lr = AmricConfig::lr(1e-3);
+        assert_eq!(lr.algorithm, SzAlgorithm::LorenzoRegression);
+        assert!(lr.adaptive_block_size);
+        assert_eq!(lr.merge, MergePolicy::SharedEncoding);
+        assert!(lr.remove_redundancy && lr.size_aware_filter);
+        let it = AmricConfig::interp(1e-3);
+        assert_eq!(it.algorithm, SzAlgorithm::Interpolation);
+        assert!(it.cluster_arrangement);
+    }
+
+    #[test]
+    fn sz_block_size_follows_eq1_when_adaptive() {
+        let cfg = AmricConfig::lr(1e-3);
+        assert_eq!(cfg.sz_block_size(8), 4);
+        assert_eq!(cfg.sz_block_size(16), 6);
+        let mut fixed = cfg;
+        fixed.adaptive_block_size = false;
+        assert_eq!(fixed.sz_block_size(8), 6);
+    }
+}

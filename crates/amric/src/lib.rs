@@ -1,0 +1,42 @@
+//! # amric — in-situ lossy compression for AMR applications
+//!
+//! Rust reproduction of **AMRIC** (Wang et al., SC '23): an in-situ
+//! error-bounded lossy compression framework for patch-based AMR codes.
+//! See DESIGN.md at the repository root for the full system inventory and
+//! the experiment index.
+//!
+//! The pipeline (paper §3):
+//! 1. [`preprocess`] — remove redundant coarse data via box intersections,
+//!    truncate the remainder into unit blocks;
+//! 2. [`reorganize`] — arrange unit blocks linearly (SZ_L/R) or as a
+//!    near-cube cluster (SZ_Interp);
+//! 3. [`pipeline`] — the optimized SZ compression (Shared Lossless
+//!    Encoding + adaptive block size) producing self-describing streams;
+//! 4. [`writer`]/[`reader`] — the in-situ HDF5-filter path with AMRIC's
+//!    field-major layout and size-aware global chunking;
+//! 5. [`baseline`] — AMReX's stock 1-D small-chunk compression for
+//!    comparison, plus [`tac`] and [`zmesh`] offline comparators.
+
+pub mod baseline;
+pub mod config;
+pub mod pipeline;
+pub mod preprocess;
+pub mod reader;
+pub mod reorganize;
+pub mod tac;
+pub mod writer;
+pub mod zmesh;
+
+pub use config::{AmricConfig, BaselineConfig, MergePolicy};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::baseline::{write_amrex_baseline, write_nocomp};
+    pub use crate::config::{AmricConfig, BaselineConfig, MergePolicy};
+    pub use crate::pipeline::{compress_field_units, decompress_field_units, resolve_abs_eb};
+    pub use crate::preprocess::{
+        extract_units, plan_units, scatter_units, unit_edge_for_level, UnitRef,
+    };
+    pub use crate::reader::{read_amric_hierarchy, verify_against};
+    pub use crate::writer::{write_amric, WriteReport};
+}

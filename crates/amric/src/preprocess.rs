@@ -1,0 +1,258 @@
+//! AMRIC pre-processing (paper §3.1): redundancy removal and uniform
+//! truncation of a rank's AMR data into unit blocks.
+//!
+//! For every level below the finest, coarse regions covered by the next
+//! finer level are discarded (patch-based AMR keeps them but post-analysis
+//! never reads them). The surviving rectangles — which AMReX's blocking
+//! factor guarantees are unit-aligned — are cut into unit blocks that the
+//! reorganization stage hands to the compressor. No positions need to ride
+//! in the compressed stream: unit origins are reproducible from the level's
+//! box metadata plus the finer level's boxes, exactly the paper's
+//! "positions inferred from the box position of level ℓ+1".
+
+use amr_mesh::overlap::coverage;
+use amr_mesh::prelude::*;
+use sz_codec::{Buffer3, Dims3};
+
+/// One unit block extracted from a level: its global index-space origin
+/// and per-field decision to come. Data is extracted per field on demand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitRef {
+    /// Which box of the level the unit came from.
+    pub box_index: usize,
+    /// Index-space region of the unit (usually `unit³`, clipped at domain
+    /// edges).
+    pub region: IntBox,
+}
+
+/// The unit edge used for a given level: the finest level uses the
+/// run's blocking factor `bf`; each coarser level halves it (refinement
+/// ratio 2), floored at 2 — matching the paper's Nyx test (fine 16,
+/// coarse 8).
+pub fn unit_edge_for_level(bf: i64, level: usize, num_levels: usize) -> i64 {
+    let shift = (num_levels - 1 - level) as u32;
+    (bf >> shift).max(2)
+}
+
+/// Plan the unit decomposition of one level for one rank.
+///
+/// * `level` / `finer`: the level's data and (for non-finest levels) the
+///   next finer level's grids, used for redundancy removal.
+/// * `ratio`: refinement ratio to the finer level.
+/// * `unit`: unit-block edge for this level.
+/// * `rank`: only boxes owned by this rank are planned.
+/// * `remove_redundancy`: when false, covered regions are kept (ablation).
+pub fn plan_units(
+    level: &MultiFab,
+    finer: Option<(&BoxArray, i64)>,
+    unit: i64,
+    rank: usize,
+    remove_redundancy: bool,
+) -> Vec<UnitRef> {
+    let ba = level.box_array();
+    let valid_per_box: Vec<Vec<IntBox>> = match finer {
+        Some((fine_ba, ratio)) if remove_redundancy => coverage(ba, fine_ba, ratio)
+            .into_iter()
+            .map(|c| c.valid)
+            .collect(),
+        _ => ba.iter().map(|b| vec![*b]).collect(),
+    };
+    let mut units = Vec::new();
+    for bi in level.distribution().local_boxes(rank) {
+        for rect in &valid_per_box[bi] {
+            for tile in rect.tiles(unit) {
+                units.push(UnitRef {
+                    box_index: bi,
+                    region: tile,
+                });
+            }
+        }
+    }
+    units
+}
+
+/// Extract the field data of the planned units into compressor buffers
+/// (Fortran order per unit).
+pub fn extract_units(level: &MultiFab, units: &[UnitRef], field: usize) -> Vec<Buffer3> {
+    units
+        .iter()
+        .map(|u| {
+            let fab = level.fab(u.box_index);
+            let data = fab.extract_region(&u.region, field);
+            let sz = u.region.size();
+            Buffer3::from_vec(
+                Dims3::new(sz.get(0) as usize, sz.get(1) as usize, sz.get(2) as usize),
+                data,
+            )
+        })
+        .collect()
+}
+
+/// Scatter decompressed units back into a level's fabs (inverse of
+/// [`extract_units`]); used by the read path.
+pub fn scatter_units(level: &mut MultiFab, units: &[UnitRef], field: usize, data: &[Buffer3]) {
+    assert_eq!(units.len(), data.len(), "unit/data count mismatch");
+    for (u, buf) in units.iter().zip(data) {
+        let sz = u.region.size();
+        assert_eq!(
+            buf.dims(),
+            Dims3::new(sz.get(0) as usize, sz.get(1) as usize, sz.get(2) as usize),
+            "unit shape mismatch at {:?}",
+            u.region
+        );
+        let fab = level.fab_mut(u.box_index);
+        // Write x-runs.
+        let run = sz.get(0) as usize;
+        let comp = *fab.domain();
+        for (zi, z) in (u.region.lo.get(2)..=u.region.hi.get(2)).enumerate() {
+            for (yi, y) in (u.region.lo.get(1)..=u.region.hi.get(1)).enumerate() {
+                let start = IntVect::new(u.region.lo.get(0), y, z);
+                let di = comp.linear_index(&start);
+                let src_off = buf.dims().idx(0, yi, zi);
+                let cells = fab.cells();
+                fab.data_mut()[field * cells + di..field * cells + di + run]
+                    .copy_from_slice(&buf.data()[src_off..src_off + run]);
+            }
+        }
+    }
+}
+
+/// Summary of a level's pre-processing for reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreprocessSummary {
+    /// Cells owned by the rank before redundancy removal.
+    pub owned_cells: u64,
+    /// Cells surviving redundancy removal (== sum of unit volumes).
+    pub kept_cells: u64,
+    /// Number of unit blocks.
+    pub num_units: usize,
+}
+
+/// Compute the summary for a planned decomposition.
+pub fn summarize_units(level: &MultiFab, units: &[UnitRef], rank: usize) -> PreprocessSummary {
+    let owned: u64 = level
+        .distribution()
+        .local_boxes(rank)
+        .iter()
+        .map(|&bi| level.box_array().get(bi).num_cells())
+        .sum();
+    PreprocessSummary {
+        owned_cells: owned,
+        kept_cells: units.iter().map(|u| u.region.num_cells()).sum(),
+        num_units: units.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-level fixture: 16³ coarse in 8³ boxes on 2 ranks; fine level
+    /// refines coarse cells [4..12)³ (one 8³ coarse region → 16³ fine).
+    fn fixture() -> (MultiFab, BoxArray) {
+        let ba = BoxArray::decompose(IntBox::from_extents(16, 16, 16), 8);
+        let dm = DistributionMapping::round_robin(ba.len(), 2);
+        let mut mf = MultiFab::new(ba, dm, vec!["rho".into(), "T".into()]);
+        mf.fill_field(0, |p| (p.get(0) + 100 * p.get(1) + 10000 * p.get(2)) as f64);
+        mf.fill_field(1, |p| -(p.get(0) as f64));
+        let fine = BoxArray::new(vec![IntBox::new(
+            IntVect::new(8, 8, 8),
+            IntVect::new(23, 23, 23),
+        )]);
+        (mf, fine)
+    }
+
+    #[test]
+    fn unit_edges_follow_level() {
+        assert_eq!(unit_edge_for_level(16, 1, 2), 16);
+        assert_eq!(unit_edge_for_level(16, 0, 2), 8);
+        assert_eq!(unit_edge_for_level(8, 0, 3), 2);
+        assert_eq!(unit_edge_for_level(4, 0, 4), 2); // floored
+    }
+
+    #[test]
+    fn plans_cover_owned_non_redundant_cells() {
+        let (mf, fine) = fixture();
+        for rank in 0..2 {
+            let units = plan_units(&mf, Some((&fine, 2)), 4, rank, true);
+            let s = summarize_units(&mf, &units, rank);
+            // Units tile exactly the valid region.
+            assert_eq!(
+                s.kept_cells,
+                units.iter().map(|u| u.region.num_cells()).sum::<u64>()
+            );
+            // Unit regions are disjoint and miss the covered cube [4..12)³.
+            let covered = IntBox::new(IntVect::new(4, 4, 4), IntVect::new(11, 11, 11));
+            for (i, u) in units.iter().enumerate() {
+                assert!(!u.region.intersects(&covered), "{:?}", u.region);
+                for v in &units[i + 1..] {
+                    assert!(!u.region.intersects(&v.region));
+                }
+            }
+        }
+        // Both ranks together keep exactly total − covered cells.
+        let total_kept: u64 = (0..2)
+            .map(|r| {
+                let units = plan_units(&mf, Some((&fine, 2)), 4, r, true);
+                summarize_units(&mf, &units, r).kept_cells
+            })
+            .sum();
+        assert_eq!(total_kept, 16 * 16 * 16 - 8 * 8 * 8);
+    }
+
+    #[test]
+    fn no_removal_keeps_everything() {
+        let (mf, fine) = fixture();
+        let kept: u64 = (0..2)
+            .map(|r| {
+                let units = plan_units(&mf, Some((&fine, 2)), 4, r, false);
+                summarize_units(&mf, &units, r).kept_cells
+            })
+            .sum();
+        assert_eq!(kept, 16 * 16 * 16);
+    }
+
+    #[test]
+    fn finest_level_keeps_everything() {
+        let (mf, _) = fixture();
+        let kept: u64 = (0..2)
+            .map(|r| {
+                let units = plan_units(&mf, None, 8, r, true);
+                summarize_units(&mf, &units, r).kept_cells
+            })
+            .sum();
+        assert_eq!(kept, 16 * 16 * 16);
+    }
+
+    #[test]
+    fn extract_scatter_roundtrip() {
+        let (mf, fine) = fixture();
+        let units = plan_units(&mf, Some((&fine, 2)), 4, 0, true);
+        let bufs = extract_units(&mf, &units, 0);
+        // Scatter into a fresh MultiFab and compare on unit regions.
+        let mut out = MultiFab::new(
+            mf.box_array().clone(),
+            mf.distribution().clone(),
+            vec!["rho".into(), "T".into()],
+        );
+        scatter_units(&mut out, &units, 0, &bufs);
+        for u in &units {
+            for p in u.region.iter_points() {
+                assert_eq!(
+                    out.fab(u.box_index).get(&p, 0),
+                    mf.fab(u.box_index).get(&p, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn units_are_aligned_cubes_for_aligned_grids() {
+        let (mf, fine) = fixture();
+        let units = plan_units(&mf, Some((&fine, 2)), 4, 0, true);
+        for u in &units {
+            assert!(u.region.is_aligned(4), "{:?}", u.region);
+            assert_eq!(u.region.num_cells(), 64);
+        }
+    }
+}

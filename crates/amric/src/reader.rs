@@ -1,0 +1,441 @@
+//! Read/decompress/reassemble path: load an AMRIC (or baseline/no-comp)
+//! plotfile back into a hierarchy of [`MultiFab`]s and verify error
+//! bounds against the original data.
+
+use crate::pipeline::{decompress_field_units, resolve_abs_eb};
+use crate::preprocess::{extract_units, plan_units, scatter_units, unit_edge_for_level, UnitRef};
+use crate::writer::field_dataset;
+use amr_mesh::prelude::*;
+use h5lite::prelude::*;
+use sz_codec::prelude::*;
+
+/// Decode-only filter for AMRIC datasets (the reader-side plugin).
+struct AmricDecoder;
+
+impl ChunkFilter for AmricDecoder {
+    fn id(&self) -> u32 {
+        crate::writer::FILTER_AMRIC
+    }
+    fn encode(&self, _chunk: &[f64]) -> Vec<u8> {
+        unreachable!("AmricDecoder is read-only")
+    }
+    fn decode(&self, bytes: &[u8], n_elems: usize) -> H5Result<Vec<f64>> {
+        let units = decompress_field_units(bytes)?;
+        let mut out = Vec::with_capacity(n_elems);
+        for u in units {
+            out.extend_from_slice(u.data());
+        }
+        if out.len() < n_elems {
+            return Err(H5Error::Format(format!(
+                "decoded {} elems, need {n_elems}",
+                out.len()
+            )));
+        }
+        out.truncate(n_elems);
+        Ok(out)
+    }
+}
+
+/// A plotfile loaded back into memory.
+pub struct Plotfile {
+    /// Field names in component order.
+    pub field_names: Vec<String>,
+    /// Reconstructed per-level data (cells under finer levels stay zero
+    /// when the file was written with redundancy removal).
+    pub levels: Vec<MultiFab>,
+    /// Level domains.
+    pub domains: Vec<IntBox>,
+    /// Blocking factor recorded at write time (0 for baseline files).
+    pub bf: i64,
+    /// Whether redundant coarse data was removed at write time.
+    pub remove_redundancy: bool,
+    /// Unit plans per `[level][rank]`, as reconstructed from metadata.
+    pub unit_plans: Vec<Vec<Vec<UnitRef>>>,
+}
+
+struct Header {
+    nlevels: usize,
+    nfields: usize,
+    nranks: usize,
+    extra: [u64; 2],
+    levels: Vec<(i64, i64, i64, usize, i64)>, // nx, ny, nz, nboxes, ratio
+}
+
+fn read_header(r: &H5Reader) -> H5Result<(Header, Vec<String>)> {
+    let raw = r.read_dataset("meta/header")?;
+    let mut it = raw.iter().map(|&v| v as u64);
+    let mut next = || {
+        it.next()
+            .ok_or_else(|| H5Error::Format("short header".into()))
+    };
+    let nlevels = next()? as usize;
+    let nfields = next()? as usize;
+    let nranks = next()? as usize;
+    let extra = [next()?, next()?];
+    let mut levels = Vec::with_capacity(nlevels);
+    for _ in 0..nlevels {
+        levels.push((
+            next()? as i64,
+            next()? as i64,
+            next()? as i64,
+            next()? as usize,
+            next()? as i64,
+        ));
+    }
+    // Field names.
+    let raw_names = r.read_dataset("meta/field_names")?;
+    let mut names = Vec::with_capacity(nfields);
+    let mut pos = 0usize;
+    for _ in 0..nfields {
+        let len = *raw_names
+            .get(pos)
+            .ok_or_else(|| H5Error::Format("short field names".into()))? as usize;
+        pos += 1;
+        let bytes: Vec<u8> = raw_names
+            .get(pos..pos + len)
+            .ok_or_else(|| H5Error::Format("short field names".into()))?
+            .iter()
+            .map(|&v| v as u8)
+            .collect();
+        pos += len;
+        names.push(
+            String::from_utf8(bytes)
+                .map_err(|_| H5Error::Format("field name not UTF-8".into()))?,
+        );
+    }
+    Ok((
+        Header {
+            nlevels,
+            nfields,
+            nranks,
+            extra,
+            levels,
+        },
+        names,
+    ))
+}
+
+fn read_level_structure(
+    r: &H5Reader,
+    level: usize,
+    nboxes: usize,
+    nranks: usize,
+    field_names: &[String],
+) -> H5Result<MultiFab> {
+    let raw = r.read_dataset(&format!("meta/level_{level}/boxes"))?;
+    if raw.len() != nboxes * 7 {
+        return Err(H5Error::Format(format!(
+            "level {level}: box table holds {} values, expected {}",
+            raw.len(),
+            nboxes * 7
+        )));
+    }
+    let mut boxes = Vec::with_capacity(nboxes);
+    let mut owners = Vec::with_capacity(nboxes);
+    for b in 0..nboxes {
+        let v = &raw[b * 7..(b + 1) * 7];
+        boxes.push(IntBox::new(
+            IntVect::new(v[0] as i64, v[1] as i64, v[2] as i64),
+            IntVect::new(v[3] as i64, v[4] as i64, v[5] as i64),
+        ));
+        owners.push(v[6] as usize);
+    }
+    let ba = BoxArray::new(boxes);
+    let dm = DistributionMapping::from_owners(owners, nranks);
+    Ok(MultiFab::new(ba, dm, field_names.to_vec()))
+}
+
+/// Load an AMRIC plotfile (written by [`crate::writer::write_amric`]).
+pub fn read_amric_hierarchy(path: impl AsRef<std::path::Path>) -> H5Result<Plotfile> {
+    let r = H5Reader::open(path)?;
+    let (header, field_names) = read_header(&r)?;
+    let bf = header.extra[0] as i64;
+    let remove_redundancy = header.extra[1] == 1;
+    let mut levels = Vec::with_capacity(header.nlevels);
+    let mut domains = Vec::with_capacity(header.nlevels);
+    for (l, &(nx, ny, nz, nboxes, _)) in header.levels.iter().enumerate() {
+        domains.push(IntBox::from_extents(nx, ny, nz));
+        levels.push(read_level_structure(
+            &r,
+            l,
+            nboxes,
+            header.nranks,
+            &field_names,
+        )?);
+    }
+    // Reconstruct unit plans exactly as the writer made them.
+    let mut unit_plans = Vec::with_capacity(header.nlevels);
+    for l in 0..header.nlevels {
+        let finer_ba = (l + 1 < header.nlevels).then(|| levels[l + 1].box_array().clone());
+        let unit = unit_edge_for_level(bf, l, header.nlevels);
+        let plans: Vec<Vec<UnitRef>> = (0..header.nranks)
+            .map(|rank| {
+                plan_units(
+                    &levels[l],
+                    finer_ba.as_ref().map(|ba| (ba, header.levels[l].4)),
+                    unit,
+                    rank,
+                    remove_redundancy,
+                )
+            })
+            .collect();
+        unit_plans.push(plans);
+    }
+    // Decode every field of every level and scatter into the fabs.
+    for l in 0..header.nlevels {
+        for f in 0..header.nfields {
+            let data = r.read_dataset_with(&field_dataset(l, f), &AmricDecoder)?;
+            let mut offset = 0usize;
+            for plan in unit_plans[l].iter() {
+                let cells: usize = plan.iter().map(|u| u.region.num_cells() as usize).sum();
+                let seg = data.get(offset..offset + cells).ok_or_else(|| {
+                    H5Error::Format(format!("level {l} field {f}: dataset too short"))
+                })?;
+                // Cut the segment back into unit buffers.
+                let mut bufs = Vec::with_capacity(plan.len());
+                let mut p = 0usize;
+                for u in plan {
+                    let n = u.region.num_cells() as usize;
+                    let sz = u.region.size();
+                    bufs.push(Buffer3::from_vec(
+                        Dims3::new(sz.get(0) as usize, sz.get(1) as usize, sz.get(2) as usize),
+                        seg[p..p + n].to_vec(),
+                    ));
+                    p += n;
+                }
+                scatter_units(&mut levels[l], plan, f, &bufs);
+                offset += cells;
+            }
+        }
+    }
+    Ok(Plotfile {
+        field_names,
+        levels,
+        domains,
+        bf,
+        remove_redundancy,
+        unit_plans,
+    })
+}
+
+/// Load a baseline / no-compression plotfile (written by
+/// [`crate::baseline::write_amrex_baseline`] or
+/// [`crate::baseline::write_nocomp`]).
+pub fn read_baseline_hierarchy(path: impl AsRef<std::path::Path>) -> H5Result<Plotfile> {
+    let r = H5Reader::open(path)?;
+    let (header, field_names) = read_header(&r)?;
+    let mut levels = Vec::with_capacity(header.nlevels);
+    let mut domains = Vec::with_capacity(header.nlevels);
+    for (l, &(nx, ny, nz, nboxes, _)) in header.levels.iter().enumerate() {
+        domains.push(IntBox::from_extents(nx, ny, nz));
+        levels.push(read_level_structure(
+            &r,
+            l,
+            nboxes,
+            header.nranks,
+            &field_names,
+        )?);
+    }
+    for (l, level) in levels.iter_mut().enumerate() {
+        let meta = r.meta(&format!("level_{l}/data"))?.clone();
+        let chunk_elems = meta.chunk_elems as usize;
+        let data = r.read_dataset(&format!("level_{l}/data"))?;
+        let rank_elems: Vec<u64> = r
+            .read_dataset(&format!("meta/level_{l}/rank_elems"))?
+            .iter()
+            .map(|&v| v as u64)
+            .collect();
+        // Standard-mode chunks pad each rank's tail to the chunk boundary.
+        let padded = |n: u64| -> usize {
+            if meta.filter_mode == FilterMode::Standard {
+                (n as usize).div_ceil(chunk_elems) * chunk_elems
+            } else {
+                n as usize
+            }
+        };
+        let mut offset = 0usize;
+        for (rank, &elems) in rank_elems.iter().enumerate() {
+            let seg = data
+                .get(offset..offset + elems as usize)
+                .ok_or_else(|| H5Error::Format(format!("level {l}: short data segment")))?;
+            // Unpack box payloads (fields interleaved per box).
+            let mut p = 0usize;
+            for bi in level.distribution().local_boxes(rank) {
+                let cells = level.box_array().get(bi).num_cells() as usize;
+                let n = cells * header.nfields;
+                let payload = &seg[p..p + n];
+                level.fab_mut(bi).data_mut().copy_from_slice(payload);
+                p += n;
+            }
+            offset += padded(elems);
+        }
+    }
+    Ok(Plotfile {
+        field_names,
+        levels,
+        domains,
+        bf: 0,
+        remove_redundancy: false,
+        unit_plans: Vec::new(),
+    })
+}
+
+/// Verification result for one field.
+#[derive(Clone, Debug)]
+pub struct FieldVerification {
+    /// Field index.
+    pub field: usize,
+    /// Error statistics over all verified (valid) cells.
+    pub stats: ErrorStats,
+    /// True when every verified cell respects the per-rank resolved
+    /// absolute bound for `rel_eb`.
+    pub bound_ok: bool,
+}
+
+/// Compare a loaded plotfile against the original hierarchy on the valid
+/// (non-redundant) cells and check the error-bound contract at `rel_eb`,
+/// resolved per (level, field) against the global (all-rank) value range —
+/// mirroring the writer's REL semantics.
+pub fn verify_against(
+    pf: &Plotfile,
+    original: &AmrHierarchy,
+    rel_eb: f64,
+) -> Vec<FieldVerification> {
+    assert_eq!(pf.levels.len(), original.num_levels());
+    let nfields = pf.field_names.len();
+    let mut out = Vec::with_capacity(nfields);
+    for f in 0..nfields {
+        let mut orig_all = Vec::new();
+        let mut recon_all = Vec::new();
+        let mut bound_ok = true;
+        for (l, level) in pf.levels.iter().enumerate() {
+            let plans: Vec<Vec<UnitRef>> = if pf.unit_plans.is_empty() {
+                // Baseline file: verify every cell, box by box, one "rank".
+                vec![level
+                    .box_array()
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, b)| UnitRef {
+                        box_index: bi,
+                        region: *b,
+                    })
+                    .collect()]
+            } else {
+                pf.unit_plans[l].clone()
+            };
+            // Global per-(level, field) bound, as the writer resolved it.
+            let all_units: Vec<sz_codec::Buffer3> = plans
+                .iter()
+                .flat_map(|plan| extract_units(&original.level(l).data, plan, f))
+                .collect();
+            if all_units.is_empty() {
+                continue;
+            }
+            let abs_eb = resolve_abs_eb(&all_units, rel_eb);
+            for plan in &plans {
+                let orig_units = extract_units(&original.level(l).data, plan, f);
+                for (u, ou) in plan.iter().zip(&orig_units) {
+                    let recon = level.fab(u.box_index).extract_region(&u.region, f);
+                    for (&o, &rv) in ou.data().iter().zip(&recon) {
+                        if (o - rv).abs() > abs_eb * (1.0 + 1e-9) {
+                            bound_ok = false;
+                        }
+                        orig_all.push(o);
+                        recon_all.push(rv);
+                    }
+                }
+            }
+        }
+        out.push(FieldVerification {
+            field: f,
+            stats: ErrorStats::compare(&orig_all, &recon_all),
+            bound_ok,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AmricConfig, BaselineConfig};
+    use crate::writer::write_amric;
+    use amr_apps::prelude::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("amric-reader-{}-{name}.h5l", std::process::id()));
+        p
+    }
+
+    fn small_h(seed: u64) -> AmrHierarchy {
+        let s = NyxScenario::new(seed);
+        let cfg = AmrRunConfig {
+            coarse_dims: (16, 16, 16),
+            max_grid_size: 8,
+            blocking_factor: 8,
+            nranks: 2,
+            num_levels: 2,
+            fine_fraction: 0.05,
+            grid_eff: 0.7,
+        };
+        build_hierarchy(&s, &cfg, 0.0)
+    }
+
+    #[test]
+    fn amric_roundtrip_respects_bounds() {
+        let h = small_h(31);
+        let path = tmp("rt-lr");
+        write_amric(&path, &h, &AmricConfig::lr(1e-3), 8).unwrap();
+        let pf = read_amric_hierarchy(&path).unwrap();
+        assert_eq!(pf.field_names.len(), 6);
+        assert_eq!(pf.levels.len(), 2);
+        let checks = verify_against(&pf, &h, 1e-3);
+        for c in &checks {
+            assert!(c.bound_ok, "field {} violates bound", c.field);
+            assert!(c.stats.psnr() > 40.0, "field {} PSNR {}", c.field, c.stats.psnr());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn amric_interp_roundtrip() {
+        let h = small_h(32);
+        let path = tmp("rt-interp");
+        write_amric(&path, &h, &AmricConfig::interp(1e-3), 8).unwrap();
+        let pf = read_amric_hierarchy(&path).unwrap();
+        let checks = verify_against(&pf, &h, 1e-3);
+        for c in &checks {
+            assert!(c.bound_ok, "field {} violates bound", c.field);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let h = small_h(33);
+        let path = tmp("rt-base");
+        crate::baseline::write_amrex_baseline(&path, &h, &BaselineConfig::new(1e-2)).unwrap();
+        let pf = read_baseline_hierarchy(&path).unwrap();
+        // Baseline mixes fields under one bound; just check reconstruction
+        // is sane (finite, reasonably close).
+        let checks = verify_against(&pf, &h, 1e-2);
+        for c in &checks {
+            assert!(c.stats.mse.is_finite());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nocomp_roundtrip_is_exact() {
+        let h = small_h(34);
+        let path = tmp("rt-raw");
+        crate::baseline::write_nocomp(&path, &h).unwrap();
+        let pf = read_baseline_hierarchy(&path).unwrap();
+        let checks = verify_against(&pf, &h, 1e-12);
+        for c in &checks {
+            assert_eq!(c.stats.max_abs_err, 0.0, "field {}", c.field);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

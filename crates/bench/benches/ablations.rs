@@ -1,0 +1,106 @@
+//! Criterion ablations over AMRIC's design choices (§3): SLE vs LM vs
+//! per-unit calls, adaptive vs fixed block size, cluster vs linear
+//! arrangement, chunk-size sweep for the 1-D baseline.
+
+use amric::config::{AmricConfig, MergePolicy};
+use amric::pipeline::compress_field_units;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sz_codec::prelude::*;
+
+/// Unit blocks with per-unit base offsets (spatially discontiguous).
+fn units(n: usize, edge: usize) -> Vec<Buffer3> {
+    (0..n)
+        .map(|u| {
+            let mut b = Buffer3::zeros(Dims3::cube(edge));
+            let base = (u as f64 * 1.37).sin() * 40.0;
+            b.fill_with(|i, j, k| {
+                base + ((i as f64 * 0.4).sin() + (j as f64 * 0.3).cos()) * (1.0 + k as f64 * 0.02)
+            });
+            b
+        })
+        .collect()
+}
+
+fn bench_merge_policies(c: &mut Criterion) {
+    let u = units(64, 8);
+    let bytes: u64 = u.iter().map(|b| b.dims().len() as u64 * 8).sum();
+    let mut g = c.benchmark_group("ablation/merge_policy");
+    g.throughput(Throughput::Bytes(bytes));
+    for (name, merge) in [
+        ("sle", MergePolicy::SharedEncoding),
+        ("linear_merge", MergePolicy::LinearMerge),
+    ] {
+        let mut cfg = AmricConfig::lr(1e-3);
+        cfg.merge = merge;
+        cfg.adaptive_block_size = false;
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| compress_field_units(&u, &cfg, 8))
+        });
+    }
+    // Per-unit separate compression (the strawman SLE replaces).
+    g.bench_function(BenchmarkId::from_parameter("per_unit_calls"), |b| {
+        b.iter(|| {
+            let abs = amric::pipeline::resolve_abs_eb(&u, 1e-3);
+            u.iter()
+                .map(|unit| lr::compress(unit, &LrConfig::new(abs)).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_block_size(c: &mut Criterion) {
+    let u = units(64, 8);
+    let bytes: u64 = u.iter().map(|b| b.dims().len() as u64 * 8).sum();
+    let mut g = c.benchmark_group("ablation/sz_block_size");
+    g.throughput(Throughput::Bytes(bytes));
+    for (name, adaptive) in [("eq1_adaptive", true), ("fixed_6", false)] {
+        let mut cfg = AmricConfig::lr(1e-3);
+        cfg.adaptive_block_size = adaptive;
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| compress_field_units(&u, &cfg, 8))
+        });
+    }
+    g.finish();
+}
+
+fn bench_arrangement(c: &mut Criterion) {
+    let u = units(27, 8);
+    let bytes: u64 = u.iter().map(|b| b.dims().len() as u64 * 8).sum();
+    let mut g = c.benchmark_group("ablation/interp_arrangement");
+    g.throughput(Throughput::Bytes(bytes));
+    for (name, cluster) in [("cluster", true), ("linear", false)] {
+        let mut cfg = AmricConfig::interp(1e-3);
+        cfg.cluster_arrangement = cluster;
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| compress_field_units(&u, &cfg, 8))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunk_size(c: &mut Criterion) {
+    // The §2.1 trade-off: per-chunk 1-D SZ calls at different chunk sizes.
+    let flat: Vec<f64> = (0..1 << 16)
+        .map(|i| ((i as f64) * 0.003).sin() * 5.0 + (i % 97) as f64 * 0.01)
+        .collect();
+    let mut g = c.benchmark_group("ablation/chunk_size");
+    g.throughput(Throughput::Bytes((flat.len() * 8) as u64));
+    for chunk in [512usize, 1024, 4096, 16384, 65536] {
+        g.bench_function(BenchmarkId::from_parameter(chunk), |b| {
+            b.iter(|| {
+                flat.chunks(chunk)
+                    .map(|ck| lr::compress_1d(ck, 1e-3).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_merge_policies, bench_block_size, bench_arrangement, bench_chunk_size
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches: raw compressor throughput (SZ_L/R, SZ_Interp, 1-D)
+//! on Nyx-like and WarpX-like data — the compute side of the paper's I/O
+//! breakdown.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sz_codec::prelude::*;
+
+fn nyx_like(n: usize) -> Buffer3 {
+    let mut x = 42u64;
+    let mut b = Buffer3::zeros(Dims3::cube(n));
+    b.fill_with(|i, j, k| {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let noise = (x >> 11) as f64 / (1u64 << 53) as f64;
+        (1.0 + 0.5 * ((i as f64 * 0.21).sin() + (j as f64 * 0.17).cos() + (k as f64 * 0.13).sin())
+            + 0.2 * noise)
+            .exp()
+    });
+    b
+}
+
+fn warpx_like(n: usize) -> Buffer3 {
+    let mut b = Buffer3::zeros(Dims3::cube(n));
+    b.fill_with(|i, j, k| {
+        let z = k as f64 / n as f64;
+        let env = (-(z - 0.5) * (z - 0.5) / 0.02).exp();
+        env * (40.0 * z).sin() * (1.0 + 0.01 * ((i + j) as f64 * 0.1).sin())
+    });
+    b
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let n = 48;
+    let bytes = (n * n * n * 8) as u64;
+    for (data_name, data) in [("nyx", nyx_like(n)), ("warpx", warpx_like(n))] {
+        let eb = absolute_bound(1e-3, data.value_range());
+        let mut g = c.benchmark_group(format!("compress/{data_name}"));
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_function(BenchmarkId::from_parameter("sz_lr_3d"), |b| {
+            b.iter(|| lr::compress(&data, &LrConfig::new(eb)))
+        });
+        g.bench_function(BenchmarkId::from_parameter("sz_interp"), |b| {
+            b.iter(|| interp::compress(&data, &InterpConfig::new(eb)))
+        });
+        g.bench_function(BenchmarkId::from_parameter("sz_lr_1d"), |b| {
+            b.iter(|| lr::compress_1d(data.data(), eb))
+        });
+        g.finish();
+    }
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let n = 48;
+    let data = nyx_like(n);
+    let eb = absolute_bound(1e-3, data.value_range());
+    let lr_stream = lr::compress(&data, &LrConfig::new(eb));
+    let in_stream = interp::compress(&data, &InterpConfig::new(eb));
+    let mut g = c.benchmark_group("decompress/nyx");
+    g.throughput(Throughput::Bytes((n * n * n * 8) as u64));
+    g.bench_function("sz_lr_3d", |b| b.iter(|| lr::decompress(&lr_stream).unwrap()));
+    g.bench_function("sz_interp", |b| {
+        b.iter(|| interp::decompress(&in_stream).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    // The LZ backend on structured bytes (what the Huffman stage emits).
+    let data: Vec<u8> = (0..1 << 18).map(|i: u32| ((i / 64) % 251) as u8).collect();
+    let mut g = c.benchmark_group("lossless");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("lz_compress", |b| b.iter(|| sz_codec::lossless::compress(&data)));
+    let compressed = sz_codec::lossless::compress(&data);
+    g.bench_function("lz_decompress", |b| {
+        b.iter(|| sz_codec::lossless::decompress(&compressed).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    // Quantization-code-like symbol stream (center-heavy).
+    let syms: Vec<u32> = (0..1 << 16)
+        .map(|i: u32| 32768 + if i.is_multiple_of(13) { i % 7 } else { 0 })
+        .collect();
+    let mut g = c.benchmark_group("huffman");
+    g.throughput(Throughput::Elements(syms.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| sz_codec::huffman::encode_with_table(&syms)));
+    let enc = sz_codec::huffman::encode_with_table(&syms);
+    g.bench_function("decode", |b| {
+        b.iter(|| sz_codec::huffman::decode_with_table(&enc).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compress, bench_decompress, bench_lossless, bench_huffman
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches of the end-to-end in-situ write path (preprocess +
+//! compress + collective write to a local file) for the three solutions,
+//! one per paper table row style (small Nyx run).
+
+use amric::prelude::*;
+use amric_bench::{scratch, table1_runs};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_writers(c: &mut Criterion) {
+    let spec = table1_runs()
+        .into_iter()
+        .find(|s| s.name == "Nyx_1")
+        .expect("Nyx_1");
+    let h = spec.build(0.0);
+    let bytes = h.snapshot_bytes();
+    let mut g = c.benchmark_group("io_pipeline/nyx1");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    g.bench_function("nocomp", |b| {
+        b.iter(|| {
+            let path = scratch("bench-nocomp");
+            write_nocomp(&path, &h).unwrap();
+            std::fs::remove_file(&path).ok();
+        })
+    });
+    g.bench_function("amrex_baseline", |b| {
+        b.iter(|| {
+            let path = scratch("bench-amrex");
+            write_amrex_baseline(&path, &h, &BaselineConfig::new(spec.amrex_rel_eb)).unwrap();
+            std::fs::remove_file(&path).ok();
+        })
+    });
+    g.bench_function("amric_lr", |b| {
+        b.iter(|| {
+            let path = scratch("bench-amric-lr");
+            write_amric(&path, &h, &AmricConfig::lr(spec.amric_rel_eb), spec.blocking_factor)
+                .unwrap();
+            std::fs::remove_file(&path).ok();
+        })
+    });
+    g.bench_function("amric_interp", |b| {
+        b.iter(|| {
+            let path = scratch("bench-amric-interp");
+            write_amric(
+                &path,
+                &h,
+                &AmricConfig::interp(spec.amric_rel_eb),
+                spec.blocking_factor,
+            )
+            .unwrap();
+            std::fs::remove_file(&path).ok();
+        })
+    });
+    g.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let spec = table1_runs()
+        .into_iter()
+        .find(|s| s.name == "Nyx_1")
+        .expect("Nyx_1");
+    let h = spec.build(0.0);
+    let coarse = &h.level(0).data;
+    let fine_ba = h.level(1).data.box_array();
+    let mut g = c.benchmark_group("io_pipeline/preprocess");
+    g.bench_function("plan_units_coarse", |b| {
+        b.iter(|| plan_units(coarse, Some((fine_ba, 2)), 4, 0, true))
+    });
+    let plan = plan_units(coarse, Some((fine_ba, 2)), 4, 0, true);
+    g.bench_function("extract_units_field0", |b| {
+        b.iter(|| extract_units(coarse, &plan, 0))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_writers, bench_preprocess
+}
+criterion_main!(benches);

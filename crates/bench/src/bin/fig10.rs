@@ -1,0 +1,81 @@
+//! Figure 10: full-pipeline visual comparison — original SZ_L/R (linear
+//! merging, stock 6³ blocks) vs AMRIC's optimized SZ_L/R (SLE + adaptive
+//! block size) on the two-level Nyx data. The paper highlights artifacts
+//! at AMR level boundaries; we quantify error in coarse cells adjacent to
+//! the coarse/fine boundary vs far from it, at matched error bounds.
+
+use amr_mesh::prelude::*;
+use amric::config::{AmricConfig, MergePolicy};
+use amric::pipeline::{compress_field_units, decompress_field_units};
+use amric::preprocess::{extract_units, plan_units};
+use amric_bench::{print_table, section3_nyx};
+
+fn main() {
+    let h = section3_nyx(64);
+    let rel_eb = 2e-3;
+    let coarse = &h.level(0).data;
+    let fine_ba = h.level(1).data.box_array();
+    let plan = plan_units(coarse, Some((fine_ba, 2)), 8, 0, true);
+    let units = extract_units(coarse, &plan, 0);
+    let orig_bytes: usize = units.iter().map(|u| u.dims().len() * 8).sum();
+
+    // Cells adjacent to the level boundary: valid coarse cells whose
+    // 1-cell neighbourhood intersects the (coarsened) fine grids.
+    let fine_coarsened = fine_ba.coarsened(2);
+    let near_boundary = |p: &IntVect| -> bool {
+        let probe = IntBox::new(*p, *p).grown(1);
+        fine_coarsened.intersects(&probe)
+    };
+
+    let mut rows = Vec::new();
+    for (label, merge, adaptive) in [
+        ("Original SZ_L/R", MergePolicy::LinearMerge, false),
+        ("AMRIC SZ_L/R", MergePolicy::SharedEncoding, true),
+    ] {
+        let mut cfg = AmricConfig::lr(rel_eb);
+        cfg.merge = merge;
+        cfg.adaptive_block_size = adaptive;
+        let stream = compress_field_units(&units, &cfg, 8);
+        let recon = decompress_field_units(&stream).expect("decode");
+        let (mut nb_sum, mut nb_n, mut far_sum, mut far_n) = (0.0, 0u64, 0.0, 0u64);
+        for (u, (o, r)) in plan.iter().zip(units.iter().zip(&recon)) {
+            let d = o.dims();
+            for k in 0..d.nz {
+                for j in 0..d.ny {
+                    for i in 0..d.nx {
+                        let p = IntVect::new(
+                            u.region.lo.get(0) + i as i64,
+                            u.region.lo.get(1) + j as i64,
+                            u.region.lo.get(2) + k as i64,
+                        );
+                        let e = (o.get(i, j, k) - r.get(i, j, k)).abs();
+                        if near_boundary(&p) {
+                            nb_sum += e;
+                            nb_n += 1;
+                        } else {
+                            far_sum += e;
+                            far_n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let nb = nb_sum / nb_n.max(1) as f64;
+        let far = far_sum / far_n.max(1) as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", orig_bytes as f64 / stream.len() as f64),
+            format!("{nb:.3e}"),
+            format!("{far:.3e}"),
+            format!("{:.2}", nb / far.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    print_table(
+        "Figure 10: level-boundary artifacts, original vs AMRIC SZ_L/R (rel_eb 2e-3)",
+        &["Variant", "CR", "|err| near boundary", "|err| far", "near/far"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper Fig. 10): AMRIC reaches a slightly *higher* CR\n(paper: 53.2 vs 51.7) while its near-boundary error ratio drops — the\nwhite-arrow artifacts of Fig. 10b disappear."
+    );
+}

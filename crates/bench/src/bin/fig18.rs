@@ -1,0 +1,45 @@
+//! Figure 18: Nyx write-time breakdown across the three weak-scaling
+//! runs — the low-compressibility, small-per-rank-data counterpart of
+//! Fig. 17. Compression compute is measured; storage costs use the PFS
+//! model (see rankpar::pfs and DESIGN.md).
+
+use amric_bench::{evaluate_run, paper_volume_factor, print_table, secs, table1_runs, App};
+use rankpar::PfsParams;
+
+fn main() {
+    let params = PfsParams::default();
+    let mut rows = Vec::new();
+    for spec in table1_runs().into_iter().filter(|s| s.app == App::Nyx) {
+        let results = evaluate_run(&spec, &params);
+        let factor = paper_volume_factor(&spec);
+        for r in &results {
+            let projected = r.projected_io_seconds(factor, &params, spec.paper_ranks);
+            rows.push(vec![
+                format!("{} ({} ranks)", spec.name, spec.paper_ranks),
+                r.method.clone(),
+                secs(r.prep_s),
+                secs(r.io_s),
+                secs(r.prep_s + r.io_s),
+                secs(projected),
+                r.filter_calls.to_string(),
+            ]);
+        }
+        eprintln!("[fig18] {} done", spec.name);
+    }
+    print_table(
+        "Figure 18: Nyx write-time breakdown (modeled seconds, slowest rank)",
+        &[
+            "Run",
+            "Method",
+            "Prep",
+            "I/O(+comp)",
+            "Total",
+            "paper-scale I/O",
+            "filter calls",
+        ],
+        &rows,
+    );
+    println!(
+        "\nRead the paper-scale I/O column against the paper's figure: it projects\neach rank's measured ledger to the paper's per-rank data volume (see\nMethodResult::projected_io_seconds). Expected shape: AMReX slowest by far\n(per-chunk compressor launches), AMRIC ~= NoComp at the small scale and\nincreasingly ahead at larger scales; prep negligible throughout."
+    );
+}

@@ -1,0 +1,104 @@
+//! Figure 6: pointwise-error comparison of unit SLE vs original linear
+//! merging on the fine level (unit 16). The paper shows an error-slice
+//! visualization; this harness reports the same comparison numerically
+//! (CR, mean/max error, and error concentration at unit-block boundaries)
+//! and dumps a mid-plane error slice as CSV for plotting.
+
+use amric::config::{AmricConfig, MergePolicy};
+use amric::pipeline::{compress_field_units, decompress_field_units};
+use amric_bench::{level_units, print_table, section3_nyx};
+use std::io::Write;
+
+/// Mean absolute error, split into unit-boundary cells (any local
+/// coordinate on the block face) and interior cells.
+fn boundary_interior_error(
+    orig: &[sz_codec::Buffer3],
+    recon: &[sz_codec::Buffer3],
+) -> (f64, f64, f64) {
+    let mut b_sum = 0.0;
+    let mut b_n = 0u64;
+    let mut i_sum = 0.0;
+    let mut i_n = 0u64;
+    let mut max_err = 0.0f64;
+    for (o, r) in orig.iter().zip(recon) {
+        let d = o.dims();
+        for k in 0..d.nz {
+            for j in 0..d.ny {
+                for i in 0..d.nx {
+                    let e = (o.get(i, j, k) - r.get(i, j, k)).abs();
+                    max_err = max_err.max(e);
+                    let on_face = i == 0
+                        || j == 0
+                        || k == 0
+                        || i == d.nx - 1
+                        || j == d.ny - 1
+                        || k == d.nz - 1;
+                    if on_face {
+                        b_sum += e;
+                        b_n += 1;
+                    } else {
+                        i_sum += e;
+                        i_n += 1;
+                    }
+                }
+            }
+        }
+    }
+    (b_sum / b_n.max(1) as f64, i_sum / i_n.max(1) as f64, max_err)
+}
+
+fn dump_slice(path: &str, units: &[sz_codec::Buffer3], recon: &[sz_codec::Buffer3]) {
+    // One representative unit's mid-plane |error| grid.
+    if let (Some(o), Some(r)) = (units.first(), recon.first()) {
+        let d = o.dims();
+        let k = d.nz / 2;
+        let mut f = std::fs::File::create(path).expect("slice file");
+        for j in 0..d.ny {
+            let row: Vec<String> = (0..d.nx)
+                .map(|i| format!("{:.6e}", (o.get(i, j, k) - r.get(i, j, k)).abs()))
+                .collect();
+            writeln!(f, "{}", row.join(",")).expect("write row");
+        }
+        eprintln!("[fig6] wrote error slice to {path}");
+    }
+}
+
+fn main() {
+    let h = section3_nyx(64);
+    let units = level_units(&h, 1, 16, 0);
+    let orig_bytes: usize = units.iter().map(|u| u.dims().len() * 8).sum();
+    let rel_eb = 2e-3;
+    let mut rows = Vec::new();
+    for (label, merge) in [
+        ("LinearMerge", MergePolicy::LinearMerge),
+        ("Unit SLE", MergePolicy::SharedEncoding),
+    ] {
+        let mut cfg = AmricConfig::lr(rel_eb);
+        cfg.merge = merge;
+        cfg.adaptive_block_size = false;
+        let stream = compress_field_units(&units, &cfg, 16);
+        let recon = decompress_field_units(&stream).expect("decode");
+        let (b_err, i_err, max_err) = boundary_interior_error(&units, &recon);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", orig_bytes as f64 / stream.len() as f64),
+            format!("{b_err:.3e}"),
+            format!("{i_err:.3e}"),
+            format!("{:.2}", b_err / i_err.max(f64::MIN_POSITIVE)),
+            format!("{max_err:.3e}"),
+        ]);
+        dump_slice(
+            &format!("/tmp/amric-fig6-{}.csv", label.replace(' ', "-")),
+            &units,
+            &recon,
+        );
+    }
+    print_table(
+        "Figure 6: unit SLE vs linear merging (fine level, unit 16, rel_eb 2e-3)",
+        &["Variant", "CR", "boundary |err|", "interior |err|", "ratio", "max |err|"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper Fig. 6): SLE's boundary/interior error ratio is\nsmaller than LM's — LM concentrates error at unit-block boundaries where\nthe Lorenzo stencil crosses unrelated blocks."
+    );
+}

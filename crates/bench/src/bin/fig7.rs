@@ -1,0 +1,65 @@
+//! Figure 7: rate-distortion of the four SZ_L/R variants — LM (linear
+//! merging), SLE (shared lossless encoding), Adp-4 (adaptive block size)
+//! and 1-D compression — on the fine (unit 16) and coarse (unit 8) levels
+//! of the §3 Nyx study.
+
+use amric::config::{AmricConfig, MergePolicy};
+use amric::pipeline::{compress_field_units, decompress_field_units, resolve_abs_eb};
+use amric_bench::{f1, f2, level_units, print_table, rate_point, rd_bounds, section3_nyx};
+use sz_codec::prelude::*;
+
+/// AMReX-style 1-D compression of the units: flatten, cut into
+/// 1024-element chunks, compress each chunk independently.
+fn one_d(units: &[Buffer3], rel_eb: f64) -> (f64, f64) {
+    let flat: Vec<f64> = units.iter().flat_map(|u| u.data().iter().copied()).collect();
+    let abs_eb = resolve_abs_eb(units, rel_eb);
+    let orig_bytes = flat.len() * 8;
+    let mut stored = 0usize;
+    let mut recon = Vec::with_capacity(flat.len());
+    for chunk in flat.chunks(1024) {
+        let stream = lr::compress_1d(chunk, abs_eb);
+        stored += stream.len();
+        recon.extend(lr::decompress(&stream).expect("decode").into_vec());
+    }
+    let stats = ErrorStats::compare(&flat, &recon);
+    (orig_bytes as f64 / stored as f64, stats.psnr())
+}
+
+fn main() {
+    let h = section3_nyx(64);
+    for (label, level, unit) in [("Fine level", 1usize, 16i64), ("Coarse level", 0, 8)] {
+        let units = level_units(&h, level, unit, 0);
+        let mut rows = Vec::new();
+        for rel_eb in rd_bounds() {
+            let point = |merge: MergePolicy, adaptive: bool| {
+                let mut cfg = AmricConfig::lr(rel_eb);
+                cfg.merge = merge;
+                cfg.adaptive_block_size = adaptive;
+                rate_point(
+                    &units,
+                    |u| compress_field_units(u, &cfg, unit as usize),
+                    |b| decompress_field_units(b).expect("decode"),
+                )
+            };
+            let (cr_lm, ps_lm) = point(MergePolicy::LinearMerge, false);
+            let (cr_sle, ps_sle) = point(MergePolicy::SharedEncoding, false);
+            let (cr_adp, ps_adp) = point(MergePolicy::SharedEncoding, true);
+            let (cr_1d, ps_1d) = one_d(&units, rel_eb);
+            rows.push(vec![
+                format!("{rel_eb:.0e}"),
+                format!("{}/{}", f1(cr_lm), f2(ps_lm)),
+                format!("{}/{}", f1(cr_sle), f2(ps_sle)),
+                format!("{}/{}", f1(cr_adp), f2(ps_adp)),
+                format!("{}/{}", f1(cr_1d), f2(ps_1d)),
+            ]);
+        }
+        print_table(
+            &format!("Figure 7 ({label}, unit={unit}): CR/PSNR per variant"),
+            &["rel_eb", "LM", "SLE", "Adp-4", "1D"],
+            &rows,
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 7): all 3-D variants ≫ 1D. Fine level\n(unit 16): SLE ≈ Adp-4 ≥ LM (16 mod 6 = 4 → no residue issue, Eq. 1 keeps 6³).\nCoarse level (unit 8): Adp-4 > SLE ≈ LM (8 mod 6 = 2 → degenerate residues\nhurt SLE until the adaptive 4³ block removes them)."
+    );
+}

@@ -1,0 +1,51 @@
+//! Table 1: detailed information about the tested AMR runs (scaled).
+//!
+//! Prints the same columns as the paper — levels, ranks, grid size per
+//! level, data density per level, snapshot size, error bounds — for the
+//! six scaled runs, plus the paper-scale counterpart for context.
+
+use amr_apps::prelude::*;
+use amric_bench::{print_table, table1_runs};
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1_runs()
+        .iter()
+        .map(|spec| {
+            let h = spec.build(0.0);
+            let stats = level_stats(&h);
+            let grids = stats
+                .iter()
+                .map(|s| format!("{}x{}x{}", s.grid_size.0, s.grid_size.1, s.grid_size.2))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let density = stats
+                .iter()
+                .map(|s| format!("{:.2}%", s.density * 100.0))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mb = h.snapshot_bytes() as f64 / (1 << 20) as f64;
+            vec![
+                spec.name.to_string(),
+                format!("{}", h.num_levels()),
+                format!("{} ({})", spec.nranks, spec.paper_ranks),
+                grids,
+                density,
+                format!("{mb:.1} MB"),
+                format!("{:.0e}, {:.0e}", spec.amric_rel_eb, spec.amrex_rel_eb),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: tested AMR runs (scaled; paper rank count in parentheses)",
+        &[
+            "Run",
+            "#Levels",
+            "#Ranks(paper)",
+            "Grid size per level",
+            "Density per level",
+            "Data size",
+            "EB (AMRIC, AMReX)",
+        ],
+        &rows,
+    );
+}

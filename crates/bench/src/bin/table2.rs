@@ -1,0 +1,35 @@
+//! Table 2: compression ratio of AMReX(1D) vs AMRIC(SZ_L/R) vs
+//! AMRIC(SZ_Interp), averaged across all fields, per run.
+
+use amric_bench::{evaluate_run, f1, print_table, table1_runs};
+use rankpar::PfsParams;
+
+fn main() {
+    let params = PfsParams::default();
+    let mut rows = Vec::new();
+    for spec in table1_runs() {
+        let results = evaluate_run(&spec, &params);
+        let get = |m: &str| {
+            results
+                .iter()
+                .find(|r| r.method == m)
+                .map(|r| f1(r.compression_ratio))
+                .unwrap_or_else(|| "-".into())
+        };
+        rows.push(vec![
+            spec.name.to_string(),
+            get("AMReX(1D)"),
+            get("AMRIC(SZ_L/R)"),
+            get("AMRIC(SZ_Interp)"),
+        ]);
+        eprintln!("[table2] {} done", spec.name);
+    }
+    print_table(
+        "Table 2: compression ratio (orig bytes / stored bytes)",
+        &["Run", "AMReX(1D)", "AMRIC(SZ_L/R)", "AMRIC(SZ_Interp)"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): AMRIC ≫ AMReX on every run; WarpX ratios in the\nhundreds+, Nyx modest; SZ_Interp strongest on WarpX, SZ_L/R competitive on Nyx."
+    );
+}

@@ -1,0 +1,58 @@
+//! Error type shared by the h5lite read/write paths.
+
+use sz_codec::wire::WireError;
+
+/// Anything that can go wrong while reading or writing an h5lite file.
+#[derive(Debug)]
+pub enum H5Error {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structurally invalid file.
+    Format(String),
+    /// A chunk failed to decode through its filter.
+    Codec(WireError),
+    /// Unknown dataset name.
+    NotFound(String),
+    /// Dataset created twice.
+    Duplicate(String),
+    /// No registered filter for the stored filter id.
+    UnknownFilter(u32),
+}
+
+impl std::fmt::Display for H5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            H5Error::Io(e) => write!(f, "I/O error: {e}"),
+            H5Error::Format(m) => write!(f, "malformed h5lite file: {m}"),
+            H5Error::Codec(e) => write!(f, "chunk filter failed: {e}"),
+            H5Error::NotFound(n) => write!(f, "dataset not found: {n}"),
+            H5Error::Duplicate(n) => write!(f, "dataset already exists: {n}"),
+            H5Error::UnknownFilter(id) => write!(f, "no filter registered for id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            H5Error::Io(e) => Some(e),
+            H5Error::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for H5Error {
+    fn from(e: std::io::Error) -> Self {
+        H5Error::Io(e)
+    }
+}
+
+impl From<WireError> for H5Error {
+    fn from(e: WireError) -> Self {
+        H5Error::Codec(e)
+    }
+}
+
+/// Result alias.
+pub type H5Result<T> = Result<T, H5Error>;

@@ -1,0 +1,512 @@
+//! File-level API: [`H5Writer`] (shareable across rank threads) and
+//! [`H5Reader`].
+//!
+//! On-disk layout (all little-endian):
+//!
+//! ```text
+//! "H5LT" u8-version | chunk payloads ... | directory | dir_offset u64 "H5LE"
+//! ```
+//!
+//! Chunk payloads are written at reserved offsets (threads write
+//! concurrently via `pwrite`); the directory is written once by
+//! [`H5Writer::finish`].
+
+use crate::dataset::{ChunkRecord, DatasetMeta};
+use crate::error::{H5Error, H5Result};
+use crate::filter::{decoder_for, ChunkFilter, FilterMode};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::Read;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC_HEAD: &[u8; 4] = b"H5LT";
+const MAGIC_TAIL: &[u8; 4] = b"H5LE";
+const VERSION: u8 = 1;
+
+/// Aggregate write-side counters (inputs to the PFS cost model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Filter invocations (= compressor launches).
+    pub filter_calls: u64,
+    /// Write calls issued.
+    pub write_calls: u64,
+    /// Payload bytes written (excludes directory).
+    pub bytes_written: u64,
+    /// Dataset creates.
+    pub dataset_creates: u64,
+}
+
+/// One chunk of data heading to storage: the values plus how many of them
+/// are real (the rest is padding the caller added to reach the uniform
+/// chunk size).
+#[derive(Clone, Debug)]
+pub struct ChunkData {
+    /// Values; `data.len() ≤ chunk_elems`.
+    pub data: Vec<f64>,
+    /// Number of meaningful leading elements.
+    pub logical: usize,
+}
+
+impl ChunkData {
+    /// A chunk that is entirely real data.
+    pub fn full(data: Vec<f64>) -> Self {
+        let logical = data.len();
+        ChunkData { data, logical }
+    }
+}
+
+/// Writer for a new h5lite file. All methods take `&self`; the writer can
+/// be shared across rank threads (chunk space is reserved atomically,
+/// payloads written with `pwrite`).
+pub struct H5Writer {
+    file: File,
+    cursor: AtomicU64,
+    directory: Mutex<Vec<DatasetMeta>>,
+    finished: AtomicU64,
+    stats: Mutex<WriteStats>,
+}
+
+impl H5Writer {
+    /// Create (truncate) the file and write the superblock.
+    pub fn create(path: impl AsRef<Path>) -> H5Result<Self> {
+        let file = File::create(path)?;
+        file.write_all_at(MAGIC_HEAD, 0)?;
+        file.write_all_at(&[VERSION], 4)?;
+        Ok(H5Writer {
+            file,
+            cursor: AtomicU64::new(5),
+            directory: Mutex::new(Vec::new()),
+            finished: AtomicU64::new(0),
+            stats: Mutex::new(WriteStats::default()),
+        })
+    }
+
+    /// Reserve `bytes` of payload space; returns the file offset.
+    pub fn reserve(&self, bytes: u64) -> u64 {
+        self.cursor.fetch_add(bytes, Ordering::Relaxed)
+    }
+
+    /// Write raw bytes at a reserved offset.
+    pub fn write_at(&self, offset: u64, bytes: &[u8]) -> H5Result<()> {
+        self.file.write_all_at(bytes, offset)?;
+        let mut s = self.stats.lock();
+        s.write_calls += 1;
+        s.bytes_written += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Count a filter invocation (callers that encode chunks themselves,
+    /// e.g. the collective path, report through this).
+    pub fn count_filter_call(&self) {
+        self.stats.lock().filter_calls += 1;
+    }
+
+    /// Register a fully-described dataset (collective path: rank 0 calls
+    /// this after gathering chunk records).
+    pub fn register_dataset(&self, meta: DatasetMeta) -> H5Result<()> {
+        let mut dir = self.directory.lock();
+        if dir.iter().any(|d| d.name == meta.name) {
+            return Err(H5Error::Duplicate(meta.name));
+        }
+        dir.push(meta);
+        self.stats.lock().dataset_creates += 1;
+        Ok(())
+    }
+
+    /// Serial convenience: chunk `data` uniformly, run `filter` on every
+    /// chunk (standard HDF5 semantics: the last chunk is zero-padded to the
+    /// full chunk size before filtering) and write it out.
+    pub fn write_dataset(
+        &self,
+        name: &str,
+        data: &[f64],
+        chunk_elems: usize,
+        filter: &dyn ChunkFilter,
+    ) -> H5Result<()> {
+        assert!(chunk_elems > 0, "chunk size must be positive");
+        let chunks: Vec<ChunkData> = if data.is_empty() {
+            Vec::new()
+        } else {
+            data.chunks(chunk_elems).map(|c| ChunkData::full(c.to_vec())).collect()
+        };
+        self.write_dataset_chunks(
+            name,
+            &chunks,
+            chunk_elems,
+            filter,
+            FilterMode::Standard,
+            Some(data.len() as u64),
+        )
+    }
+
+    /// Write a dataset from explicit chunks.
+    ///
+    /// * `FilterMode::Standard` — each chunk is zero-padded to
+    ///   `chunk_elems` before the filter runs and decodes back to
+    ///   `chunk_elems` values (padding survives the roundtrip).
+    /// * `FilterMode::SizeAware` — only `chunk.logical` values reach the
+    ///   filter; no padding is compressed (the AMRIC modification).
+    ///
+    /// `total_override` pins the dataset's logical length (used by the
+    /// standard mode where trailing padding is not real data).
+    pub fn write_dataset_chunks(
+        &self,
+        name: &str,
+        chunks: &[ChunkData],
+        chunk_elems: usize,
+        filter: &dyn ChunkFilter,
+        mode: FilterMode,
+        total_override: Option<u64>,
+    ) -> H5Result<()> {
+        let mut records = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            assert!(chunk.data.len() <= chunk_elems, "chunk exceeds chunk size");
+            assert!(chunk.logical <= chunk.data.len());
+            let (encoded, logical_elems) = encode_chunk(chunk, chunk_elems, filter, mode);
+            self.count_filter_call();
+            let offset = self.reserve(encoded.len() as u64);
+            self.write_at(offset, &encoded)?;
+            records.push(ChunkRecord {
+                offset,
+                stored_bytes: encoded.len() as u64,
+                logical_elems,
+            });
+        }
+        let total = total_override
+            .unwrap_or_else(|| records.iter().map(|r| r.logical_elems).sum());
+        self.register_dataset(DatasetMeta {
+            name: name.to_string(),
+            total_elems: total,
+            chunk_elems: chunk_elems as u64,
+            filter_id: filter.id(),
+            filter_mode: mode,
+            client_data: filter.client_data(),
+            chunks: records,
+        })
+    }
+
+    /// Snapshot of the write counters.
+    pub fn stats(&self) -> WriteStats {
+        *self.stats.lock()
+    }
+
+    /// Write the directory + footer. Idempotent; returns the final file
+    /// size.
+    pub fn finish(&self) -> H5Result<u64> {
+        if self.finished.swap(1, Ordering::SeqCst) == 1 {
+            return Err(H5Error::Format("finish() called twice".into()));
+        }
+        let dir_offset = self.cursor.load(Ordering::SeqCst);
+        let mut w = sz_codec::wire::Writer::new();
+        let dir = self.directory.lock();
+        w.put_u32(dir.len() as u32);
+        for d in dir.iter() {
+            d.write_to(&mut w);
+        }
+        w.put_u64(dir_offset);
+        w.put_raw(MAGIC_TAIL);
+        let bytes = w.into_bytes();
+        self.file.write_all_at(&bytes, dir_offset)?;
+        self.file.sync_data()?;
+        Ok(dir_offset + bytes.len() as u64)
+    }
+}
+
+/// Apply mode semantics and run the filter; returns (encoded bytes,
+/// logical element count to record).
+pub(crate) fn encode_chunk(
+    chunk: &ChunkData,
+    chunk_elems: usize,
+    filter: &dyn ChunkFilter,
+    mode: FilterMode,
+) -> (Vec<u8>, u64) {
+    match mode {
+        FilterMode::Standard => {
+            if chunk.data.len() == chunk_elems {
+                (filter.encode(&chunk.data), chunk_elems as u64)
+            } else {
+                let mut padded = chunk.data.clone();
+                padded.resize(chunk_elems, 0.0);
+                (filter.encode(&padded), chunk_elems as u64)
+            }
+        }
+        FilterMode::SizeAware => (
+            filter.encode(&chunk.data[..chunk.logical]),
+            chunk.logical as u64,
+        ),
+    }
+}
+
+/// Reader over a finished h5lite file.
+pub struct H5Reader {
+    file: File,
+    datasets: Vec<DatasetMeta>,
+}
+
+impl H5Reader {
+    /// Open and parse the directory.
+    pub fn open(path: impl AsRef<Path>) -> H5Result<Self> {
+        let mut file = File::open(path)?;
+        let mut head = [0u8; 5];
+        file.read_exact(&mut head)?;
+        if &head[..4] != MAGIC_HEAD {
+            return Err(H5Error::Format("bad superblock magic".into()));
+        }
+        if head[4] != VERSION {
+            return Err(H5Error::Format(format!("unsupported version {}", head[4])));
+        }
+        let len = file.metadata()?.len();
+        if len < 17 {
+            return Err(H5Error::Format("file too short for footer".into()));
+        }
+        let mut tail = [0u8; 12];
+        file.read_exact_at(&mut tail, len - 12)?;
+        if &tail[8..] != MAGIC_TAIL {
+            return Err(H5Error::Format("bad footer magic".into()));
+        }
+        let dir_offset = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
+        if dir_offset >= len {
+            return Err(H5Error::Format("directory offset out of range".into()));
+        }
+        let mut dir_bytes = vec![0u8; (len - 12 - dir_offset) as usize];
+        file.read_exact_at(&mut dir_bytes, dir_offset)?;
+        let mut r = sz_codec::wire::Reader::new(&dir_bytes);
+        let n = r.get_u32()? as usize;
+        let mut datasets = Vec::with_capacity(n);
+        for _ in 0..n {
+            datasets.push(DatasetMeta::read_from(&mut r)?);
+        }
+        Ok(H5Reader { file, datasets })
+    }
+
+    /// Names of all datasets, in creation order.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.datasets.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// Metadata for a dataset.
+    pub fn meta(&self, name: &str) -> H5Result<&DatasetMeta> {
+        self.datasets
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| H5Error::NotFound(name.to_string()))
+    }
+
+    /// Read and decode one chunk of a dataset using the registry decoder.
+    pub fn read_chunk(&self, name: &str, index: usize) -> H5Result<Vec<f64>> {
+        let meta = self.meta(name)?;
+        let decoder = decoder_for(meta.filter_id, &meta.client_data)?;
+        self.read_chunk_with(name, index, decoder.as_ref())
+    }
+
+    /// Read one chunk through an explicitly supplied decoder — used for
+    /// application-defined filters (e.g. AMRIC's) that are not in the
+    /// built-in registry.
+    pub fn read_chunk_with(
+        &self,
+        name: &str,
+        index: usize,
+        decoder: &dyn crate::filter::ChunkFilter,
+    ) -> H5Result<Vec<f64>> {
+        let meta = self.meta(name)?;
+        let rec = meta
+            .chunks
+            .get(index)
+            .ok_or_else(|| H5Error::Format(format!("chunk {index} out of range")))?;
+        let bytes = self.read_chunk_raw(name, index)?;
+        decoder.decode(&bytes, rec.logical_elems as usize)
+    }
+
+    /// Read the stored (encoded) bytes of one chunk without filtering.
+    pub fn read_chunk_raw(&self, name: &str, index: usize) -> H5Result<Vec<u8>> {
+        let meta = self.meta(name)?;
+        let rec = meta
+            .chunks
+            .get(index)
+            .ok_or_else(|| H5Error::Format(format!("chunk {index} out of range")))?;
+        let mut buf = vec![0u8; rec.stored_bytes as usize];
+        self.file.read_exact_at(&mut buf, rec.offset)?;
+        Ok(buf)
+    }
+
+    /// Read the full logical dataset (chunk concatenation truncated to
+    /// `total_elems`).
+    pub fn read_dataset(&self, name: &str) -> H5Result<Vec<f64>> {
+        let meta = self.meta(name)?;
+        let mut out = Vec::with_capacity(meta.total_elems as usize);
+        for i in 0..meta.chunks.len() {
+            out.extend_from_slice(&self.read_chunk(name, i)?);
+        }
+        out.truncate(meta.total_elems as usize);
+        Ok(out)
+    }
+
+    /// Read the full dataset through an explicitly supplied decoder.
+    pub fn read_dataset_with(
+        &self,
+        name: &str,
+        decoder: &dyn crate::filter::ChunkFilter,
+    ) -> H5Result<Vec<f64>> {
+        let meta = self.meta(name)?;
+        let mut out = Vec::with_capacity(meta.total_elems as usize);
+        for i in 0..meta.chunks.len() {
+            out.extend_from_slice(&self.read_chunk_with(name, i, decoder)?);
+        }
+        out.truncate(meta.total_elems as usize);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{NoFilter, SzFilter};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("h5lite-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_read_raw_dataset() {
+        let path = tmp("raw");
+        let w = H5Writer::create(&path).unwrap();
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        w.write_dataset("a/b", &data, 256, &NoFilter).unwrap();
+        w.finish().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert_eq!(r.dataset_names(), vec!["a/b"]);
+        assert_eq!(r.read_dataset("a/b").unwrap(), data);
+        // 1000 elems at chunk 256 → 4 chunks, last padded to 256 on disk.
+        let meta = r.meta("a/b").unwrap();
+        assert_eq!(meta.chunks.len(), 4);
+        assert_eq!(meta.stored_bytes(), 4 * 256 * 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sz_filtered_dataset_roundtrip() {
+        let path = tmp("sz");
+        let w = H5Writer::create(&path).unwrap();
+        let data: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.002).sin()).collect();
+        let f = SzFilter::one_dimensional(1e-3);
+        w.write_dataset("level_0/x", &data, 1024, &f).unwrap();
+        w.finish().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        let back = r.read_dataset("level_0/x").unwrap();
+        assert_eq!(back.len(), data.len());
+        // REL bound against per-chunk range ≤ global range of 2.
+        for (o, v) in data.iter().zip(&back) {
+            assert!((o - v).abs() <= 1e-3 * 2.0 + 1e-12);
+        }
+        assert!(r.meta("level_0/x").unwrap().stored_bytes() < (data.len() * 8) as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn size_aware_mode_skips_padding() {
+        let path_std = tmp("std-mode");
+        let path_aware = tmp("aware-mode");
+        // One rank holds 4096 values, chunk size forced to 32768 (the
+        // biggest-rank scenario of paper Fig. 12).
+        let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).cos()).collect();
+        let f = SzFilter::one_dimensional(1e-3);
+        let chunk = ChunkData {
+            data: data.clone(),
+            logical: data.len(),
+        };
+        let w1 = H5Writer::create(&path_std).unwrap();
+        w1.write_dataset_chunks("d", std::slice::from_ref(&chunk), 32768, &f, FilterMode::Standard, None)
+            .unwrap();
+        w1.finish().unwrap();
+        let w2 = H5Writer::create(&path_aware).unwrap();
+        w2.write_dataset_chunks("d", &[chunk], 32768, &f, FilterMode::SizeAware, None)
+            .unwrap();
+        w2.finish().unwrap();
+        let r1 = H5Reader::open(&path_std).unwrap();
+        let r2 = H5Reader::open(&path_aware).unwrap();
+        // Standard mode compressed 8× padding; stored data reflects that.
+        assert_eq!(r1.meta("d").unwrap().total_elems, 32768);
+        assert_eq!(r2.meta("d").unwrap().total_elems, 4096);
+        let back = r2.read_dataset("d").unwrap();
+        for (o, v) in data.iter().zip(&back) {
+            assert!((o - v).abs() <= 1e-3 * 2.0 + 1e-12);
+        }
+        // Size-aware read returns exactly the logical data; standard mode
+        // returns padding too (first 4096 must still match; the padded
+        // chunk's range includes the 0.0 fill).
+        let padded = r1.read_dataset("d").unwrap();
+        for (o, v) in data.iter().zip(padded.iter().take(4096)) {
+            assert!((o - v).abs() <= 1e-3 * 2.0 + 1e-12);
+        }
+        std::fs::remove_file(&path_std).ok();
+        std::fs::remove_file(&path_aware).ok();
+    }
+
+    #[test]
+    fn multiple_datasets_and_stats() {
+        let path = tmp("multi");
+        let w = H5Writer::create(&path).unwrap();
+        let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
+        w.write_dataset("one", &data, 128, &NoFilter).unwrap();
+        w.write_dataset("two", &data, 512, &NoFilter).unwrap();
+        let s = w.stats();
+        assert_eq!(s.dataset_creates, 2);
+        assert_eq!(s.filter_calls, 5); // 4 + 1 chunks
+        assert_eq!(s.write_calls, 5);
+        assert_eq!(s.bytes_written, (4 * 128 + 512) * 8);
+        w.finish().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert_eq!(r.dataset_names().len(), 2);
+        assert_eq!(r.read_dataset("two").unwrap(), data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_dataset_rejected() {
+        let path = tmp("dup");
+        let w = H5Writer::create(&path).unwrap();
+        w.write_dataset("d", &[1.0], 8, &NoFilter).unwrap();
+        assert!(matches!(
+            w.write_dataset("d", &[2.0], 8, &NoFilter),
+            Err(H5Error::Duplicate(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let path = tmp("missing");
+        let w = H5Writer::create(&path).unwrap();
+        w.finish().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        assert!(matches!(r.read_dataset("x"), Err(H5Error::NotFound(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_footer_detected() {
+        let path = tmp("corrupt");
+        let w = H5Writer::create(&path).unwrap();
+        w.write_dataset("d", &[1.0, 2.0], 8, &NoFilter).unwrap();
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(H5Reader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_twice_errors() {
+        let path = tmp("double-finish");
+        let w = H5Writer::create(&path).unwrap();
+        w.finish().unwrap();
+        assert!(w.finish().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

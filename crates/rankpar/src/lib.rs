@@ -1,0 +1,32 @@
+//! # rankpar — thread-rank parallel runtime + storage cost models
+//!
+//! The MPI / parallel-filesystem substrate of the AMRIC reproduction:
+//! * [`comm`] — an MPI-flavoured [`comm::Communicator`] (barrier,
+//!   allgather, reductions, exscan) where ranks are threads;
+//! * [`runner`] — `mpirun` equivalent: spawn N rank threads, collect
+//!   results in rank order;
+//! * [`pfs`] — parametric parallel-filesystem cost model reproducing the
+//!   storage-side effects the paper analyses (compressor launch cost,
+//!   shared aggregate bandwidth, collective-create overhead).
+//!
+//! ```
+//! use rankpar::prelude::*;
+//!
+//! let sums = run_ranks(4, |comm| comm.allreduce_sum(comm.rank() as u64));
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+pub mod comm;
+pub mod pfs;
+pub mod runner;
+
+pub use comm::Communicator;
+pub use pfs::{IoLedger, PfsParams};
+pub use runner::run_ranks;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::comm::Communicator;
+    pub use crate::pfs::{job_seconds, IoLedger, PfsParams};
+    pub use crate::runner::run_ranks;
+}

@@ -1,0 +1,63 @@
+//! Spawn N rank-threads and collect their results (the `mpirun` of the
+//! thread-backed world).
+
+use crate::comm::Communicator;
+
+/// Run `f` once per rank on its own thread; returns the per-rank results in
+/// rank order. Panics in any rank propagate.
+pub fn run_ranks<T, F>(nranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Communicator) -> T + Sync,
+{
+    let world = Communicator::world(nranks);
+    let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, comm) in world.into_iter().enumerate() {
+            let fref = &f;
+            handles.push((rank, scope.spawn(move |_| fref(comm))));
+        }
+        for (rank, h) in handles {
+            results[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    })
+    .expect("rank scope panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every rank filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run_ranks(8, |comm| comm.rank() * comm.rank());
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run_ranks(1, |comm| {
+            comm.barrier();
+            comm.allgather(5u32)
+        });
+        assert_eq!(out, vec![vec![5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn rank_panic_propagates() {
+        run_ranks(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+            // Rank 0 must not block forever on a dead partner; it returns
+            // without further collectives.
+            0u8
+        });
+    }
+}

@@ -1,0 +1,199 @@
+//! Adaptive SZ block-size selection (paper §3.2 Solution 2, Equation 1)
+//! and the residue-partition geometry of Fig. 8.
+//!
+//! AMR unit blocks are powers of two; truncating them with SZ's default 6³
+//! blocks leaves "flat" (6×6×2), "slim" (6×2×2) and "tiny" (2³) residues
+//! that collapse to ≤2-D data and hurt prediction. Equation 1 switches the
+//! SZ block size to 4³ whenever the residue would be that degenerate.
+
+use crate::buffer3::Dims3;
+
+/// Paper Equation 1: choose the SZ_L/R block size for a given AMR unit
+/// block edge length.
+///
+/// ```text
+/// SZ_BlkSize = 4³  if unitBlkSize mod 6 ≤ 2
+///              6³  if unitBlkSize mod 6 > 2
+///              6³  if unitBlkSize ≥ 64
+/// ```
+pub fn adaptive_block_size(unit_block_size: usize) -> usize {
+    if unit_block_size >= 64 {
+        6
+    } else if unit_block_size % 6 <= 2 {
+        4
+    } else {
+        6
+    }
+}
+
+/// Shape census of the sub-blocks produced by truncating a `unit³` block
+/// with `sz³` blocks (Fig. 8). "Degenerate" sub-blocks have at least one
+/// extent ≤ 2 — flattened to ≤2-D data in the paper's terminology.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionCensus {
+    /// Sub-blocks with all extents > 2 (good 3-D blocks).
+    pub full: usize,
+    /// Sub-blocks with exactly one extent ≤ 2 ("flat", ~2-D).
+    pub flat: usize,
+    /// Sub-blocks with exactly two extents ≤ 2 ("slim", ~1-D).
+    pub slim: usize,
+    /// Sub-blocks with all three extents ≤ 2 ("tiny", ~0-D).
+    pub tiny: usize,
+}
+
+impl PartitionCensus {
+    /// Count sub-block shapes for a cubic unit block of edge `unit` cut by
+    /// SZ blocks of edge `sz`.
+    pub fn of(unit: usize, sz: usize) -> Self {
+        Self::of_dims(Dims3::cube(unit), sz)
+    }
+
+    /// Same for an arbitrary-shaped region.
+    pub fn of_dims(dims: Dims3, sz: usize) -> Self {
+        let pieces = |n: usize| -> Vec<usize> {
+            let mut v = Vec::new();
+            let mut rem = n;
+            while rem > 0 {
+                let take = sz.min(rem);
+                v.push(take);
+                rem -= take;
+            }
+            v
+        };
+        let (px, py, pz) = (pieces(dims.nx), pieces(dims.ny), pieces(dims.nz));
+        let mut census = PartitionCensus::default();
+        for &z in &pz {
+            for &y in &py {
+                for &x in &px {
+                    let degen = [x, y, z].iter().filter(|&&e| e <= 2).count();
+                    match degen {
+                        0 => census.full += 1,
+                        1 => census.flat += 1,
+                        2 => census.slim += 1,
+                        _ => census.tiny += 1,
+                    }
+                }
+            }
+        }
+        census
+    }
+
+    /// Total sub-blocks.
+    pub fn total(&self) -> usize {
+        self.full + self.flat + self.slim + self.tiny
+    }
+
+    /// Number of degenerate (≤2-D) sub-blocks.
+    pub fn degenerate(&self) -> usize {
+        self.flat + self.slim + self.tiny
+    }
+
+    /// Fraction of *cells* living in degenerate sub-blocks for a cubic
+    /// unit of edge `unit` cut by `sz`.
+    pub fn degenerate_cell_fraction(unit: usize, sz: usize) -> f64 {
+        let mut degen_cells = 0usize;
+        let pieces = |n: usize| -> Vec<usize> {
+            let mut v = Vec::new();
+            let mut rem = n;
+            while rem > 0 {
+                let take = sz.min(rem);
+                v.push(take);
+                rem -= take;
+            }
+            v
+        };
+        let p = pieces(unit);
+        for &z in &p {
+            for &y in &p {
+                for &x in &p {
+                    if x <= 2 || y <= 2 || z <= 2 {
+                        degen_cells += x * y * z;
+                    }
+                }
+            }
+        }
+        degen_cells as f64 / (unit * unit * unit) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_one_table() {
+        // unit mod 6 ≤ 2 → 4.
+        assert_eq!(adaptive_block_size(8), 4); // 8 mod 6 = 2
+        assert_eq!(adaptive_block_size(32), 4); // 32 mod 6 = 2
+        assert_eq!(adaptive_block_size(12), 4); // 12 mod 6 = 0
+        assert_eq!(adaptive_block_size(14), 4); // 14 mod 6 = 2
+        // unit mod 6 > 2 → 6.
+        assert_eq!(adaptive_block_size(16), 6); // 16 mod 6 = 4
+        assert_eq!(adaptive_block_size(22), 6); // 22 mod 6 = 4
+        assert_eq!(adaptive_block_size(9), 6); // 9 mod 6 = 3
+        // unit ≥ 64 → 6 regardless.
+        assert_eq!(adaptive_block_size(64), 6); // 64 mod 6 = 4 anyway
+        assert_eq!(adaptive_block_size(128), 6); // 128 mod 6 = 2 but ≥ 64
+        assert_eq!(adaptive_block_size(66), 6);
+    }
+
+    #[test]
+    fn figure8_census_for_8_cube() {
+        // Paper Fig. 8a: an 8³ unit cut by 6³ yields one 6³, three 6×6×2,
+        // three 6×2×2 and one 2³.
+        let c = PartitionCensus::of(8, 6);
+        assert_eq!(
+            c,
+            PartitionCensus {
+                full: 1,
+                flat: 3,
+                slim: 3,
+                tiny: 1
+            }
+        );
+        // Fig. 8b: cutting with 4³ leaves no degenerate residue.
+        let c4 = PartitionCensus::of(8, 4);
+        assert_eq!(c4.degenerate(), 0);
+        assert_eq!(c4.full, 8);
+    }
+
+    #[test]
+    fn sixteen_cube_has_no_residue_issue() {
+        // 16 mod 6 = 4 → residues are 6×6×4 / 6×4×4 / 4³, none degenerate,
+        // which is why the paper keeps 6³ for unit=16 (Fig. 7a).
+        let c = PartitionCensus::of(16, 6);
+        assert_eq!(c.degenerate(), 0);
+    }
+
+    #[test]
+    fn degenerate_fraction_drives_eq1() {
+        // Where Eq. 1 picks 4³ on AMReX's power-of-two unit sizes, the 6³
+        // partition wastes a sizable cell fraction in degenerate blocks and
+        // the 4³ partition wastes none (paper Fig. 8). For non-power-of-two
+        // units 4³ is never worse.
+        for unit in [8usize, 32] {
+            assert_eq!(adaptive_block_size(unit), 4);
+            let f6 = PartitionCensus::degenerate_cell_fraction(unit, 6);
+            let f4 = PartitionCensus::degenerate_cell_fraction(unit, 4);
+            // 8³ → 1−(6/8)³ ≈ 0.58; 32³ → 1−(30/32)³ ≈ 0.18.
+            assert!(f6 > 0.15, "unit {unit}: f6 = {f6}");
+            assert_eq!(f4, 0.0, "unit {unit}");
+        }
+        for unit in [14usize, 20, 26] {
+            if adaptive_block_size(unit) == 4 {
+                let f6 = PartitionCensus::degenerate_cell_fraction(unit, 6);
+                let f4 = PartitionCensus::degenerate_cell_fraction(unit, 4);
+                assert!(f4 <= f6, "unit {unit}: f4 {f4} > f6 {f6}");
+            }
+        }
+    }
+
+    #[test]
+    fn census_totals() {
+        let c = PartitionCensus::of(13, 6);
+        // 13 → 6+6+1 per axis ⇒ 27 blocks.
+        assert_eq!(c.total(), 27);
+        // blocks containing the 1-wide slab are degenerate.
+        assert_eq!(c.degenerate(), 27 - 8);
+    }
+}

@@ -1,0 +1,360 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! SZ encodes error-quantization codes (≈2¹⁶ possible bins) with a
+//! customized Huffman coder; this is the equivalent. Codes are canonical so
+//! the table serializes as (symbol, length) pairs and decoding needs only
+//! per-length first-code offsets.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::wire::{Reader, WireError, WireResult, Writer};
+use std::collections::BinaryHeap;
+
+/// Maximum admitted code length. Frequencies are flattened and the tree is
+/// rebuilt if a longer code appears (pathological skew).
+const MAX_CODE_LEN: u32 = 32;
+
+/// A built Huffman code book.
+#[derive(Clone, Debug)]
+pub struct HuffmanCode {
+    /// (symbol, code length) for every used symbol, canonical order.
+    lens: Vec<(u32, u32)>,
+    /// Dense encode table indexed by symbol: (code, len); len = 0 = unused.
+    encode: Vec<(u64, u32)>,
+}
+
+impl HuffmanCode {
+    /// Build a code book from symbol frequencies. `freqs` maps symbol →
+    /// count; zero-count symbols are ignored. Panics if no symbol has a
+    /// positive count.
+    pub fn from_frequencies(freqs: &[(u32, u64)]) -> Self {
+        let used: Vec<(u32, u64)> = freqs.iter().copied().filter(|&(_, c)| c > 0).collect();
+        assert!(!used.is_empty(), "Huffman build with no symbols");
+        let mut shift = 0u32;
+        loop {
+            let lens = build_lengths(&used, shift);
+            if lens.iter().all(|&(_, l)| l <= MAX_CODE_LEN) {
+                return Self::from_lengths(lens);
+            }
+            shift += 4; // flatten frequencies and retry
+        }
+    }
+
+    /// Build from explicit (symbol, length) pairs (e.g. read from a
+    /// stream header). Lengths define canonical codes.
+    fn from_lengths(mut lens: Vec<(u32, u32)>) -> Self {
+        // Canonical order: by (length, symbol).
+        lens.sort_by_key(|&(s, l)| (l, s));
+        let max_symbol = lens.iter().map(|&(s, _)| s).max().unwrap_or(0);
+        let mut encode = vec![(0u64, 0u32); max_symbol as usize + 1];
+        let mut code = 0u64;
+        let mut prev_len = 0u32;
+        for &(sym, len) in &lens {
+            code <<= len - prev_len;
+            prev_len = len;
+            encode[sym as usize] = (code, len);
+            code += 1;
+        }
+        HuffmanCode { lens, encode }
+    }
+
+    /// Encode a symbol sequence into a bit-packed byte vector.
+    pub fn encode(&self, symbols: &[u32]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            let (code, len) = self.encode[s as usize];
+            debug_assert!(len > 0, "symbol {s} not in code book");
+            w.write_bits(code, len);
+        }
+        w.into_bytes()
+    }
+
+    /// Mean code length in bits, frequency-weighted by `freqs` — used by
+    /// size estimators.
+    pub fn mean_bits(&self, freqs: &[(u32, u64)]) -> f64 {
+        let mut bits = 0u128;
+        let mut count = 0u128;
+        for &(s, c) in freqs {
+            if c == 0 {
+                continue;
+            }
+            let (_, len) = self.encode[s as usize];
+            bits += (len as u128) * c as u128;
+            count += c as u128;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            bits as f64 / count as f64
+        }
+    }
+
+    /// Decode exactly `n` symbols from the bit stream.
+    pub fn decode(&self, bytes: &[u8], n: usize) -> WireResult<Vec<u32>> {
+        // Per-length canonical decode tables.
+        let max_len = self.lens.last().map(|&(_, l)| l).unwrap_or(0);
+        // first_code[len], first_index[len] into self.lens.
+        let mut first_code = vec![0u64; max_len as usize + 2];
+        let mut first_index = vec![0usize; max_len as usize + 2];
+        let mut count = vec![0usize; max_len as usize + 2];
+        for &(_, l) in &self.lens {
+            count[l as usize] += 1;
+        }
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for len in 1..=max_len as usize {
+            code <<= 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            code += count[len] as u64;
+            index += count[len];
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut r = BitReader::new(bytes);
+        // Single-symbol streams use 1-bit codes; the general path handles it.
+        for _ in 0..n {
+            let mut code = 0u64;
+            let mut len = 0usize;
+            loop {
+                let bit = r
+                    .read_bit()
+                    .ok_or_else(|| WireError("huffman stream exhausted".into()))?;
+                code = (code << 1) | bit;
+                len += 1;
+                if len > max_len as usize {
+                    return Err(WireError("invalid huffman code".into()));
+                }
+                let rel = code.wrapping_sub(first_code[len]);
+                if count[len] > 0 && code >= first_code[len] && (rel as usize) < count[len] {
+                    out.push(self.lens[first_index[len] + rel as usize].0);
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serialize the code book (symbol/length pairs).
+    pub fn write_table(&self, w: &mut Writer) {
+        w.put_u32(self.lens.len() as u32);
+        for &(s, l) in &self.lens {
+            w.put_u32(s);
+            w.put_u8(l as u8);
+        }
+    }
+
+    /// Deserialize a code book written by [`HuffmanCode::write_table`].
+    pub fn read_table(r: &mut Reader<'_>) -> WireResult<Self> {
+        let n = r.get_u32()? as usize;
+        if n == 0 {
+            return Err(WireError("empty huffman table".into()));
+        }
+        let mut lens = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = r.get_u32()?;
+            let l = r.get_u8()? as u32;
+            if l == 0 || l > MAX_CODE_LEN {
+                return Err(WireError(format!("bad code length {l}")));
+            }
+            lens.push((s, l));
+        }
+        Ok(Self::from_lengths(lens))
+    }
+
+    /// Number of distinct symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.lens.len()
+    }
+}
+
+/// Compute code lengths by building the Huffman tree over (possibly
+/// flattened) frequencies. `shift` right-shifts counts (then +1) to reduce
+/// skew when length limiting is needed.
+fn build_lengths(used: &[(u32, u64)], shift: u32) -> Vec<(u32, u32)> {
+    if used.len() == 1 {
+        return vec![(used[0].0, 1)];
+    }
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for min-heap; tie-break on id for determinism.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    // children[id] = (left, right); leaves are ids < used.len().
+    let mut children: Vec<(usize, usize)> = Vec::with_capacity(used.len());
+    let mut heap = BinaryHeap::with_capacity(used.len());
+    for (i, &(_, c)) in used.iter().enumerate() {
+        let w = if shift == 0 { c } else { (c >> shift) + 1 };
+        heap.push(Node { weight: w, id: i });
+    }
+    let mut next_id = used.len();
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        children.push((a.id, b.id));
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: next_id,
+        });
+        next_id += 1;
+    }
+    let root = heap.pop().expect("non-empty").id;
+    // Depth-first traversal to get leaf depths.
+    let mut lens = vec![0u32; used.len()];
+    let mut stack = vec![(root, 0u32)];
+    while let Some((id, depth)) = stack.pop() {
+        if id < used.len() {
+            lens[id] = depth.max(1);
+        } else {
+            let (l, r) = children[id - used.len()];
+            stack.push((l, depth + 1));
+            stack.push((r, depth + 1));
+        }
+    }
+    used.iter()
+        .enumerate()
+        .map(|(i, &(s, _))| (s, lens[i]))
+        .collect()
+}
+
+/// Count symbol frequencies of a sequence into the sparse `(symbol, count)`
+/// form [`HuffmanCode::from_frequencies`] expects.
+pub fn count_frequencies(symbols: &[u32]) -> Vec<(u32, u64)> {
+    let mut map = std::collections::HashMap::new();
+    for &s in symbols {
+        *map.entry(s).or_insert(0u64) += 1;
+    }
+    let mut v: Vec<(u32, u64)> = map.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Convenience: encode `symbols` as `table ‖ bit-length ‖ bitstream`.
+pub fn encode_with_table(symbols: &[u32]) -> Vec<u8> {
+    let mut w = Writer::new();
+    if symbols.is_empty() {
+        w.put_u32(0);
+        return w.into_bytes();
+    }
+    let freqs = count_frequencies(symbols);
+    let code = HuffmanCode::from_frequencies(&freqs);
+    code.write_table(&mut w);
+    w.put_u64(symbols.len() as u64);
+    w.put_block(&code.encode(symbols));
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_with_table`].
+pub fn decode_with_table(bytes: &[u8]) -> WireResult<Vec<u32>> {
+    let mut r = Reader::new(bytes);
+    // Peek the symbol count; 0 means the empty-stream marker.
+    let n_table = {
+        let mut peek = Reader::new(bytes);
+        peek.get_u32()?
+    };
+    if n_table == 0 {
+        return Ok(Vec::new());
+    }
+    let code = HuffmanCode::read_table(&mut r)?;
+    let n = r.get_u64()? as usize;
+    let payload = r.get_block()?;
+    code.decode(payload, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) {
+        let bytes = encode_with_table(symbols);
+        let back = decode_with_table(&bytes).expect("decode");
+        assert_eq!(back, symbols);
+    }
+
+    #[test]
+    fn empty_stream() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_distinct_symbol() {
+        roundtrip(&[42; 1000]);
+        // 1000 × 1-bit codes ≈ 125 bytes payload.
+        let bytes = encode_with_table(&[42; 1000]);
+        assert!(bytes.len() < 160, "single-symbol stream too large");
+    }
+
+    #[test]
+    fn two_symbols() {
+        let mut syms = vec![7u32; 100];
+        syms.extend(vec![9u32; 50]);
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 95 % center symbol → ≈1.3 bits/symbol, far below the 17 bits a
+        // flat encoding of 2^16-range codes would need.
+        let mut syms = Vec::new();
+        for i in 0..10_000u32 {
+            syms.push(if i % 20 == 0 { 32768 + (i % 7) } else { 32768 });
+        }
+        let bytes = encode_with_table(&syms);
+        assert!(bytes.len() < 10_000 * 3 / 8 + 200);
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn many_symbols_roundtrip() {
+        // Pseudo-random (LCG) spread over a wide alphabet.
+        let mut x = 12345u64;
+        let syms: Vec<u32> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % 4096) as u32
+            })
+            .collect();
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs: Vec<(u32, u64)> = (0..64u32).map(|s| (s, (s as u64 + 1) * 3)).collect();
+        let code = HuffmanCode::from_frequencies(&freqs);
+        // Kraft sum must be ≤ 1 and codes distinct.
+        let mut kraft = 0.0f64;
+        let mut seen = std::collections::HashSet::new();
+        for &(s, l) in &code.lens {
+            kraft += 2f64.powi(-(l as i32));
+            let (c, ll) = code.encode[s as usize];
+            assert!(seen.insert((c, ll)));
+        }
+        assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
+    }
+
+    #[test]
+    fn mean_bits_reasonable() {
+        let freqs = vec![(0u32, 900u64), (1, 50), (2, 50)];
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let mb = code.mean_bits(&freqs);
+        assert!(mb < 1.3, "mean bits {mb}");
+    }
+
+    #[test]
+    fn truncated_table_errors() {
+        let bytes = encode_with_table(&[1, 2, 3, 1, 2, 3]);
+        assert!(decode_with_table(&bytes[..3]).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! SZ_Interp: multi-level spline-interpolation compressor (the SZ3
+//! dynamic-spline algorithm of Zhao et al., ICDE 2021).
+//!
+//! The 3-D grid is reconstructed coarse-to-fine: at level `ℓ` (stride
+//! `s = 2^{ℓ-1}`) every point whose coordinates are multiples of `s` gets
+//! predicted by 1-D interpolation — cubic spline when four aligned
+//! neighbours exist, linear with two, previous-value at borders — from
+//! points already known at stride `2s`. Residuals are quantized and the
+//! symbol stream is Huffman + LZ coded like SZ_L/R.
+//!
+//! Interpolation is a *global* operation over the whole buffer, which is
+//! why the paper's cluster (cube-like) arrangement of unit blocks helps it
+//! (§3.1, Fig. 5) and why block-structured AMR data ultimately suits the
+//! block-based SZ_L/R better (§4.3 insight).
+
+use crate::buffer3::{Buffer3, Dims3};
+use crate::huffman;
+use crate::lossless;
+use crate::quantizer::{Quantizer, OUTLIER_SYMBOL};
+use crate::wire::{Reader, WireError, WireResult, Writer};
+
+const MAGIC: u32 = 0x504E_4953; // "SINP"
+const VERSION: u8 = 1;
+
+/// Configuration for SZ_Interp.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpConfig {
+    /// Absolute error bound.
+    pub abs_eb: f64,
+}
+
+impl InterpConfig {
+    /// Construct with an absolute error bound.
+    pub fn new(abs_eb: f64) -> Self {
+        InterpConfig { abs_eb }
+    }
+}
+
+/// Compress one 3-D buffer.
+pub fn compress(data: &Buffer3, cfg: &InterpConfig) -> Vec<u8> {
+    let dims = data.dims();
+    let q = Quantizer::new(cfg.abs_eb);
+    let mut recon = Buffer3::zeros(dims);
+    let mut syms = Vec::with_capacity(dims.len());
+    let mut outliers = Vec::new();
+
+    let mut quant_point = |recon: &mut Buffer3, i: usize, j: usize, k: usize, pred: f64| {
+        let val = data.get(i, j, k);
+        let (sym, rec) = q.quantize(val, pred);
+        if sym == OUTLIER_SYMBOL {
+            outliers.push(val);
+        }
+        syms.push(sym);
+        recon.set(i, j, k, rec);
+    };
+
+    // Anchor point.
+    quant_point(&mut recon, 0, 0, 0, 0.0);
+    for s in strides(dims) {
+        for axis in [Axis::X, Axis::Y, Axis::Z] {
+            // Targets are collected first: prediction reads the buffer
+            // state from before the point is written.
+            let targets: Vec<(usize, usize, usize)> = PassTargets::new(dims, s, axis).collect();
+            for (i, j, k) in targets {
+                let pred = predict(&recon, dims, s, axis, i, j, k);
+                quant_point(&mut recon, i, j, k, pred);
+            }
+        }
+    }
+    debug_assert_eq!(syms.len(), dims.len());
+
+    let mut w = Writer::new();
+    w.put_u8(VERSION);
+    w.put_f64(cfg.abs_eb);
+    w.put_u32(dims.nx as u32);
+    w.put_u32(dims.ny as u32);
+    w.put_u32(dims.nz as u32);
+    w.put_block(&huffman::encode_with_table(&syms));
+    w.put_u64(outliers.len() as u64);
+    for &v in &outliers {
+        w.put_f64(v);
+    }
+    let mut out = Writer::new();
+    out.put_u32(MAGIC);
+    out.put_raw(&lossless::compress(&w.into_bytes()));
+    out.into_bytes()
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
+    let mut top = Reader::new(bytes);
+    if top.get_u32()? != MAGIC {
+        return Err(WireError("bad SZ_Interp magic".into()));
+    }
+    let payload = lossless::decompress(top.get_raw(top.remaining())?)?;
+    let mut r = Reader::new(&payload);
+    if r.get_u8()? != VERSION {
+        return Err(WireError("unsupported SZ_Interp version".into()));
+    }
+    let abs_eb = r.get_f64()?;
+    let nx = r.get_u32()? as usize;
+    let ny = r.get_u32()? as usize;
+    let nz = r.get_u32()? as usize;
+    let dims = Dims3::new(nx, ny, nz);
+    let syms = huffman::decode_with_table(r.get_block()?)?;
+    if syms.len() != dims.len() {
+        return Err(WireError(format!(
+            "symbol count {} != {} points",
+            syms.len(),
+            dims.len()
+        )));
+    }
+    let n_out = r.get_u64()? as usize;
+    let mut outliers = Vec::with_capacity(n_out);
+    for _ in 0..n_out {
+        outliers.push(r.get_f64()?);
+    }
+
+    let q = Quantizer::new(abs_eb);
+    let mut recon = Buffer3::zeros(dims);
+    let mut sym_iter = syms.into_iter();
+    let mut out_iter = outliers.into_iter();
+    let truncated = || WireError("SZ_Interp stream truncated".into());
+    let place = |recon: &mut Buffer3,
+                     i: usize,
+                     j: usize,
+                     k: usize,
+                     pred: f64,
+                     sym_iter: &mut std::vec::IntoIter<u32>,
+                     out_iter: &mut std::vec::IntoIter<f64>|
+     -> WireResult<()> {
+        let sym = sym_iter.next().ok_or_else(truncated)?;
+        let v = if sym == OUTLIER_SYMBOL {
+            out_iter.next().ok_or_else(truncated)?
+        } else {
+            q.reconstruct(sym, pred)
+        };
+        recon.set(i, j, k, v);
+        Ok(())
+    };
+
+    place(&mut recon, 0, 0, 0, 0.0, &mut sym_iter, &mut out_iter)?;
+    for s in strides(dims) {
+        for axis in [Axis::X, Axis::Y, Axis::Z] {
+            // Collect targets first: prediction must read the buffer state
+            // from *before* each point is written, and PassIter borrows it.
+            let targets: Vec<(usize, usize, usize)> =
+                PassTargets::new(dims, s, axis).collect();
+            for (i, j, k) in targets {
+                let pred = predict(&recon, dims, s, axis, i, j, k);
+                place(&mut recon, i, j, k, pred, &mut sym_iter, &mut out_iter)?;
+            }
+        }
+    }
+    Ok(recon)
+}
+
+/// Strides `2^(L-1), …, 2, 1` with `2^L ≥ max_dim` (so the known set
+/// bootstraps from the single anchor point).
+fn strides(dims: Dims3) -> Vec<usize> {
+    let mut s = 1usize;
+    while s < dims.max_dim() {
+        s <<= 1;
+    }
+    // s = 2^L ≥ max_dim; first prediction stride is s/2. Empty for a
+    // single-point domain (nothing to predict beyond the anchor).
+    let mut v = Vec::new();
+    let mut cur = s >> 1;
+    while cur >= 1 {
+        v.push(cur);
+        cur >>= 1;
+    }
+    v
+}
+
+/// The axis a pass interpolates along.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+/// Enumerate the target points of one pass: along `axis`, coordinates are
+/// odd multiples of `s`; on axes already processed this level the
+/// coordinate runs over multiples of `s`, on axes not yet processed over
+/// multiples of `2s`.
+struct PassTargets {
+    s: usize,
+    axis: Axis,
+    idx: usize,
+    counts: (usize, usize, usize),
+}
+
+impl PassTargets {
+    fn new(dims: Dims3, s: usize, axis: Axis) -> Self {
+        // #odd multiples of s below n: positions s, 3s, 5s, … < n.
+        let odd = |n: usize| {
+            if s >= n {
+                0
+            } else {
+                (n - s - 1) / (2 * s) + 1
+            }
+        };
+        // #multiples of step below n: 0, step, 2·step, … < n.
+        let mult = |n: usize, step: usize| (n - 1) / step + 1;
+        let counts = match axis {
+            Axis::X => (odd(dims.nx), mult(dims.ny, 2 * s), mult(dims.nz, 2 * s)),
+            Axis::Y => (mult(dims.nx, s), odd(dims.ny), mult(dims.nz, 2 * s)),
+            Axis::Z => (mult(dims.nx, s), mult(dims.ny, s), odd(dims.nz)),
+        };
+        PassTargets {
+            s,
+            axis,
+            idx: 0,
+            counts,
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.counts.0 * self.counts.1 * self.counts.2
+    }
+}
+
+impl Iterator for PassTargets {
+    type Item = (usize, usize, usize);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.idx >= self.total() {
+            return None;
+        }
+        let (ci, cj, _ck) = self.counts;
+        let a = self.idx % ci;
+        let b = (self.idx / ci) % cj;
+        let c = self.idx / (ci * cj);
+        self.idx += 1;
+        let s = self.s;
+        Some(match self.axis {
+            Axis::X => (s + 2 * s * a, 2 * s * b, 2 * s * c),
+            Axis::Y => (s * a, s + 2 * s * b, 2 * s * c),
+            Axis::Z => (s * a, s * b, s + 2 * s * c),
+        })
+    }
+}
+
+/// 1-D spline prediction along `axis` at stride `s` from the reconstructed
+/// buffer: cubic when both ±3s neighbours are in range, linear when the +s
+/// neighbour exists, previous value otherwise.
+#[inline]
+fn predict(recon: &Buffer3, dims: Dims3, s: usize, axis: Axis, i: usize, j: usize, k: usize) -> f64 {
+    let (pos, n) = match axis {
+        Axis::X => (i, dims.nx),
+        Axis::Y => (j, dims.ny),
+        Axis::Z => (k, dims.nz),
+    };
+    let at = |p: usize| match axis {
+        Axis::X => recon.get(p, j, k),
+        Axis::Y => recon.get(i, p, k),
+        Axis::Z => recon.get(i, j, p),
+    };
+    debug_assert!(pos >= s);
+    let has_right = pos + s < n;
+    let has_far_left = pos >= 3 * s;
+    let has_far_right = pos + 3 * s < n;
+    if has_right && has_far_left && has_far_right {
+        // Cubic spline weights (−1/16, 9/16, 9/16, −1/16).
+        (-at(pos - 3 * s) + 9.0 * at(pos - s) + 9.0 * at(pos + s) - at(pos + 3 * s)) / 16.0
+    } else if has_right {
+        0.5 * (at(pos - s) + at(pos + s))
+    } else {
+        at(pos - s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ErrorStats;
+
+    #[test]
+    fn pass_targets_cover_every_point_once() {
+        for dims in [
+            Dims3::cube(8),
+            Dims3::cube(9),
+            Dims3::new(16, 4, 7),
+            Dims3::new(1, 1, 1),
+            Dims3::new(5, 1, 3),
+        ] {
+            let mut seen = vec![false; dims.len()];
+            seen[dims.idx(0, 0, 0)] = true; // anchor
+            for s in strides(dims) {
+                for axis in [Axis::X, Axis::Y, Axis::Z] {
+                    for (i, j, k) in PassTargets::new(dims, s, axis) {
+                        assert!(i < dims.nx && j < dims.ny && k < dims.nz);
+                        let idx = dims.idx(i, j, k);
+                        assert!(!seen[idx], "point ({i},{j},{k}) visited twice, dims {dims:?}");
+                        seen[idx] = true;
+                    }
+                }
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "dims {dims:?}: {} points unvisited",
+                seen.iter().filter(|&&s| !s).count()
+            );
+        }
+    }
+
+    fn smooth(n: usize) -> Buffer3 {
+        let mut b = Buffer3::zeros(Dims3::cube(n));
+        b.fill_with(|i, j, k| {
+            let (x, y, z) = (i as f64 / n as f64, j as f64 / n as f64, k as f64 / n as f64);
+            (3.0 * x + 1.0).sin() * (2.0 * y).cos() * (z + 0.3).sqrt()
+        });
+        b
+    }
+
+    #[test]
+    fn roundtrip_respects_bound() {
+        for n in [8usize, 15, 32] {
+            let data = smooth(n);
+            for eb in [1e-2, 1e-4] {
+                let c = compress(&data, &InterpConfig::new(eb));
+                let back = decompress(&c).expect("decode");
+                let stats = ErrorStats::compare(data.data(), back.data());
+                assert!(
+                    stats.max_abs_err <= eb * (1.0 + 1e-12),
+                    "n={n} eb={eb}: {}",
+                    stats.max_abs_err
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_data_high_ratio() {
+        let data = smooth(32);
+        let c = compress(&data, &InterpConfig::new(1e-3));
+        let cr = (data.dims().len() * 8) as f64 / c.len() as f64;
+        assert!(cr > 20.0, "interp CR {cr} too low on smooth data");
+    }
+
+    #[test]
+    fn single_point_domain() {
+        let b = Buffer3::from_vec(Dims3::new(1, 1, 1), vec![13.0]);
+        let c = compress(&b, &InterpConfig::new(1e-3));
+        let back = decompress(&c).expect("decode");
+        assert!((back.get(0, 0, 0) - 13.0).abs() <= 1e-3);
+    }
+
+    #[test]
+    fn anisotropic_dims_roundtrip() {
+        let dims = Dims3::new(64, 8, 3);
+        let mut b = Buffer3::zeros(dims);
+        b.fill_with(|i, j, k| (i as f64 * 0.1).cos() + j as f64 * 0.01 - k as f64);
+        let c = compress(&b, &InterpConfig::new(1e-3));
+        let back = decompress(&c).expect("decode");
+        let stats = ErrorStats::compare(b.data(), back.data());
+        assert!(stats.max_abs_err <= 1e-3 * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn corrupted_stream_is_error() {
+        let c = compress(&smooth(8), &InterpConfig::new(1e-3));
+        assert!(decompress(&c[..6]).is_err());
+        let mut bad = c.clone();
+        bad[2] ^= 0x40;
+        assert!(decompress(&bad).is_err());
+    }
+}

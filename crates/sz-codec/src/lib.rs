@@ -1,0 +1,97 @@
+//! # sz-codec — error-bounded lossy compression for scientific floats
+//!
+//! A from-scratch Rust implementation of the SZ compressor family the
+//! AMRIC paper (SC '23) builds on:
+//!
+//! * [`lr`] — **SZ_L/R** (SZ2, Liang et al. 2018): blockwise selection
+//!   between the 3-D Lorenzo predictor and per-block linear regression,
+//!   linear-scale quantization, canonical Huffman, LZ lossless backend.
+//!   Multi-domain calls give the paper's **Shared Lossless Encoding**.
+//! * [`interp`] — **SZ_Interp** (SZ3 dynamic spline, Zhao et al. 2021):
+//!   global multi-level cubic/linear interpolation prediction.
+//! * [`adaptive`] — the paper's adaptive SZ-block-size rule (Equation 1).
+//! * [`metrics`] — PSNR (paper formula), MSE, max-error, rate helpers.
+//!
+//! Every compressed stream is self-describing and the decompressors return
+//! `Result`s — corrupted input never panics.
+//!
+//! ```
+//! use sz_codec::prelude::*;
+//!
+//! let mut data = Buffer3::zeros(Dims3::cube(16));
+//! data.fill_with(|i, j, k| (i as f64 * 0.3).sin() + (j + k) as f64 * 0.01);
+//! let eb = absolute_bound(1e-3, data.value_range());
+//! let stream = lr::compress(&data, &LrConfig::new(eb));
+//! let restored = lr::decompress(&stream).unwrap();
+//! let stats = ErrorStats::compare(data.data(), restored.data());
+//! assert!(stats.max_abs_err <= eb);
+//! ```
+
+pub mod adaptive;
+pub mod bitstream;
+pub mod buffer3;
+pub mod huffman;
+pub mod interp;
+pub mod lorenzo;
+pub mod lossless;
+pub mod lr;
+pub mod metrics;
+pub mod quantizer;
+pub mod regression;
+pub mod wire;
+
+pub use buffer3::{Buffer3, Dims3};
+pub use metrics::ErrorStats;
+
+/// User-facing error-bound specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute bound: `|orig − recon| ≤ value`.
+    Abs(f64),
+    /// Value-range-relative bound: `|orig − recon| ≤ value · (max − min)`,
+    /// the mode used throughout the paper's evaluation.
+    Rel(f64),
+}
+
+impl ErrorBound {
+    /// Resolve to an absolute bound for data with the given value range.
+    pub fn to_absolute(self, value_range: f64) -> f64 {
+        match self {
+            ErrorBound::Abs(v) => v,
+            ErrorBound::Rel(v) => quantizer::absolute_bound(v, value_range),
+        }
+    }
+}
+
+/// Which SZ algorithm to run — the paper evaluates AMRIC with both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SzAlgorithm {
+    /// Blockwise Lorenzo + regression (SZ2).
+    LorenzoRegression,
+    /// Global spline interpolation (SZ3).
+    Interpolation,
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::adaptive::adaptive_block_size;
+    pub use crate::buffer3::{Buffer3, Dims3};
+    pub use crate::interp::{self, InterpConfig};
+    pub use crate::lr::{self, LrConfig};
+    pub use crate::metrics::{bit_rate, compression_ratio, ErrorStats, RatePoint};
+    pub use crate::quantizer::absolute_bound;
+    pub use crate::{ErrorBound, SzAlgorithm};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bound_resolution() {
+        assert_eq!(ErrorBound::Abs(0.5).to_absolute(100.0), 0.5);
+        assert_eq!(ErrorBound::Rel(1e-2).to_absolute(100.0), 1.0);
+        // Constant data: relative falls back to the raw value.
+        assert_eq!(ErrorBound::Rel(1e-2).to_absolute(0.0), 1e-2);
+    }
+}

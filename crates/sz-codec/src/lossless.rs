@@ -1,0 +1,339 @@
+//! Lossless back end: LZ77 (hash-chain match finder) + order-0 byte
+//! Huffman.
+//!
+//! SZ runs Zstd over its Huffman-coded quantization stream; this module is
+//! the from-scratch stand-in (see DESIGN.md). What matters for the paper's
+//! experiments is the *scaling behaviour*: long repeated patterns (runs of
+//! the centre quantization code in smooth data) collapse to near-zero size,
+//! and encoding efficiency grows with buffer size — which is exactly what
+//! makes many small HDF5 chunks lose to one large chunk.
+
+use crate::huffman;
+use crate::wire::{Reader, WireError, WireResult, Writer};
+
+const MIN_MATCH: usize = 4;
+const WINDOW: usize = 1 << 16; // u16 distances
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 48;
+
+/// Compress `data`. The output embeds the original length.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = lz_parse(data);
+    let entropy = huffman::encode_with_table(&tokens.iter().map(|&b| b as u32).collect::<Vec<_>>());
+    let mut w = Writer::new();
+    w.put_u64(data.len() as u64);
+    // Keep whichever representation is smaller; raw fallback keeps the
+    // worst case bounded (header + data).
+    if entropy.len() < tokens.len() {
+        w.put_u8(2); // LZ + Huffman
+        w.put_block(&entropy);
+    } else if tokens.len() < data.len() {
+        w.put_u8(1); // LZ only
+        w.put_block(&tokens);
+    } else {
+        w.put_u8(0); // stored
+        w.put_block(data);
+    }
+    w.into_bytes()
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> WireResult<Vec<u8>> {
+    let mut r = Reader::new(bytes);
+    let orig_len = r.get_u64()? as usize;
+    let mode = r.get_u8()?;
+    let payload = r.get_block()?;
+    match mode {
+        0 => {
+            if payload.len() != orig_len {
+                return Err(WireError("stored block length mismatch".into()));
+            }
+            Ok(payload.to_vec())
+        }
+        1 => lz_expand(payload, orig_len),
+        2 => {
+            let tokens = huffman::decode_with_table(payload)?;
+            let token_bytes: Vec<u8> = tokens
+                .into_iter()
+                .map(|t| {
+                    u8::try_from(t).map_err(|_| WireError("token out of byte range".into()))
+                })
+                .collect::<WireResult<_>>()?;
+            lz_expand(&token_bytes, orig_len)
+        }
+        m => Err(WireError(format!("unknown lossless mode {m}"))),
+    }
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy hash-chain LZ77 parse into the token format:
+/// * literal run: control byte `0x00..=0x7F` = run length − 1 (0x7F adds a
+///   varint extension), then the literal bytes;
+/// * match: control byte `0x80 | (len − MIN_MATCH)` (0x7F extension adds a
+///   varint), then a little-endian u16 distance (≥ 1).
+fn lz_parse(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len()];
+    // Insert position p into its hash chain.
+    fn insert(data: &[u8], head: &mut [usize], prev: &mut [usize], p: usize) {
+        let h = hash4(data, p);
+        prev[p] = head[h];
+        head[h] = p;
+    }
+    let hash_limit = data.len().saturating_sub(MIN_MATCH - 1);
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i < hash_limit {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand < WINDOW && chain < MAX_CHAIN {
+                let dist = i - cand;
+                let limit = data.len() - i;
+                let mut l = 0usize;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, &data[lit_start..i]);
+            emit_match(&mut out, best_len, best_dist);
+            // Register the covered positions so later matches can point
+            // into them.
+            let end = (i + best_len).min(hash_limit);
+            for p in i..end {
+                insert(data, &mut head, &mut prev, p);
+            }
+            i += best_len;
+            lit_start = i;
+        } else {
+            if i < hash_limit {
+                insert(data, &mut head, &mut prev, i);
+            }
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &data[lit_start..]);
+    out
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: usize) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_varint(r: &mut std::slice::Iter<'_, u8>) -> WireResult<usize> {
+    let mut v = 0usize;
+    let mut shift = 0u32;
+    loop {
+        let b = *r
+            .next()
+            .ok_or_else(|| WireError("varint truncated".into()))?;
+        v |= ((b & 0x7F) as usize) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 56 {
+            return Err(WireError("varint overflow".into()));
+        }
+    }
+}
+
+fn flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    if lits.is_empty() {
+        return;
+    }
+    let n = lits.len();
+    if n - 1 < 0x7F {
+        out.push((n - 1) as u8);
+    } else {
+        out.push(0x7F);
+        put_varint(out, n - 1 - 0x7F);
+    }
+    out.extend_from_slice(lits);
+}
+
+fn emit_match(out: &mut Vec<u8>, len: usize, dist: usize) {
+    debug_assert!(len >= MIN_MATCH && (1..WINDOW).contains(&dist));
+    let code = len - MIN_MATCH;
+    if code < 0x7F {
+        out.push(0x80 | code as u8);
+    } else {
+        out.push(0x80 | 0x7F);
+        put_varint(out, code - 0x7F);
+    }
+    out.extend_from_slice(&(dist as u16).to_le_bytes());
+}
+
+fn lz_expand(tokens: &[u8], orig_len: usize) -> WireResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(orig_len);
+    let mut it = tokens.iter();
+    while out.len() < orig_len {
+        let control = *it
+            .next()
+            .ok_or_else(|| WireError("token stream truncated".into()))?;
+        if control & 0x80 == 0 {
+            let mut n = (control & 0x7F) as usize + 1;
+            if control & 0x7F == 0x7F {
+                n += get_varint(&mut it)?;
+            }
+            for _ in 0..n {
+                out.push(
+                    *it.next()
+                        .ok_or_else(|| WireError("literal run truncated".into()))?,
+                );
+            }
+        } else {
+            let mut len = (control & 0x7F) as usize + MIN_MATCH;
+            if control & 0x7F == 0x7F {
+                len += get_varint(&mut it)?;
+            }
+            let lo = *it
+                .next()
+                .ok_or_else(|| WireError("match dist truncated".into()))?;
+            let hi = *it
+                .next()
+                .ok_or_else(|| WireError("match dist truncated".into()))?;
+            let dist = u16::from_le_bytes([lo, hi]) as usize;
+            if dist == 0 || dist > out.len() {
+                return Err(WireError(format!(
+                    "bad match distance {dist} at output {}",
+                    out.len()
+                )));
+            }
+            // Byte-wise forward copy handles overlapping (RLE-style) matches.
+            let start = out.len() - dist;
+            for p in 0..len {
+                let b = out[start + p];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != orig_len {
+        return Err(WireError("decompressed length mismatch".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+        c.len()
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn short_incompressible() {
+        roundtrip(b"a");
+        roundtrip(b"abcdefg");
+    }
+
+    #[test]
+    fn long_zero_run_collapses() {
+        let data = vec![0u8; 100_000];
+        let n = roundtrip(&data);
+        assert!(n < 200, "zero run compressed to {n} bytes");
+    }
+
+    #[test]
+    fn repeated_pattern() {
+        let data: Vec<u8> = (0..50_000).map(|i| ((i % 64) as u8).wrapping_mul(3)).collect();
+        let n = roundtrip(&data);
+        assert!(n < 2_000, "periodic data compressed to {n} bytes");
+    }
+
+    #[test]
+    fn pseudo_random_does_not_explode() {
+        let mut x = 1u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 56) as u8
+            })
+            .collect();
+        let n = roundtrip(&data);
+        assert!(n <= data.len() + 64, "worst case bounded, got {n}");
+    }
+
+    #[test]
+    fn mixed_structure() {
+        let mut data = Vec::new();
+        for i in 0..200 {
+            data.extend_from_slice(b"headerheaderheader");
+            data.push(i as u8);
+            data.extend_from_slice(&(i as u64 * 77).to_le_bytes());
+        }
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 2);
+    }
+
+    #[test]
+    fn bigger_is_denser() {
+        // Encoding efficiency must improve with buffer size — the property
+        // behind the paper's small-chunk pathology (§2.1).
+        let unit: Vec<u8> = (0..1024u32).flat_map(|i| (i % 17).to_le_bytes()).collect();
+        let small: usize = unit
+            .chunks(256)
+            .map(|c| compress(c).len())
+            .sum();
+        let large = compress(&unit).len();
+        assert!(
+            large < small,
+            "one large buffer ({large}) should beat many small ({small})"
+        );
+    }
+
+    #[test]
+    fn corrupt_stream_errors() {
+        let c = compress(b"hello world hello world hello world");
+        assert!(decompress(&c[..4]).is_err());
+        let mut bad = c.clone();
+        let last = bad.len() - 1;
+        bad.truncate(last);
+        // Truncation may or may not break depending on padding; flipping the
+        // declared length always must.
+        let mut bad2 = c;
+        bad2[0] ^= 0xFF;
+        assert!(decompress(&bad2).is_err());
+    }
+
+    #[test]
+    fn long_literal_run_extension() {
+        // >128 distinct literals force the varint extension path.
+        let data: Vec<u8> = (0..=255u8).chain(0..=255).collect();
+        roundtrip(&data);
+    }
+}

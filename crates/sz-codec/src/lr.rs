@@ -1,0 +1,500 @@
+//! SZ_L/R: the blockwise Lorenzo / linear-regression compressor (SZ2
+//! algorithm, Liang et al. 2018), with multi-domain (SLE) support.
+//!
+//! The compressor partitions each *prediction domain* into `block_size`³
+//! blocks. Per block it picks the better of the 3-D Lorenzo predictor
+//! (crosses block boundaries via reconstructed neighbours, like SZ2) and a
+//! per-block linear regression (coefficients delta-quantized into the
+//! stream). Residuals are quantized, Huffman-coded, and the whole payload
+//! passes through the LZ lossless stage.
+//!
+//! **Shared Lossless Encoding (SLE), paper §3.2 Solution 1** falls out of
+//! the multi-domain API: [`compress_domains`] predicts every domain (unit
+//! block) independently — predictions never cross domain boundaries — but
+//! all quantization codes land in one stream under a single shared Huffman
+//! tree. Calling it with one merged domain is the paper's "linear merging"
+//! (LM) baseline; calling it per-unit with separate invocations is the
+//! "compress each box individually" strawman the paper rejects.
+
+use crate::buffer3::{Buffer3, Dims3};
+use crate::huffman;
+use crate::lorenzo::{lorenzo3, lorenzo3_block_error};
+use crate::lossless;
+use crate::quantizer::{Quantizer, OUTLIER_SYMBOL};
+use crate::regression::{fit_block, regression_block_error, CoefficientCodec};
+use crate::wire::{Reader, WireError, WireResult, Writer};
+
+/// Stream magic for SZ_L/R payloads.
+const MAGIC: u32 = 0x525A_4C53; // "SZLR" little-endian-ish tag
+const VERSION: u8 = 1;
+
+/// Regression is never attempted for blocks with fewer cells than this
+/// (coefficient overhead would dominate).
+const MIN_REGRESSION_CELLS: usize = 8;
+
+/// Configuration for one SZ_L/R compression call.
+#[derive(Clone, Copy, Debug)]
+pub struct LrConfig {
+    /// Absolute error bound (convert relative bounds with
+    /// [`crate::quantizer::absolute_bound`]).
+    pub abs_eb: f64,
+    /// Edge length of the SZ prediction blocks (6 in stock SZ2; 4 under
+    /// the paper's adaptive scheme).
+    pub block_size: usize,
+}
+
+impl LrConfig {
+    /// Stock SZ2 configuration (6³ blocks).
+    pub fn new(abs_eb: f64) -> Self {
+        LrConfig {
+            abs_eb,
+            block_size: 6,
+        }
+    }
+
+    /// Override the SZ block size.
+    pub fn with_block_size(mut self, bs: usize) -> Self {
+        assert!(bs >= 1);
+        self.block_size = bs;
+        self
+    }
+}
+
+#[derive(Default)]
+struct Streams {
+    selection: Vec<bool>,
+    data_syms: Vec<u32>,
+    data_outliers: Vec<f64>,
+    coeff_syms: Vec<u32>,
+    coeff_outliers: Vec<f64>,
+}
+
+/// Compress a set of prediction domains with one shared encoding (SLE).
+/// A single-element slice reproduces plain SZ_L/R on that buffer.
+pub fn compress_domains(domains: &[&Buffer3], cfg: &LrConfig) -> Vec<u8> {
+    assert!(!domains.is_empty(), "no domains to compress");
+    let mut streams = Streams::default();
+    let mut coeff_codec = CoefficientCodec::new(cfg.abs_eb, cfg.block_size);
+    let q = Quantizer::new(cfg.abs_eb);
+    for domain in domains {
+        compress_one_domain(domain, cfg, &q, &mut coeff_codec, &mut streams);
+    }
+    encode_container(domains, cfg, &streams)
+}
+
+/// Convenience wrapper: single domain.
+pub fn compress(data: &Buffer3, cfg: &LrConfig) -> Vec<u8> {
+    compress_domains(&[data], cfg)
+}
+
+/// Compress a flat 1-D array (AMReX's baseline compresses box payloads this
+/// way); internally a `(n,1,1)` domain, so the Lorenzo stencil degenerates
+/// to previous-value prediction.
+pub fn compress_1d(data: &[f64], abs_eb: f64) -> Vec<u8> {
+    let buf = Buffer3::from_vec(Dims3::new(data.len().max(1), 1, 1), {
+        let mut v = data.to_vec();
+        if v.is_empty() {
+            v.push(0.0);
+        }
+        v
+    });
+    compress(
+        &buf,
+        &LrConfig {
+            abs_eb,
+            block_size: 6,
+        },
+    )
+}
+
+/// Decompress a stream produced by any of the `compress*` functions.
+/// Returns one buffer per prediction domain, in input order.
+pub fn decompress_domains(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
+    let mut top = Reader::new(bytes);
+    let magic = top.get_u32()?;
+    if magic != MAGIC {
+        return Err(WireError(format!("bad SZ_L/R magic {magic:#x}")));
+    }
+    let payload = lossless::decompress(top.get_raw(top.remaining())?)?;
+    let mut r = Reader::new(&payload);
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(WireError(format!("unsupported SZ_L/R version {version}")));
+    }
+    let abs_eb = r.get_f64()?;
+    let block_size = r.get_u8()? as usize;
+    let ndomains = r.get_u32()? as usize;
+    let mut dims = Vec::with_capacity(ndomains);
+    for _ in 0..ndomains {
+        let nx = r.get_u32()? as usize;
+        let ny = r.get_u32()? as usize;
+        let nz = r.get_u32()? as usize;
+        dims.push(Dims3::new(nx, ny, nz));
+    }
+    // Selection bitmap.
+    let nblocks = r.get_u64()? as usize;
+    let sel_bytes = r.get_raw(nblocks.div_ceil(8))?;
+    let selection: Vec<bool> = (0..nblocks)
+        .map(|i| sel_bytes[i / 8] >> (7 - i % 8) & 1 == 1)
+        .collect();
+    // Coefficient stream.
+    let coeff_syms = huffman::decode_with_table(r.get_block()?)?;
+    let n_coeff_out = r.get_u64()? as usize;
+    let mut coeff_outliers = Vec::with_capacity(n_coeff_out);
+    for _ in 0..n_coeff_out {
+        coeff_outliers.push(r.get_f64()?);
+    }
+    // Data stream.
+    let data_syms = huffman::decode_with_table(r.get_block()?)?;
+    let n_out = r.get_u64()? as usize;
+    let mut data_outliers = Vec::with_capacity(n_out);
+    for _ in 0..n_out {
+        data_outliers.push(r.get_f64()?);
+    }
+
+    let cfg = LrConfig { abs_eb, block_size };
+    let q = Quantizer::new(abs_eb);
+    let mut coeff_codec = CoefficientCodec::new(abs_eb, block_size);
+    let mut sel_iter = selection.into_iter();
+    let mut sym_iter = data_syms.into_iter();
+    let mut out_iter = data_outliers.into_iter();
+    let mut csym_iter = coeff_syms.into_iter();
+    let mut cout_iter = coeff_outliers.into_iter();
+    let mut result = Vec::with_capacity(ndomains);
+    for d in dims {
+        let buf = decompress_one_domain(
+            d,
+            &cfg,
+            &q,
+            &mut coeff_codec,
+            &mut sel_iter,
+            &mut sym_iter,
+            &mut out_iter,
+            &mut csym_iter,
+            &mut cout_iter,
+        )?;
+        result.push(buf);
+    }
+    Ok(result)
+}
+
+/// Convenience wrapper: single-domain decompress.
+pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
+    let mut v = decompress_domains(bytes)?;
+    if v.len() != 1 {
+        return Err(WireError(format!("expected 1 domain, found {}", v.len())));
+    }
+    Ok(v.pop().expect("len checked"))
+}
+
+/// Iterate the blocks of a domain in x-fastest block order, yielding
+/// `(origin, block_dims)`.
+fn blocks_of(dims: Dims3, bs: usize) -> Vec<((usize, usize, usize), Dims3)> {
+    let mut out = Vec::new();
+    let mut ok = 0;
+    while ok < dims.nz {
+        let bz = bs.min(dims.nz - ok);
+        let mut oj = 0;
+        while oj < dims.ny {
+            let by = bs.min(dims.ny - oj);
+            let mut oi = 0;
+            while oi < dims.nx {
+                let bx = bs.min(dims.nx - oi);
+                out.push(((oi, oj, ok), Dims3::new(bx, by, bz)));
+                oi += bs;
+            }
+            oj += bs;
+        }
+        ok += bs;
+    }
+    out
+}
+
+fn compress_one_domain(
+    data: &Buffer3,
+    cfg: &LrConfig,
+    q: &Quantizer,
+    coeff_codec: &mut CoefficientCodec,
+    s: &mut Streams,
+) {
+    let dims = data.dims();
+    let mut recon = Buffer3::zeros(dims);
+    for ((oi, oj, ok), bd) in blocks_of(dims, cfg.block_size) {
+        // Predictor selection on the original data (SZ2 style).
+        let use_regression = if bd.len() >= MIN_REGRESSION_CELLS {
+            let coeffs = fit_block(data, oi, oj, ok, bd);
+            let reg_err = regression_block_error(data, oi, oj, ok, bd, &coeffs);
+            let lor_err = lorenzo3_block_error(data, oi, oj, ok, bd);
+            reg_err < lor_err
+        } else {
+            false
+        };
+        s.selection.push(use_regression);
+        if use_regression {
+            let coeffs = fit_block(data, oi, oj, ok, bd);
+            let qc = coeff_codec.encode(&coeffs, &mut s.coeff_syms, &mut s.coeff_outliers);
+            for k in 0..bd.nz {
+                for j in 0..bd.ny {
+                    for i in 0..bd.nx {
+                        let val = data.get(oi + i, oj + j, ok + k);
+                        let (sym, rec) = q.quantize(val, qc.predict(i, j, k));
+                        if sym == OUTLIER_SYMBOL {
+                            s.data_outliers.push(val);
+                        }
+                        s.data_syms.push(sym);
+                        recon.set(oi + i, oj + j, ok + k, rec);
+                    }
+                }
+            }
+        } else {
+            for k in 0..bd.nz {
+                for j in 0..bd.ny {
+                    for i in 0..bd.nx {
+                        let val = data.get(oi + i, oj + j, ok + k);
+                        let pred = lorenzo3(&recon, oi + i, oj + j, ok + k);
+                        let (sym, rec) = q.quantize(val, pred);
+                        if sym == OUTLIER_SYMBOL {
+                            s.data_outliers.push(val);
+                        }
+                        s.data_syms.push(sym);
+                        recon.set(oi + i, oj + j, ok + k, rec);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decompress_one_domain(
+    dims: Dims3,
+    cfg: &LrConfig,
+    q: &Quantizer,
+    coeff_codec: &mut CoefficientCodec,
+    sel_iter: &mut impl Iterator<Item = bool>,
+    sym_iter: &mut impl Iterator<Item = u32>,
+    out_iter: &mut impl Iterator<Item = f64>,
+    csym_iter: &mut impl Iterator<Item = u32>,
+    cout_iter: &mut impl Iterator<Item = f64>,
+) -> WireResult<Buffer3> {
+    let mut recon = Buffer3::zeros(dims);
+    let truncated = || WireError("SZ_L/R stream truncated".into());
+    for ((oi, oj, ok), bd) in blocks_of(dims, cfg.block_size) {
+        let use_regression = sel_iter.next().ok_or_else(truncated)?;
+        if use_regression {
+            let qc = coeff_codec
+                .decode(csym_iter, cout_iter)
+                .ok_or_else(truncated)?;
+            for k in 0..bd.nz {
+                for j in 0..bd.ny {
+                    for i in 0..bd.nx {
+                        let sym = sym_iter.next().ok_or_else(truncated)?;
+                        let v = if sym == OUTLIER_SYMBOL {
+                            out_iter.next().ok_or_else(truncated)?
+                        } else {
+                            q.reconstruct(sym, qc.predict(i, j, k))
+                        };
+                        recon.set(oi + i, oj + j, ok + k, v);
+                    }
+                }
+            }
+        } else {
+            for k in 0..bd.nz {
+                for j in 0..bd.ny {
+                    for i in 0..bd.nx {
+                        let sym = sym_iter.next().ok_or_else(truncated)?;
+                        let v = if sym == OUTLIER_SYMBOL {
+                            out_iter.next().ok_or_else(truncated)?
+                        } else {
+                            let pred = lorenzo3(&recon, oi + i, oj + j, ok + k);
+                            q.reconstruct(sym, pred)
+                        };
+                        recon.set(oi + i, oj + j, ok + k, v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(recon)
+}
+
+fn encode_container(domains: &[&Buffer3], cfg: &LrConfig, s: &Streams) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(VERSION);
+    w.put_f64(cfg.abs_eb);
+    w.put_u8(cfg.block_size as u8);
+    w.put_u32(domains.len() as u32);
+    for d in domains {
+        let dims = d.dims();
+        w.put_u32(dims.nx as u32);
+        w.put_u32(dims.ny as u32);
+        w.put_u32(dims.nz as u32);
+    }
+    w.put_u64(s.selection.len() as u64);
+    let mut sel_bytes = vec![0u8; s.selection.len().div_ceil(8)];
+    for (i, &b) in s.selection.iter().enumerate() {
+        if b {
+            sel_bytes[i / 8] |= 1 << (7 - i % 8);
+        }
+    }
+    w.put_raw(&sel_bytes);
+    w.put_block(&huffman::encode_with_table(&s.coeff_syms));
+    w.put_u64(s.coeff_outliers.len() as u64);
+    for &v in &s.coeff_outliers {
+        w.put_f64(v);
+    }
+    w.put_block(&huffman::encode_with_table(&s.data_syms));
+    w.put_u64(s.data_outliers.len() as u64);
+    for &v in &s.data_outliers {
+        w.put_f64(v);
+    }
+    let payload = w.into_bytes();
+    let mut out = Writer::new();
+    out.put_u32(MAGIC);
+    out.put_raw(&lossless::compress(&payload));
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ErrorStats;
+
+    fn smooth_cube(n: usize) -> Buffer3 {
+        let mut b = Buffer3::zeros(Dims3::cube(n));
+        b.fill_with(|i, j, k| {
+            let (x, y, z) = (i as f64 / n as f64, j as f64 / n as f64, k as f64 / n as f64);
+            (6.0 * x).sin() * (5.0 * y).cos() + 0.5 * (4.0 * z).sin()
+        });
+        b
+    }
+
+    fn rough_cube(n: usize) -> Buffer3 {
+        let mut x = 99u64;
+        let mut b = Buffer3::zeros(Dims3::cube(n));
+        b.fill_with(|i, j, k| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (i + j + k) as f64 * 0.05 + noise
+        });
+        b
+    }
+
+    #[test]
+    fn roundtrip_respects_error_bound() {
+        for data in [smooth_cube(20), rough_cube(20)] {
+            for eb in [1e-2, 1e-3, 1e-4] {
+                let c = compress(&data, &LrConfig::new(eb));
+                let back = decompress(&c).expect("decode");
+                let stats = ErrorStats::compare(data.data(), back.data());
+                assert!(
+                    stats.max_abs_err <= eb * (1.0 + 1e-12),
+                    "eb={eb}: max err {}",
+                    stats.max_abs_err
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let data = smooth_cube(32);
+        let c = compress(&data, &LrConfig::new(1e-3));
+        let orig = data.dims().len() * 8;
+        assert!(
+            c.len() * 8 < orig,
+            "CR {} too low",
+            orig as f64 / c.len() as f64
+        );
+        assert!(orig as f64 / c.len() as f64 > 8.0);
+    }
+
+    #[test]
+    fn non_cubic_dims_roundtrip() {
+        let mut b = Buffer3::zeros(Dims3::new(17, 9, 5));
+        b.fill_with(|i, j, k| (i * 3 + j * 7 + k * 11) as f64 * 0.01);
+        let c = compress(&b, &LrConfig::new(1e-4));
+        let back = decompress(&c).expect("decode");
+        let stats = ErrorStats::compare(b.data(), back.data());
+        assert!(stats.max_abs_err <= 1e-4 * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn sle_multi_domain_roundtrip() {
+        let units: Vec<Buffer3> = (0..5)
+            .map(|u| {
+                let mut b = Buffer3::zeros(Dims3::cube(8));
+                b.fill_with(|i, j, k| ((i + j + k) as f64 * 0.1 + u as f64).sin());
+                b
+            })
+            .collect();
+        let refs: Vec<&Buffer3> = units.iter().collect();
+        let c = compress_domains(&refs, &LrConfig::new(1e-3));
+        let back = decompress_domains(&c).expect("decode");
+        assert_eq!(back.len(), units.len());
+        for (orig, rec) in units.iter().zip(&back) {
+            assert_eq!(orig.dims(), rec.dims());
+            let stats = ErrorStats::compare(orig.data(), rec.data());
+            assert!(stats.max_abs_err <= 1e-3 * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn shared_tree_beats_separate_encoding() {
+        // SLE's reason to exist: many small blocks with one shared Huffman
+        // tree outperform per-block compression calls (paper Challenge 1).
+        let units: Vec<Buffer3> = (0..64)
+            .map(|u| {
+                let mut b = Buffer3::zeros(Dims3::cube(8));
+                b.fill_with(|i, j, k| ((i * 31 + j * 17 + k * 7 + u * 131) % 97) as f64 * 0.013);
+                b
+            })
+            .collect();
+        let refs: Vec<&Buffer3> = units.iter().collect();
+        let cfg = LrConfig::new(1e-3);
+        let shared = compress_domains(&refs, &cfg).len();
+        let separate: usize = units.iter().map(|u| compress(u, &cfg).len()).sum();
+        assert!(
+            shared < separate,
+            "SLE ({shared}) should beat per-unit calls ({separate})"
+        );
+    }
+
+    #[test]
+    fn one_dimensional_roundtrip() {
+        let data: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.01).sin() * 3.0).collect();
+        let c = compress_1d(&data, 1e-3);
+        let back = decompress(&c).expect("decode");
+        let stats = ErrorStats::compare(&data, back.data());
+        assert!(stats.max_abs_err <= 1e-3 * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn constant_field_tiny_output() {
+        let b = Buffer3::from_vec(Dims3::cube(16), vec![4.2; 4096]);
+        let c = compress(&b, &LrConfig::new(1e-6));
+        assert!(c.len() < 400, "constant field compressed to {} B", c.len());
+        let back = decompress(&c).expect("decode");
+        assert!(back.data().iter().all(|&v| (v - 4.2).abs() <= 1e-6));
+    }
+
+    #[test]
+    fn corrupted_stream_is_error_not_panic() {
+        let data = smooth_cube(8);
+        let c = compress(&data, &LrConfig::new(1e-3));
+        assert!(decompress(&c[..8]).is_err());
+        let mut bad = c.clone();
+        bad[0] ^= 0xFF;
+        assert!(decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn block_partition_covers_domain() {
+        let dims = Dims3::new(13, 7, 9);
+        let blocks = blocks_of(dims, 6);
+        let total: usize = blocks.iter().map(|(_, bd)| bd.len()).sum();
+        assert_eq!(total, dims.len());
+        // 13 → 6+6+1, 7 → 6+1, 9 → 6+3 ⇒ 3×2×2 blocks.
+        assert_eq!(blocks.len(), 12);
+    }
+}

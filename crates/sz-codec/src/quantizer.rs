@@ -1,0 +1,142 @@
+//! Error-bounded linear-scale quantization (SZ2 semantics).
+//!
+//! Every residual `val − pred` is mapped to an integer code
+//! `round(residual / (2·eb))`; reconstruction adds `code · 2·eb` back to the
+//! prediction, so `|val − recon| ≤ eb` always holds for predictable points.
+//! Codes outside the quantization radius are "unpredictable": the symbol 0
+//! is emitted and the raw IEEE-754 value is stored verbatim (lossless for
+//! that point).
+
+/// Quantization radius; codes live in `(-radius, radius)`. SZ uses 2¹⁵ by
+/// default, giving 2¹⁶ Huffman symbols.
+pub const QUANT_RADIUS: i64 = 32768;
+
+/// Symbol used for unpredictable (outlier) points.
+pub const OUTLIER_SYMBOL: u32 = 0;
+
+/// Stateless quantizer for a fixed absolute error bound.
+#[derive(Clone, Copy, Debug)]
+pub struct Quantizer {
+    eb: f64,
+    radius: i64,
+}
+
+impl Quantizer {
+    /// Build for an absolute error bound `eb > 0`.
+    pub fn new(eb: f64) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
+        Quantizer {
+            eb,
+            radius: QUANT_RADIUS,
+        }
+    }
+
+    /// The absolute error bound.
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    /// Quantize `val` against `pred`.
+    ///
+    /// Returns `(symbol, reconstructed)`. If the point is unpredictable the
+    /// symbol is [`OUTLIER_SYMBOL`], the reconstruction equals `val`
+    /// exactly, and the caller must store the raw value.
+    #[inline]
+    pub fn quantize(&self, val: f64, pred: f64) -> (u32, f64) {
+        let diff = val - pred;
+        let scaled = diff / (2.0 * self.eb);
+        let code = scaled.round();
+        if code.abs() < self.radius as f64 && code.is_finite() {
+            let recon = pred + code * 2.0 * self.eb;
+            // Guard against floating-point cancellation pushing the error
+            // past the bound (can happen when |pred| ≫ |diff|).
+            if (recon - val).abs() <= self.eb {
+                return ((code as i64 + self.radius) as u32, recon);
+            }
+        }
+        (OUTLIER_SYMBOL, val)
+    }
+
+    /// Reconstruct from a non-outlier symbol.
+    #[inline]
+    pub fn reconstruct(&self, symbol: u32, pred: f64) -> f64 {
+        debug_assert_ne!(symbol, OUTLIER_SYMBOL);
+        let code = symbol as i64 - self.radius;
+        pred + code as f64 * 2.0 * self.eb
+    }
+}
+
+/// Convert a relative error bound into an absolute one for data with the
+/// given value range, the mode the paper's evaluation uses (per-field,
+/// per-rank range). Constant data (range 0) falls back to `rel` itself so
+/// the quantizer stays valid.
+pub fn absolute_bound(rel: f64, value_range: f64) -> f64 {
+    assert!(rel > 0.0, "relative bound must be positive");
+    if value_range > 0.0 {
+        rel * value_range
+    } else {
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_within_bound() {
+        let q = Quantizer::new(0.01);
+        for &(val, pred) in &[(1.0, 0.98), (5.0, -3.0), (0.0, 0.0), (-2.5, -2.499)] {
+            let (sym, recon) = q.quantize(val, pred);
+            if sym != OUTLIER_SYMBOL {
+                assert!((recon - val).abs() <= 0.01, "val={val} pred={pred}");
+                assert_eq!(q.reconstruct(sym, pred), recon);
+            } else {
+                assert_eq!(recon, val);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_is_center_symbol() {
+        let q = Quantizer::new(1e-3);
+        let (sym, recon) = q.quantize(7.5, 7.5);
+        assert_eq!(sym, QUANT_RADIUS as u32);
+        assert_eq!(recon, 7.5);
+    }
+
+    #[test]
+    fn far_prediction_is_outlier() {
+        let q = Quantizer::new(1e-6);
+        let (sym, recon) = q.quantize(1.0e6, 0.0);
+        assert_eq!(sym, OUTLIER_SYMBOL);
+        assert_eq!(recon, 1.0e6);
+    }
+
+    #[test]
+    fn nan_and_inf_are_outliers() {
+        let q = Quantizer::new(0.1);
+        assert_eq!(q.quantize(f64::NAN, 0.0).0, OUTLIER_SYMBOL);
+        assert_eq!(q.quantize(f64::INFINITY, 0.0).0, OUTLIER_SYMBOL);
+        assert_eq!(q.quantize(1.0, f64::NAN).0, OUTLIER_SYMBOL);
+    }
+
+    #[test]
+    fn relative_bound_conversion() {
+        assert_eq!(absolute_bound(1e-2, 50.0), 0.5);
+        assert_eq!(absolute_bound(1e-2, 0.0), 1e-2);
+    }
+
+    #[test]
+    fn symbols_roundtrip_dense_range() {
+        let q = Quantizer::new(0.5);
+        // Residuals spanning many bins reconstruct within bound.
+        for step in -1000i64..1000 {
+            let val = step as f64 * 0.77;
+            let (sym, recon) = q.quantize(val, 0.0);
+            assert_ne!(sym, OUTLIER_SYMBOL);
+            assert!((recon - val).abs() <= 0.5);
+            assert_eq!(q.reconstruct(sym, 0.0), recon);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Edge-case integration tests for the SZ codec: pathological data
+//! distributions, extreme bounds, shape extremes, and stream robustness.
+
+use sz_codec::prelude::*;
+
+fn check_bound(orig: &Buffer3, stream: &[u8], abs_eb: f64) {
+    let back = lr::decompress(stream).expect("decode");
+    let stats = ErrorStats::compare(orig.data(), back.data());
+    assert!(
+        stats.max_abs_err <= abs_eb * (1.0 + 1e-9),
+        "max err {} > {abs_eb}",
+        stats.max_abs_err
+    );
+}
+
+#[test]
+fn all_outliers_still_roundtrip() {
+    // Alternating ±1e12 with a microscopic bound: every point becomes an
+    // outlier and is stored verbatim.
+    let mut b = Buffer3::zeros(Dims3::cube(6));
+    b.fill_with(|i, j, k| if (i + j + k) % 2 == 0 { 1e12 } else { -1e12 });
+    let stream = lr::compress(&b, &LrConfig::new(1e-9));
+    let back = lr::decompress(&stream).expect("decode");
+    assert_eq!(back.data(), b.data(), "outliers must be lossless");
+}
+
+#[test]
+fn denormal_and_tiny_values() {
+    let mut b = Buffer3::zeros(Dims3::cube(5));
+    b.fill_with(|i, j, k| (i as f64 - j as f64) * 1e-300 + k as f64 * 1e-305);
+    let eb = 1e-310;
+    // The quantizer saturates into outliers at this scale; roundtrip must
+    // still hold the bound.
+    let stream = lr::compress(&b, &LrConfig::new(eb));
+    check_bound(&b, &stream, eb);
+}
+
+#[test]
+fn huge_dynamic_range_nyx_style() {
+    let mut b = Buffer3::zeros(Dims3::cube(16));
+    b.fill_with(|i, j, k| 10f64.powi(((i + j + k) % 12) as i32));
+    let eb = absolute_bound(1e-3, b.value_range());
+    let stream = lr::compress(&b, &LrConfig::new(eb));
+    check_bound(&b, &stream, eb);
+}
+
+#[test]
+fn pencil_and_plane_shapes() {
+    for dims in [Dims3::new(256, 1, 1), Dims3::new(64, 64, 1), Dims3::new(1, 1, 7)] {
+        let mut b = Buffer3::zeros(dims);
+        b.fill_with(|i, j, k| ((i * 3 + j * 5 + k * 7) as f64 * 0.1).sin());
+        let eb = 1e-4;
+        let stream = lr::compress(&b, &LrConfig::new(eb));
+        check_bound(&b, &stream, eb);
+        let istream = interp::compress(&b, &InterpConfig::new(eb));
+        let iback = interp::decompress(&istream).expect("interp decode");
+        let stats = ErrorStats::compare(b.data(), iback.data());
+        assert!(stats.max_abs_err <= eb * (1.0 + 1e-9), "{dims:?}");
+    }
+}
+
+#[test]
+fn block_size_variants_roundtrip() {
+    let mut b = Buffer3::zeros(Dims3::new(17, 13, 11));
+    b.fill_with(|i, j, k| (i as f64 * 1.1).cos() * (j as f64 + 1.0).ln() + k as f64);
+    for bs in [1usize, 2, 4, 6, 8, 16] {
+        let stream = lr::compress(&b, &LrConfig::new(1e-4).with_block_size(bs));
+        check_bound(&b, &stream, 1e-4);
+    }
+}
+
+#[test]
+fn sle_with_hundreds_of_tiny_units() {
+    let units: Vec<Buffer3> = (0..300)
+        .map(|u| {
+            let mut b = Buffer3::zeros(Dims3::cube(4));
+            b.fill_with(|i, j, k| (u as f64 * 0.31).sin() + (i + j + k) as f64 * 0.01);
+            b
+        })
+        .collect();
+    let refs: Vec<&Buffer3> = units.iter().collect();
+    let stream = lr::compress_domains(&refs, &LrConfig::new(1e-4));
+    let back = lr::decompress_domains(&stream).expect("decode");
+    assert_eq!(back.len(), 300);
+    for (o, r) in units.iter().zip(&back) {
+        let stats = ErrorStats::compare(o.data(), r.data());
+        assert!(stats.max_abs_err <= 1e-4 * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn interp_on_step_function() {
+    // Discontinuities break interpolation predictions; quantizer must
+    // absorb them within bound.
+    let mut b = Buffer3::zeros(Dims3::cube(20));
+    b.fill_with(|i, _, _| if i < 10 { 0.0 } else { 100.0 });
+    let stream = interp::compress(&b, &InterpConfig::new(1e-2));
+    let back = interp::decompress(&stream).expect("decode");
+    let stats = ErrorStats::compare(b.data(), back.data());
+    assert!(stats.max_abs_err <= 1e-2 * (1.0 + 1e-9));
+}
+
+#[test]
+fn negative_zero_and_signed_values() {
+    let mut b = Buffer3::zeros(Dims3::cube(4));
+    b.fill_with(|i, j, k| if (i + j + k) % 2 == 0 { -0.0 } else { 0.0 });
+    let stream = lr::compress(&b, &LrConfig::new(1e-6));
+    let back = lr::decompress(&stream).expect("decode");
+    for (&o, &r) in b.data().iter().zip(back.data()) {
+        assert!((o - r).abs() <= 1e-6);
+    }
+}
+
+#[test]
+fn stream_is_deterministic() {
+    let mut b = Buffer3::zeros(Dims3::cube(12));
+    b.fill_with(|i, j, k| ((i * j + k) as f64).sqrt());
+    let s1 = lr::compress(&b, &LrConfig::new(1e-3));
+    let s2 = lr::compress(&b, &LrConfig::new(1e-3));
+    assert_eq!(s1, s2, "same input must give identical streams");
+    let i1 = interp::compress(&b, &InterpConfig::new(1e-3));
+    let i2 = interp::compress(&b, &InterpConfig::new(1e-3));
+    assert_eq!(i1, i2);
+}
+
+#[test]
+fn truncated_streams_error_at_every_cut() {
+    let mut b = Buffer3::zeros(Dims3::cube(8));
+    b.fill_with(|i, j, k| (i + 2 * j + 3 * k) as f64);
+    let stream = lr::compress(&b, &LrConfig::new(1e-3));
+    // Any strict prefix must fail cleanly, never panic.
+    for cut in (0..stream.len()).step_by(7) {
+        assert!(
+            lr::decompress(&stream[..cut]).is_err(),
+            "prefix of {cut} bytes decoded successfully?!"
+        );
+    }
+}
+
+#[test]
+fn tighter_bound_never_smaller_stream() {
+    let mut b = Buffer3::zeros(Dims3::cube(24));
+    b.fill_with(|i, j, k| {
+        ((i as f64) * 0.37).sin() * ((j as f64) * 0.23).cos() + (k as f64 * 0.11).sin()
+    });
+    let mut prev = 0usize;
+    for eb in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5] {
+        let n = lr::compress(&b, &LrConfig::new(eb)).len();
+        assert!(
+            n + 64 >= prev,
+            "eb {eb}: stream shrank from {prev} to {n}"
+        );
+        prev = n;
+    }
+}
+
+#[test]
+fn psnr_improves_with_tighter_bound() {
+    let mut b = Buffer3::zeros(Dims3::cube(24));
+    b.fill_with(|i, j, k| ((i + j) as f64 * 0.2).sin() + (k as f64 * 0.1).cos());
+    let mut prev_psnr = 0.0;
+    for eb in [1e-1, 1e-2, 1e-3, 1e-4] {
+        let stream = lr::compress(&b, &LrConfig::new(eb));
+        let back = lr::decompress(&stream).expect("decode");
+        let psnr = ErrorStats::compare(b.data(), back.data()).psnr();
+        assert!(psnr > prev_psnr, "eb {eb}: PSNR {psnr} ≤ {prev_psnr}");
+        prev_psnr = psnr;
+    }
+}

@@ -1,0 +1,43 @@
+//! Nyx-like in-situ compression over multiple timesteps: the structure of
+//! the paper's evaluation loop — per snapshot, the grids adapt, AMRIC
+//! removes redundancy, compresses per field, and writes collectively.
+//!
+//! Run with: `cargo run --release -p amric --example nyx_insitu`
+
+use amr_apps::prelude::*;
+use amric::prelude::*;
+
+fn main() {
+    let scenario = NyxScenario::new(2026);
+    let mesh = AmrRunConfig {
+        coarse_dims: (32, 32, 32),
+        max_grid_size: 16,
+        blocking_factor: 8,
+        nranks: 4,
+        num_levels: 2,
+        fine_fraction: 0.02,
+        grid_eff: 0.7,
+    };
+    let config = AmricConfig::lr(1e-3);
+    let mut prev: Option<amr_mesh::AmrHierarchy> = None;
+    println!("step  time   fine-boxes  regrid-change   CR      write(model) s");
+    for (step, t, h) in TimeSeries::new(&scenario, mesh, 0.25, 4) {
+        let change = prev
+            .as_ref()
+            .map(|p| regrid_change(p, &h))
+            .unwrap_or(0.0);
+        let path = std::env::temp_dir().join(format!("amric-nyx-{step:04}.h5l"));
+        let report = write_amric(&path, &h, &config, mesh.blocking_factor).expect("write");
+        let (prep, io) = report.modeled_seconds(&rankpar::PfsParams::default());
+        println!(
+            "{step:>4}  {t:<5.2} {:>10}  {:>12.2}  {:>6.1}  {:>8.3}",
+            h.level(1).data.box_array().len(),
+            change,
+            report.compression_ratio(),
+            prep + io,
+        );
+        std::fs::remove_file(&path).ok();
+        prev = Some(h);
+    }
+    println!("\nThe adapting fine grids (regrid-change > 0) are exactly why offline\nreorderings like zMesh struggle in situ: the layout changes every step.");
+}

@@ -1,0 +1,49 @@
+//! WarpX-like in-situ compression: a travelling laser pulse on an
+//! elongated domain — the smooth-data regime where AMRIC's compression
+//! ratios explode (paper Table 2) and I/O savings peak.
+//!
+//! Run with: `cargo run --release -p amric --example warpx_insitu`
+
+use amr_apps::prelude::*;
+use amric::prelude::*;
+
+fn main() {
+    let scenario = WarpXScenario::new(11);
+    let mesh = AmrRunConfig {
+        coarse_dims: (32, 32, 128),
+        max_grid_size: 32,
+        blocking_factor: 8,
+        nranks: 4,
+        num_levels: 2,
+        fine_fraction: 0.02,
+        grid_eff: 0.7,
+    };
+    println!("method            CR       stored KB   filter calls");
+    let h = build_hierarchy(&scenario, &mesh, 0.0);
+    for (label, cfg) in [
+        ("AMRIC(SZ_L/R)", AmricConfig::lr(1e-3)),
+        ("AMRIC(SZ_Interp)", AmricConfig::interp(1e-3)),
+    ] {
+        let path = std::env::temp_dir().join(format!("amric-warpx-{label}.h5l"));
+        let report = write_amric(&path, &h, &cfg, mesh.blocking_factor).expect("write");
+        println!(
+            "{label:<16}  {:>6.1}  {:>10.1}  {:>12}",
+            report.compression_ratio(),
+            report.stored_bytes as f64 / 1024.0,
+            report.ledgers.iter().map(|l| l.filter_calls).sum::<u64>()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    // Compare against the AMReX baseline at its looser Table-1 bound.
+    let path = std::env::temp_dir().join("amric-warpx-baseline.h5l");
+    let report = write_amrex_baseline(&path, &h, &BaselineConfig::new(5e-3)).expect("write");
+    println!(
+        "{:<16}  {:>6.1}  {:>10.1}  {:>12}",
+        "AMReX(1D)",
+        report.compression_ratio(),
+        report.stored_bytes as f64 / 1024.0,
+        report.ledgers.iter().map(|l| l.filter_calls).sum::<u64>()
+    );
+    std::fs::remove_file(&path).ok();
+    println!("\nSmooth pulse data compresses orders of magnitude better through the\n3-D pipeline than through the baseline's 1024-element 1-D chunks.");
+}

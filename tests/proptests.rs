@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) over the core invariants:
+//! * every compressor respects its error bound on arbitrary data;
+//! * lossless stages roundtrip arbitrary bytes;
+//! * geometry operations preserve cell counts and disjointness.
+
+use amr_mesh::prelude::*;
+use proptest::prelude::*;
+use sz_codec::prelude::*;
+
+fn buffer_strategy(max_edge: usize) -> impl Strategy<Value = Buffer3> {
+    (1..=max_edge, 1..=max_edge, 1..=max_edge).prop_flat_map(|(nx, ny, nz)| {
+        let n = nx * ny * nz;
+        proptest::collection::vec(-1.0e6f64..1.0e6, n..=n)
+            .prop_map(move |data| Buffer3::from_vec(Dims3::new(nx, ny, nz), data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lr_respects_bound_on_arbitrary_data(
+        buf in buffer_strategy(10),
+        eb_exp in -6i32..-1,
+    ) {
+        let abs_eb = 10f64.powi(eb_exp) * buf.value_range().max(1.0);
+        let stream = lr::compress(&buf, &LrConfig::new(abs_eb));
+        let back = lr::decompress(&stream).unwrap();
+        prop_assert_eq!(back.dims(), buf.dims());
+        let stats = ErrorStats::compare(buf.data(), back.data());
+        prop_assert!(stats.max_abs_err <= abs_eb * (1.0 + 1e-9),
+            "max err {} > bound {}", stats.max_abs_err, abs_eb);
+    }
+
+    #[test]
+    fn interp_respects_bound_on_arbitrary_data(
+        buf in buffer_strategy(9),
+        eb_exp in -6i32..-1,
+    ) {
+        let abs_eb = 10f64.powi(eb_exp) * buf.value_range().max(1.0);
+        let stream = interp::compress(&buf, &InterpConfig::new(abs_eb));
+        let back = interp::decompress(&stream).unwrap();
+        let stats = ErrorStats::compare(buf.data(), back.data());
+        prop_assert!(stats.max_abs_err <= abs_eb * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn sle_multi_domain_bound(
+        bufs in proptest::collection::vec(buffer_strategy(6), 1..6),
+        eb_exp in -5i32..-1,
+    ) {
+        let range = bufs.iter().map(|b| b.value_range()).fold(0.0f64, f64::max);
+        let abs_eb = 10f64.powi(eb_exp) * range.max(1.0);
+        let refs: Vec<&Buffer3> = bufs.iter().collect();
+        let stream = lr::compress_domains(&refs, &LrConfig::new(abs_eb));
+        let back = lr::decompress_domains(&stream).unwrap();
+        prop_assert_eq!(back.len(), bufs.len());
+        for (o, r) in bufs.iter().zip(&back) {
+            let stats = ErrorStats::compare(o.data(), r.data());
+            prop_assert!(stats.max_abs_err <= abs_eb * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn lossless_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = sz_codec::lossless::compress(&data);
+        prop_assert_eq!(sz_codec::lossless::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_roundtrips_arbitrary_symbols(
+        syms in proptest::collection::vec(0u32..70000, 0..2048),
+    ) {
+        let enc = sz_codec::huffman::encode_with_table(&syms);
+        prop_assert_eq!(sz_codec::huffman::decode_with_table(&enc).unwrap(), syms);
+    }
+
+    #[test]
+    fn quantizer_contract(val in -1e12f64..1e12, pred in -1e12f64..1e12, eb_exp in -9i32..2) {
+        let eb = 10f64.powi(eb_exp);
+        let q = sz_codec::quantizer::Quantizer::new(eb);
+        let (sym, recon) = q.quantize(val, pred);
+        if sym == sz_codec::quantizer::OUTLIER_SYMBOL {
+            prop_assert_eq!(recon, val);
+        } else {
+            prop_assert!((recon - val).abs() <= eb);
+            prop_assert_eq!(q.reconstruct(sym, pred), recon);
+        }
+    }
+
+    #[test]
+    fn box_subtraction_partitions(
+        (alo, ahi) in (0i64..8, 8i64..16),
+        (blo, bhi) in (0i64..12, 4i64..20),
+    ) {
+        let a = IntBox::new(IntVect::splat(alo), IntVect::splat(ahi));
+        let b = IntBox::new(IntVect::splat(blo), IntVect::splat(bhi.max(blo)));
+        let pieces = a.subtract(&b);
+        let covered: u64 = pieces.iter().map(|p| p.num_cells()).sum();
+        let overlap = a.intersection(&b).map(|i| i.num_cells()).unwrap_or(0);
+        prop_assert_eq!(covered + overlap, a.num_cells());
+        for (i, p) in pieces.iter().enumerate() {
+            prop_assert!(!p.intersects(&b));
+            for q in &pieces[i + 1..] {
+                prop_assert!(!p.intersects(q));
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_partition_any_box(
+        (nx, ny, nz) in (1i64..40, 1i64..40, 1i64..40),
+        tile in 1i64..12,
+    ) {
+        let b = IntBox::from_extents(nx, ny, nz);
+        let tiles = b.tiles(tile);
+        let total: u64 = tiles.iter().map(|t| t.num_cells()).sum();
+        prop_assert_eq!(total, b.num_cells());
+    }
+
+    #[test]
+    fn wire_roundtrip(vals in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut w = sz_codec::wire::Writer::new();
+        for &v in &vals {
+            w.put_u64(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = sz_codec::wire::Reader::new(&bytes);
+        for &v in &vals {
+            prop_assert_eq!(r.get_u64().unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn cluster_grid_covers(n in 1usize..500) {
+        let g = amric::reorganize::cluster_grid(n);
+        prop_assert!(g.slots() >= n);
+        // Slack stays bounded (never more than one extra layer).
+        prop_assert!(g.slots() - n < g.gx * g.gy + g.gx * g.gz + g.gy * g.gz + 1,
+            "n={} grid=({},{},{})", n, g.gx, g.gy, g.gz);
+    }
+}
