@@ -2,7 +2,7 @@
 //!
 //! The AMRIC paper evaluates on two AMReX applications; this crate
 //! provides their synthetic stand-ins as time-parametrized analytic field
-//! sets (see DESIGN.md for the substitution argument):
+//! sets (see README.md for the substitution argument):
 //!
 //! * [`nyx::NyxScenario`] — clumpy log-normal cosmology fields (baryon /
 //!   dark-matter density, temperature, velocities), hard to compress;

@@ -69,7 +69,13 @@ pub fn fbm(
     let mut sum = 0.0;
     let mut norm = 0.0;
     for o in 0..octaves {
-        sum += amp * value_noise(x * freq, y * freq, z * freq, seed.wrapping_add(o as u64 * 7919));
+        sum += amp
+            * value_noise(
+                x * freq,
+                y * freq,
+                z * freq,
+                seed.wrapping_add(o as u64 * 7919),
+            );
         norm += amp;
         amp *= gain;
         freq *= lacunarity;

@@ -137,7 +137,13 @@ mod tests {
         let mut hi = f64::NEG_INFINITY;
         for i in 0..4000 {
             let t = i as f64;
-            let v = s.eval(0, (t * 0.731).fract(), (t * 0.417).fract(), (t * 0.913).fract(), 0.0);
+            let v = s.eval(
+                0,
+                (t * 0.731).fract(),
+                (t * 0.417).fract(),
+                (t * 0.913).fract(),
+                0.0,
+            );
             assert!(v > 0.0);
             lo = lo.min(v);
             hi = hi.max(v);
@@ -151,7 +157,12 @@ mod tests {
         // The refine value at a halo centre beats a random point.
         let (c, _, _) = s.halos[0];
         let at_halo = s.refine_value(c.0, c.1, c.2, 0.0);
-        let away = s.refine_value((c.0 + 0.43).fract(), (c.1 + 0.29).fract(), (c.2 + 0.37).fract(), 0.0);
+        let away = s.refine_value(
+            (c.0 + 0.43).fract(),
+            (c.1 + 0.29).fract(),
+            (c.2 + 0.37).fract(),
+            0.0,
+        );
         assert!(at_halo > away);
     }
 

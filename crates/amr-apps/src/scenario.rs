@@ -100,7 +100,12 @@ fn quantile_threshold(mut values: Vec<f64>, frac: f64) -> f64 {
 pub fn build_hierarchy(scenario: &dyn Scenario, cfg: &AmrRunConfig, t: f64) -> AmrHierarchy {
     let (nx, ny, nz) = cfg.coarse_dims;
     let domain = IntBox::from_extents(nx, ny, nz);
-    let mut h = AmrHierarchy::new(domain, cfg.max_grid_size, cfg.nranks, scenario.field_names());
+    let mut h = AmrHierarchy::new(
+        domain,
+        cfg.max_grid_size,
+        cfg.nranks,
+        scenario.field_names(),
+    );
     fill_level(scenario, h.level_mut(0), t);
     for level in 1..cfg.num_levels {
         let cur = h.level(level - 1);

@@ -294,9 +294,8 @@ impl IntBox {
     /// "blocking factor" invariant: `lo` divisible by `bf`, `hi+1` divisible
     /// by `bf`)?
     pub fn is_aligned(&self, bf: i64) -> bool {
-        (0..DIM).all(|d| {
-            self.lo.get(d).rem_euclid(bf) == 0 && (self.hi.get(d) + 1).rem_euclid(bf) == 0
-        })
+        (0..DIM)
+            .all(|d| self.lo.get(d).rem_euclid(bf) == 0 && (self.hi.get(d) + 1).rem_euclid(bf) == 0)
     }
 
     /// Grow the box by `n` cells on every side.

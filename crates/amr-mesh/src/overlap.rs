@@ -123,10 +123,7 @@ mod tests {
     fn partial_cover_partition() {
         // Fine level refines coarse cells [2..6)³ of an 8³ coarse box.
         let coarse = BoxArray::single(IntBox::from_extents(8, 8, 8));
-        let fine = BoxArray::single(IntBox::new(
-            IntVect::new(4, 4, 4),
-            IntVect::new(11, 11, 11),
-        ));
+        let fine = BoxArray::single(IntBox::new(IntVect::new(4, 4, 4), IntVect::new(11, 11, 11)));
         let cov = coverage(&coarse, &fine, 2);
         assert_eq!(cov[0].covered_cells(), 64);
         assert_eq!(cov[0].valid_cells(), 512 - 64);
@@ -150,10 +147,7 @@ mod tests {
     fn multi_box_levels() {
         let coarse = BoxArray::decompose(IntBox::from_extents(16, 16, 16), 8);
         // One fine grid straddling several coarse boxes.
-        let fine = BoxArray::single(IntBox::new(
-            IntVect::new(8, 8, 8),
-            IntVect::new(23, 23, 23),
-        ));
+        let fine = BoxArray::single(IntBox::new(IntVect::new(8, 8, 8), IntVect::new(23, 23, 23)));
         let cov = coverage(&coarse, &fine, 2);
         let total_covered: u64 = cov.iter().map(|c| c.covered_cells()).sum();
         assert_eq!(total_covered, 8 * 8 * 8); // 16³ fine = 8³ coarse cells

@@ -52,11 +52,7 @@ fn overlap_accounting_closes() {
     let boxes = berger_rigoutsos(&tags, &params);
     let fine = BoxArray::new(boxes).refined(2);
     h.push_level(fine, 2, 2);
-    let cov = coverage(
-        h.level(0).data.box_array(),
-        h.level(1).data.box_array(),
-        2,
-    );
+    let cov = coverage(h.level(0).data.box_array(), h.level(1).data.box_array(), 2);
     // covered + valid == every coarse box, cell-exactly.
     for c in &cov {
         let total = h.level(0).data.box_array().get(c.box_index).num_cells();

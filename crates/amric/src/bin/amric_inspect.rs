@@ -81,8 +81,15 @@ fn print_datasets(r: &H5Reader, chunks: bool) {
 fn print_header(path: &str) {
     match amric::reader::read_amric_hierarchy(path) {
         Ok(pf) => {
-            println!("AMRIC plotfile: {} levels, fields {:?}", pf.levels.len(), pf.field_names);
-            println!("blocking factor {}, redundancy removed: {}", pf.bf, pf.remove_redundancy);
+            println!(
+                "AMRIC plotfile: {} levels, fields {:?}",
+                pf.levels.len(),
+                pf.field_names
+            );
+            println!(
+                "blocking factor {}, redundancy removed: {}",
+                pf.bf, pf.remove_redundancy
+            );
             for (l, (mf, domain)) in pf.levels.iter().zip(&pf.domains).enumerate() {
                 let n = domain.size();
                 println!(

@@ -2,7 +2,7 @@
 //!
 //! Rust reproduction of **AMRIC** (Wang et al., SC '23): an in-situ
 //! error-bounded lossy compression framework for patch-based AMR codes.
-//! See DESIGN.md at the repository root for the full system inventory and
+//! See README.md at the repository root for the full system inventory and
 //! the experiment index.
 //!
 //! The pipeline (paper §3):

@@ -2,9 +2,7 @@
 //! set: reorganize (§3.1) → optimized SZ (§3.2) → self-describing stream.
 
 use crate::config::{AmricConfig, MergePolicy};
-use crate::reorganize::{
-    cluster_pack, cluster_unpack, linear_merge, linear_split, ClusterGrid,
-};
+use crate::reorganize::{cluster_pack, cluster_unpack, linear_merge, linear_split, ClusterGrid};
 use sz_codec::prelude::*;
 use sz_codec::wire::{Reader, WireError, WireResult, Writer};
 
@@ -175,9 +173,15 @@ pub fn decompress_field_units(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
             Ok(units)
         }
         Mode::LrLinearMerge | Mode::InterpLinear => {
+            // Each extent is a u32; reject counts the stream can't hold.
+            r.check_count(n, 4)?;
             let mut extents = Vec::with_capacity(n);
             for _ in 0..n {
-                extents.push(r.get_u32()? as usize);
+                let e = r.get_u32()? as usize;
+                if e == 0 {
+                    return Err(WireError("zero unit extent".into()));
+                }
+                extents.push(e);
             }
             let merged = if mode == Mode::LrLinearMerge {
                 lr::decompress(r.get_block()?)?
@@ -199,8 +203,13 @@ pub fn decompress_field_units(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
                 gz: r.get_u32()? as usize,
             };
             let packed = interp::decompress(r.get_block()?)?;
-            let expect = Dims3::new(grid.gx * edge, grid.gy * edge, grid.gz * edge);
-            if packed.dims() != expect {
+            // Compare in u128 so corrupted grid/edge fields can neither
+            // overflow the products nor hit Dims3's nonzero assertion.
+            let pd = packed.dims();
+            let matches = grid.gx as u128 * edge as u128 == pd.nx as u128
+                && grid.gy as u128 * edge as u128 == pd.ny as u128
+                && grid.gz as u128 * edge as u128 == pd.nz as u128;
+            if !matches {
                 return Err(WireError("cluster grid mismatch".into()));
             }
             if n > grid.slots() {

@@ -99,8 +99,7 @@ fn read_header(r: &H5Reader) -> H5Result<(Header, Vec<String>)> {
             .collect();
         pos += len;
         names.push(
-            String::from_utf8(bytes)
-                .map_err(|_| H5Error::Format("field name not UTF-8".into()))?,
+            String::from_utf8(bytes).map_err(|_| H5Error::Format("field name not UTF-8".into()))?,
         );
     }
     Ok((
@@ -393,7 +392,12 @@ mod tests {
         let checks = verify_against(&pf, &h, 1e-3);
         for c in &checks {
             assert!(c.bound_ok, "field {} violates bound", c.field);
-            assert!(c.stats.psnr() > 40.0, "field {} PSNR {}", c.field, c.stats.psnr());
+            assert!(
+                c.stats.psnr() > 40.0,
+                "field {} PSNR {}",
+                c.field,
+                c.stats.psnr()
+            );
         }
         std::fs::remove_file(&path).ok();
     }

@@ -97,6 +97,8 @@ pub fn tac_decompress(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
     if n == 0 {
         return Ok(Vec::new());
     }
+    // Each permutation entry is a u32; reject counts the stream can't hold.
+    r.check_count(n, 4)?;
     let mut order = Vec::with_capacity(n);
     for _ in 0..n {
         order.push(r.get_u32()? as usize);
@@ -105,11 +107,21 @@ pub fn tac_decompress(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
     let mut sorted_units = Vec::with_capacity(n);
     for _ in 0..ngroups {
         let glen = r.get_u32()? as usize;
+        r.check_count(glen, 4)?;
         let mut extents = Vec::with_capacity(glen);
         for _ in 0..glen {
-            extents.push(r.get_u32()? as usize);
+            let e = r.get_u32()? as usize;
+            if e == 0 {
+                return Err(WireError("zero unit extent in TAC group".into()));
+            }
+            extents.push(e);
         }
         let merged = lr::decompress(r.get_block()?)?;
+        // Validate before linear_split, whose extent-coverage check is an
+        // assert (its callers are trusted; the wire format is not).
+        if extents.iter().sum::<usize>() != merged.dims().nz {
+            return Err(WireError("TAC group extents mismatch".into()));
+        }
         sorted_units.extend(crate::reorganize::linear_split(&merged, &extents));
     }
     if sorted_units.len() != n {
@@ -123,7 +135,10 @@ pub fn tac_decompress(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
         }
         out[idx] = Some(buf);
     }
-    Ok(out.into_iter().map(|o| o.expect("permutation checked")).collect())
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("permutation checked"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -185,12 +200,9 @@ mod tests {
         // calls.
         let (units, origins) = sample_units(40);
         let tac_len = tac_compress(&units, &origins, 1e-3).len();
-        let amric_len = crate::pipeline::compress_field_units(
-            &units,
-            &crate::config::AmricConfig::lr(1e-3),
-            8,
-        )
-        .len();
+        let amric_len =
+            crate::pipeline::compress_field_units(&units, &crate::config::AmricConfig::lr(1e-3), 8)
+                .len();
         assert!(
             amric_len < tac_len,
             "AMRIC {amric_len} should beat TAC {tac_len}"

@@ -105,11 +105,7 @@ impl WriteReport {
 
     /// Modeled (prep, io) seconds for the slowest rank under a PFS model.
     pub fn modeled_seconds(&self, params: &PfsParams) -> (f64, f64) {
-        let prep = self
-            .prep_seconds
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max);
+        let prep = self.prep_seconds.iter().cloned().fold(0.0, f64::max);
         let io = job_seconds(&self.ledgers, params, self.nranks);
         (prep, io)
     }
@@ -122,17 +118,9 @@ pub(crate) fn ints_to_f64(vals: impl IntoIterator<Item = u64>) -> Vec<f64> {
 
 /// Write hierarchy-structure metadata (domains, boxes, owners, field
 /// names) — the plotfile header AMReX also stores uncompressed.
-pub(crate) fn write_metadata(
-    writer: &H5Writer,
-    h: &AmrHierarchy,
-    extra: &[u64],
-) -> H5Result<()> {
+pub(crate) fn write_metadata(writer: &H5Writer, h: &AmrHierarchy, extra: &[u64]) -> H5Result<()> {
     let nranks = h.level(0).data.distribution().nranks() as u64;
-    let mut header: Vec<u64> = vec![
-        h.num_levels() as u64,
-        h.field_names().len() as u64,
-        nranks,
-    ];
+    let mut header: Vec<u64> = vec![h.num_levels() as u64, h.field_names().len() as u64, nranks];
     header.extend_from_slice(extra);
     for l in 0..h.num_levels() {
         let level = h.level(l);
@@ -156,7 +144,12 @@ pub(crate) fn write_metadata(
         names.extend(n.as_bytes().iter().map(|&b| b as u64));
     }
     let names_f = ints_to_f64(names);
-    writer.write_dataset("meta/field_names", &names_f, names_f.len().max(1), &NoFilter)?;
+    writer.write_dataset(
+        "meta/field_names",
+        &names_f,
+        names_f.len().max(1),
+        &NoFilter,
+    )?;
     for l in 0..h.num_levels() {
         let level = h.level(l);
         let mut boxes = Vec::new();
@@ -206,12 +199,8 @@ pub fn write_amric(
         let mut prep_s = 0.0;
         for l in 0..num_levels {
             let level = &h.level(l).data;
-            let finer = (l + 1 < num_levels).then(|| {
-                (
-                    h.level(l + 1).data.box_array(),
-                    h.ref_ratio(l),
-                )
-            });
+            let finer =
+                (l + 1 < num_levels).then(|| (h.level(l + 1).data.box_array(), h.ref_ratio(l)));
             let unit = unit_edge_for_level(bf, l, num_levels);
             let t0 = Instant::now();
             let units = plan_units(level, finer, unit, rank, cfg.remove_redundancy);
@@ -237,7 +226,8 @@ pub fn write_amric(
                 let glo = ranges.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
                 let ghi = ranges.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
                 let range = if ghi > glo { ghi - glo } else { 0.0 };
-                let abs_eb = sz_codec::quantizer::absolute_bound(cfg.rel_eb, range.max(f64::MIN_POSITIVE));
+                let abs_eb =
+                    sz_codec::quantizer::absolute_bound(cfg.rel_eb, range.max(f64::MIN_POSITIVE));
                 let filter = AmricFieldFilter {
                     cfg: *cfg,
                     unit_edge: unit as usize,
@@ -329,7 +319,11 @@ mod tests {
         let path = tmp("lr");
         let report = write_amric(&path, &h, &AmricConfig::lr(1e-3), 8).unwrap();
         assert_eq!(report.nranks, 2);
-        assert!(report.compression_ratio() > 2.0, "CR {}", report.compression_ratio());
+        assert!(
+            report.compression_ratio() > 2.0,
+            "CR {}",
+            report.compression_ratio()
+        );
         // One filter call per (rank-with-data, level, field).
         let total_filters: u64 = report.ledgers.iter().map(|l| l.filter_calls).sum();
         assert!(total_filters <= 2 * 2 * 6);

@@ -2,12 +2,12 @@
 //! `AmricConfig` must move the metrics in the direction the paper claims,
 //! on data where the mechanism applies.
 
+use amr_apps::prelude::*;
+use amr_mesh::IntVect;
 use amric::config::{AmricConfig, MergePolicy};
 use amric::pipeline::{compress_field_units, decompress_field_units};
 use amric::tac::{tac_compress, tac_decompress};
 use amric::zmesh;
-use amr_apps::prelude::*;
-use amr_mesh::IntVect;
 use sz_codec::prelude::*;
 
 /// Unit blocks with strong per-unit offsets (discontiguous sampling).
@@ -83,9 +83,8 @@ fn every_config_combination_roundtrips() {
                         size_aware_filter: true,
                     };
                     let stream = compress_field_units(&units, &cfg, 8);
-                    let back = decompress_field_units(&stream).unwrap_or_else(|e| {
-                        panic!("decode failed for {cfg:?}: {e}")
-                    });
+                    let back = decompress_field_units(&stream)
+                        .unwrap_or_else(|e| panic!("decode failed for {cfg:?}: {e}"));
                     assert_eq!(back.len(), units.len(), "{cfg:?}");
                     let abs = amric::pipeline::resolve_abs_eb(&units, 1e-3);
                     for (o, r) in units.iter().zip(&back) {

@@ -9,7 +9,9 @@ fn nyx_like(n: usize) -> Buffer3 {
     let mut x = 42u64;
     let mut b = Buffer3::zeros(Dims3::cube(n));
     b.fill_with(|i, j, k| {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let noise = (x >> 11) as f64 / (1u64 << 53) as f64;
         (1.0 + 0.5 * ((i as f64 * 0.21).sin() + (j as f64 * 0.17).cos() + (k as f64 * 0.13).sin())
             + 0.2 * noise)
@@ -56,7 +58,9 @@ fn bench_decompress(c: &mut Criterion) {
     let in_stream = interp::compress(&data, &InterpConfig::new(eb));
     let mut g = c.benchmark_group("decompress/nyx");
     g.throughput(Throughput::Bytes((n * n * n * 8) as u64));
-    g.bench_function("sz_lr_3d", |b| b.iter(|| lr::decompress(&lr_stream).unwrap()));
+    g.bench_function("sz_lr_3d", |b| {
+        b.iter(|| lr::decompress(&lr_stream).unwrap())
+    });
     g.bench_function("sz_interp", |b| {
         b.iter(|| interp::decompress(&in_stream).unwrap())
     });
@@ -68,7 +72,9 @@ fn bench_lossless(c: &mut Criterion) {
     let data: Vec<u8> = (0..1 << 18).map(|i: u32| ((i / 64) % 251) as u8).collect();
     let mut g = c.benchmark_group("lossless");
     g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("lz_compress", |b| b.iter(|| sz_codec::lossless::compress(&data)));
+    g.bench_function("lz_compress", |b| {
+        b.iter(|| sz_codec::lossless::compress(&data))
+    });
     let compressed = sz_codec::lossless::compress(&data);
     g.bench_function("lz_decompress", |b| {
         b.iter(|| sz_codec::lossless::decompress(&compressed).unwrap())
@@ -83,7 +89,9 @@ fn bench_huffman(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("huffman");
     g.throughput(Throughput::Elements(syms.len() as u64));
-    g.bench_function("encode", |b| b.iter(|| sz_codec::huffman::encode_with_table(&syms)));
+    g.bench_function("encode", |b| {
+        b.iter(|| sz_codec::huffman::encode_with_table(&syms))
+    });
     let enc = sz_codec::huffman::encode_with_table(&syms);
     g.bench_function("decode", |b| {
         b.iter(|| sz_codec::huffman::decode_with_table(&enc).unwrap())

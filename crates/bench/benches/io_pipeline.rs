@@ -33,8 +33,13 @@ fn bench_writers(c: &mut Criterion) {
     g.bench_function("amric_lr", |b| {
         b.iter(|| {
             let path = scratch("bench-amric-lr");
-            write_amric(&path, &h, &AmricConfig::lr(spec.amric_rel_eb), spec.blocking_factor)
-                .unwrap();
+            write_amric(
+                &path,
+                &h,
+                &AmricConfig::lr(spec.amric_rel_eb),
+                spec.blocking_factor,
+            )
+            .unwrap();
             std::fs::remove_file(&path).ok();
         })
     });

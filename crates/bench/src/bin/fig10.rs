@@ -72,7 +72,13 @@ fn main() {
     }
     print_table(
         "Figure 10: level-boundary artifacts, original vs AMRIC SZ_L/R (rel_eb 2e-3)",
-        &["Variant", "CR", "|err| near boundary", "|err| far", "near/far"],
+        &[
+            "Variant",
+            "CR",
+            "|err| near boundary",
+            "|err| far",
+            "near/far",
+        ],
         &rows,
     );
     println!(

@@ -49,14 +49,24 @@ fn main() {
             format!("{:.3e}", s.max_abs_err),
             format!("{:.2}", s.psnr()),
         ]);
-        dump_slice("/tmp/amric-fig15-amrex.csv", &h.level(0).data, &pf.levels[0], field);
+        dump_slice(
+            "/tmp/amric-fig15-amrex.csv",
+            &h.level(0).data,
+            &pf.levels[0],
+            field,
+        );
         std::fs::remove_file(&path).ok();
     }
     // AMRIC at its (tighter) bound.
     {
         let path = scratch("fig15-amric");
-        write_amric(&path, &h, &AmricConfig::lr(spec.amric_rel_eb), spec.blocking_factor)
-            .unwrap();
+        write_amric(
+            &path,
+            &h,
+            &AmricConfig::lr(spec.amric_rel_eb),
+            spec.blocking_factor,
+        )
+        .unwrap();
         let pf = read_amric_hierarchy(&path).unwrap();
         let checks = verify_against(&pf, &h, spec.amric_rel_eb);
         let s = &checks[field].stats;
@@ -66,7 +76,12 @@ fn main() {
             format!("{:.3e}", s.max_abs_err),
             format!("{:.2}", s.psnr()),
         ]);
-        dump_slice("/tmp/amric-fig15-amric.csv", &h.level(0).data, &pf.levels[0], field);
+        dump_slice(
+            "/tmp/amric-fig15-amric.csv",
+            &h.level(0).data,
+            &pf.levels[0],
+            field,
+        );
         std::fs::remove_file(&path).ok();
     }
     print_table(

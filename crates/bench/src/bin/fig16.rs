@@ -1,6 +1,6 @@
 //! Figure 16: rate-distortion of AMRIC vs TAC (the offline HPDC '22
 //! comparator) on a TAC-style dataset — a synthetic stand-in for the
-//! Run1_Z10 Nyx export used in the paper (see DESIGN.md substitutions).
+//! Run1_Z10 Nyx export used in the paper (see README.md substitutions).
 
 use amr_mesh::IntVect;
 use amric::config::AmricConfig;
@@ -17,7 +17,10 @@ fn main() {
     let units = extract_units(&h.level(1).data, &plan, 0);
     let origins: Vec<IntVect> = plan.iter().map(|u| u.region.lo).collect();
     let orig_bytes: usize = units.iter().map(|u| u.dims().len() * 8).sum();
-    let orig: Vec<f64> = units.iter().flat_map(|u| u.data().iter().copied()).collect();
+    let orig: Vec<f64> = units
+        .iter()
+        .flat_map(|u| u.data().iter().copied())
+        .collect();
 
     let mut rows = Vec::new();
     for rel_eb in rd_bounds() {
@@ -25,13 +28,19 @@ fn main() {
         // TAC.
         let tac_stream = tac_compress(&units, &origins, rel_eb);
         let tac_back = tac_decompress(&tac_stream).expect("tac decode");
-        let tac_rec: Vec<f64> = tac_back.iter().flat_map(|u| u.data().iter().copied()).collect();
+        let tac_rec: Vec<f64> = tac_back
+            .iter()
+            .flat_map(|u| u.data().iter().copied())
+            .collect();
         let tac_stats = ErrorStats::compare(&orig, &tac_rec);
         // AMRIC (optimized SZ_L/R).
         let cfg = AmricConfig::lr(rel_eb);
         let am_stream = compress_field_units(&units, &cfg, 16);
         let am_back = decompress_field_units(&am_stream).expect("amric decode");
-        let am_rec: Vec<f64> = am_back.iter().flat_map(|u| u.data().iter().copied()).collect();
+        let am_rec: Vec<f64> = am_back
+            .iter()
+            .flat_map(|u| u.data().iter().copied())
+            .collect();
         let am_stats = ErrorStats::compare(&orig, &am_rec);
         rows.push(vec![
             format!("{rel_eb:.0e}"),

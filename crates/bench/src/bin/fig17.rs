@@ -1,7 +1,7 @@
 //! Figure 17: WarpX write-time breakdown (prep + I/O-with-compression)
 //! across the three weak-scaling runs, for NoComp / AMReX / AMRIC(SZ_L/R)
 //! / AMRIC(SZ_Interp). Compression compute is measured; storage costs use
-//! the PFS model (see rankpar::pfs and DESIGN.md).
+//! the PFS model (see rankpar::pfs and README.md).
 
 use amric_bench::{evaluate_run, paper_volume_factor, print_table, secs, table1_runs, App};
 use rankpar::PfsParams;

@@ -1,7 +1,7 @@
 //! Figure 18: Nyx write-time breakdown across the three weak-scaling
 //! runs — the low-compressibility, small-per-rank-data counterpart of
 //! Fig. 17. Compression compute is measured; storage costs use the PFS
-//! model (see rankpar::pfs and DESIGN.md).
+//! model (see rankpar::pfs and README.md).
 
 use amric_bench::{evaluate_run, paper_volume_factor, print_table, secs, table1_runs, App};
 use rankpar::PfsParams;

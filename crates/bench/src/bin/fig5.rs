@@ -2,19 +2,16 @@
 //! block arrangements under SZ_Interp, on the fine (sparse) and coarse
 //! (dense) levels of the §3 Nyx study.
 
+use amr_apps::level_stats;
 use amric::config::AmricConfig;
 use amric::pipeline::{compress_field_units, decompress_field_units};
 use amric_bench::{f1, f2, level_units, print_table, rate_point, rd_bounds, section3_nyx};
-use amr_apps::level_stats;
 
 fn main() {
     let h = section3_nyx(64);
     let stats = level_stats(&h);
-    let cov = amr_mesh::overlap::coverage(
-        h.level(0).data.box_array(),
-        h.level(1).data.box_array(),
-        2,
-    );
+    let cov =
+        amr_mesh::overlap::coverage(h.level(0).data.box_array(), h.level(1).data.box_array(), 2);
     let cov_summary = amr_mesh::overlap::summarize(&cov, h.level(0).data.box_array());
     println!(
         "section-3 Nyx study: fine density {:.1}% (paper: 17.4%), coarse valid {:.1}% (paper: 82.3%)",
@@ -46,7 +43,13 @@ fn main() {
         }
         print_table(
             &format!("Figure 5 ({label}, unit={unit}): linear vs cluster arrangement, SZ_Interp"),
-            &["rel_eb", "CR(linear)", "PSNR(linear)", "CR(cluster)", "PSNR(cluster)"],
+            &[
+                "rel_eb",
+                "CR(linear)",
+                "PSNR(linear)",
+                "CR(cluster)",
+                "PSNR(cluster)",
+            ],
             &rows,
         );
     }

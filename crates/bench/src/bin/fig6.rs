@@ -44,7 +44,11 @@ fn boundary_interior_error(
             }
         }
     }
-    (b_sum / b_n.max(1) as f64, i_sum / i_n.max(1) as f64, max_err)
+    (
+        b_sum / b_n.max(1) as f64,
+        i_sum / i_n.max(1) as f64,
+        max_err,
+    )
 }
 
 fn dump_slice(path: &str, units: &[sz_codec::Buffer3], recon: &[sz_codec::Buffer3]) {
@@ -95,7 +99,14 @@ fn main() {
     }
     print_table(
         "Figure 6: unit SLE vs linear merging (fine level, unit 16, rel_eb 2e-3)",
-        &["Variant", "CR", "boundary |err|", "interior |err|", "ratio", "max |err|"],
+        &[
+            "Variant",
+            "CR",
+            "boundary |err|",
+            "interior |err|",
+            "ratio",
+            "max |err|",
+        ],
         &rows,
     );
     println!(

@@ -11,7 +11,10 @@ use sz_codec::prelude::*;
 /// AMReX-style 1-D compression of the units: flatten, cut into
 /// 1024-element chunks, compress each chunk independently.
 fn one_d(units: &[Buffer3], rel_eb: f64) -> (f64, f64) {
-    let flat: Vec<f64> = units.iter().flat_map(|u| u.data().iter().copied()).collect();
+    let flat: Vec<f64> = units
+        .iter()
+        .flat_map(|u| u.data().iter().copied())
+        .collect();
     let abs_eb = resolve_abs_eb(units, rel_eb);
     let orig_bytes = flat.len() * 8;
     let mut stored = 0usize;

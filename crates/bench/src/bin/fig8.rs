@@ -40,7 +40,13 @@ fn main() {
         .collect();
     print_table(
         "Equation 1: adaptive SZ block size per unit size",
-        &["unit", "unit mod 6", "degen cells @6³", "degen cells @4³", "Eq.1 choice"],
+        &[
+            "unit",
+            "unit mod 6",
+            "degen cells @6³",
+            "degen cells @4³",
+            "Eq.1 choice",
+        ],
         &rows,
     );
     println!(

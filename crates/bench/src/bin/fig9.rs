@@ -6,8 +6,8 @@
 use amric::config::AmricConfig;
 use amric::pipeline::{compress_field_units, decompress_field_units};
 use amric_bench::{level_units, print_table, section3_nyx};
-use sz_codec::prelude::*;
 use std::io::Write;
+use sz_codec::prelude::*;
 
 fn main() {
     let h = section3_nyx(64);
@@ -20,8 +20,14 @@ fn main() {
         cfg.adaptive_block_size = adaptive;
         let stream = compress_field_units(&units, &cfg, 8);
         let recon = decompress_field_units(&stream).expect("decode");
-        let orig: Vec<f64> = units.iter().flat_map(|u| u.data().iter().copied()).collect();
-        let rec: Vec<f64> = recon.iter().flat_map(|u| u.data().iter().copied()).collect();
+        let orig: Vec<f64> = units
+            .iter()
+            .flat_map(|u| u.data().iter().copied())
+            .collect();
+        let rec: Vec<f64> = recon
+            .iter()
+            .flat_map(|u| u.data().iter().copied())
+            .collect();
         let stats = ErrorStats::compare(&orig, &rec);
         rows.push(vec![
             label.to_string(),
@@ -33,7 +39,10 @@ fn main() {
         if let (Some(o), Some(r)) = (units.first(), recon.first()) {
             let d = o.dims();
             let k = d.nz / 2;
-            let path = format!("/tmp/amric-fig9-{}.csv", if adaptive { "adp4" } else { "sle" });
+            let path = format!(
+                "/tmp/amric-fig9-{}.csv",
+                if adaptive { "adp4" } else { "sle" }
+            );
             let mut f = std::fs::File::create(&path).expect("slice file");
             for j in 0..d.ny {
                 let row: Vec<String> = (0..d.nx)

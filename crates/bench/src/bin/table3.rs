@@ -2,7 +2,7 @@
 //! solutions per run. Note the paper's setup gives AMReX a *looser* error
 //! bound (Table 1) and it still loses on quality.
 
-use amric_bench::{f1, evaluate_run, print_table, table1_runs};
+use amric_bench::{evaluate_run, f1, print_table, table1_runs};
 use rankpar::PfsParams;
 
 fn main() {

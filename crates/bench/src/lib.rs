@@ -2,7 +2,7 @@
 //! (`src/bin/table*.rs`, `src/bin/fig*.rs`) and the Criterion benches.
 //!
 //! Everything here is deterministic (fixed seeds); the binaries print the
-//! same rows/series the paper reports, scaled per DESIGN.md. Absolute
+//! same rows/series the paper reports, scaled per README.md. Absolute
 //! numbers differ from Summit, the *shape* (who wins, by what factor,
 //! where crossovers sit) is the reproduction target.
 
@@ -163,7 +163,13 @@ impl RunSpec {
 pub fn scratch(tag: &str) -> std::path::PathBuf {
     let safe: String = tag
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     let mut p = std::env::temp_dir();
     p.push(format!("amric-bench-{}-{safe}.h5l", std::process::id()));
@@ -200,9 +206,18 @@ impl MethodResult {
     /// per-rank data volume (`factor` = paper cells/rank ÷ ours). Bytes
     /// and measured compression compute scale with volume; call counts
     /// scale only for methods that issue one call per fixed-size chunk.
-    pub fn projected_io_seconds(&self, factor: f64, params: &rankpar::PfsParams, nranks: usize) -> f64 {
+    pub fn projected_io_seconds(
+        &self,
+        factor: f64,
+        params: &rankpar::PfsParams,
+        nranks: usize,
+    ) -> f64 {
         let l = &self.worst_ledger;
-        let call_factor = if self.calls_scale_with_data { factor } else { 1.0 };
+        let call_factor = if self.calls_scale_with_data {
+            factor
+        } else {
+            1.0
+        };
         let mut p = rankpar::IoLedger {
             bytes_written: (l.bytes_written as f64 * factor) as u64,
             write_calls: (l.write_calls as f64 * call_factor) as u64,
@@ -277,9 +292,8 @@ pub fn evaluate_run(spec: &RunSpec, params: &rankpar::PfsParams) -> Vec<MethodRe
     // AMReX baseline.
     {
         let path = scratch(&format!("{}-amrex", spec.name));
-        let report =
-            write_amrex_baseline(&path, &h, &BaselineConfig::new(spec.amrex_rel_eb))
-                .expect("baseline write");
+        let report = write_amrex_baseline(&path, &h, &BaselineConfig::new(spec.amrex_rel_eb))
+            .expect("baseline write");
         let pf = read_baseline_hierarchy(&path).expect("baseline read");
         let checks = verify_against(&pf, &h, spec.amrex_rel_eb);
         let (prep_s, io_s) = report.modeled_seconds(params);
@@ -302,8 +316,7 @@ pub fn evaluate_run(spec: &RunSpec, params: &rankpar::PfsParams) -> Vec<MethodRe
         ("AMRIC(SZ_Interp)", AmricConfig::interp(spec.amric_rel_eb)),
     ] {
         let path = scratch(&format!("{}-{label}", spec.name));
-        let report =
-            write_amric(&path, &h, &cfg, spec.blocking_factor).expect("amric write");
+        let report = write_amric(&path, &h, &cfg, spec.blocking_factor).expect("amric write");
         let pf = read_amric_hierarchy(&path).expect("amric read");
         let checks = verify_against(&pf, &h, spec.amric_rel_eb);
         let (prep_s, io_s) = report.modeled_seconds(params);
@@ -385,7 +398,10 @@ pub fn rate_point(
     let orig_bytes: usize = units.iter().map(|u| u.dims().len() * 8).sum();
     let stream = compress(units);
     let back = decompress(&stream);
-    let orig: Vec<f64> = units.iter().flat_map(|u| u.data().iter().copied()).collect();
+    let orig: Vec<f64> = units
+        .iter()
+        .flat_map(|u| u.data().iter().copied())
+        .collect();
     let recon: Vec<f64> = back.iter().flat_map(|u| u.data().iter().copied()).collect();
     let stats = ErrorStats::compare(&orig, &recon);
     (orig_bytes as f64 / stream.len() as f64, stats.psnr())

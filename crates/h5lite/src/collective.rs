@@ -127,8 +127,16 @@ mod tests {
             let rank = comm.rank();
             let data: Vec<f64> = (0..256).map(|i| (rank * 1000 + i) as f64).collect();
             let chunks = vec![ChunkData::full(data)];
-            collective_write(&comm, &w, "d", &chunks, 256, &NoFilter, FilterMode::Standard)
-                .unwrap();
+            collective_write(
+                &comm,
+                &w,
+                "d",
+                &chunks,
+                256,
+                &NoFilter,
+                FilterMode::Standard,
+            )
+            .unwrap();
         });
         writer.finish().unwrap();
         let r = H5Reader::open(&path).unwrap();
@@ -152,14 +160,24 @@ mod tests {
         let receipts = run_ranks(4, move |comm| {
             let rank = comm.rank();
             let n = (rank + 1) * 128;
-            let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin() + rank as f64).collect();
+            let data: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.01).sin() + rank as f64)
+                .collect();
             let my_elems = data.len() as u64;
             let chunk_elems = comm.allreduce_max(my_elems) as usize;
             assert_eq!(chunk_elems, 512);
             let chunks = vec![ChunkData::full(data)];
             let f = SzFilter::one_dimensional(1e-3);
-            collective_write(&comm, &w, "d", &chunks, chunk_elems, &f, FilterMode::SizeAware)
-                .unwrap()
+            collective_write(
+                &comm,
+                &w,
+                "d",
+                &chunks,
+                chunk_elems,
+                &f,
+                FilterMode::SizeAware,
+            )
+            .unwrap()
         });
         writer.finish().unwrap();
         for (rank, r) in receipts.iter().enumerate() {

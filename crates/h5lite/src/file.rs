@@ -129,7 +129,9 @@ impl H5Writer {
         let chunks: Vec<ChunkData> = if data.is_empty() {
             Vec::new()
         } else {
-            data.chunks(chunk_elems).map(|c| ChunkData::full(c.to_vec())).collect()
+            data.chunks(chunk_elems)
+                .map(|c| ChunkData::full(c.to_vec()))
+                .collect()
         };
         self.write_dataset_chunks(
             name,
@@ -174,8 +176,7 @@ impl H5Writer {
                 logical_elems,
             });
         }
-        let total = total_override
-            .unwrap_or_else(|| records.iter().map(|r| r.logical_elems).sum());
+        let total = total_override.unwrap_or_else(|| records.iter().map(|r| r.logical_elems).sum());
         self.register_dataset(DatasetMeta {
             name: name.to_string(),
             total_elems: total,
@@ -419,8 +420,15 @@ mod tests {
             logical: data.len(),
         };
         let w1 = H5Writer::create(&path_std).unwrap();
-        w1.write_dataset_chunks("d", std::slice::from_ref(&chunk), 32768, &f, FilterMode::Standard, None)
-            .unwrap();
+        w1.write_dataset_chunks(
+            "d",
+            std::slice::from_ref(&chunk),
+            32768,
+            &f,
+            FilterMode::Standard,
+            None,
+        )
+        .unwrap();
         w1.finish().unwrap();
         let w2 = H5Writer::create(&path_aware).unwrap();
         w2.write_dataset_chunks("d", &[chunk], 32768, &f, FilterMode::SizeAware, None)

@@ -270,8 +270,7 @@ mod tests {
         });
         let data = buf.data().to_vec();
         let f1 = SzFilter::one_dimensional(1e-3);
-        let f3 =
-            SzFilter::three_dimensional(SzAlgorithm::LorenzoRegression, 1e-3, dims);
+        let f3 = SzFilter::three_dimensional(SzAlgorithm::LorenzoRegression, 1e-3, dims);
         let e1 = f1.encode(&data).len();
         let e3 = f3.encode(&data).len();
         assert!(e3 < e1, "3-D ({e3}) should beat 1-D ({e1})");

@@ -24,7 +24,9 @@ fn hundred_datasets() {
     let r = H5Reader::open(&path).unwrap();
     assert_eq!(r.dataset_names().len(), 100);
     for d in (0..100).step_by(17) {
-        let back = r.read_dataset(&format!("group_{}/ds_{}", d % 7, d)).unwrap();
+        let back = r
+            .read_dataset(&format!("group_{}/ds_{}", d % 7, d))
+            .unwrap();
         assert_eq!(back[0], (d * 1000) as f64);
     }
     std::fs::remove_file(&path).ok();

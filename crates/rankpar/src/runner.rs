@@ -12,17 +12,16 @@ where
 {
     let world = Communicator::world(nranks);
     let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
         for (rank, comm) in world.into_iter().enumerate() {
             let fref = &f;
-            handles.push((rank, scope.spawn(move |_| fref(comm))));
+            handles.push((rank, scope.spawn(move || fref(comm))));
         }
         for (rank, h) in handles {
             results[rank] = Some(h.join().expect("rank thread panicked"));
         }
-    })
-    .expect("rank scope panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every rank filled"))

@@ -127,11 +127,11 @@ mod tests {
         assert_eq!(adaptive_block_size(32), 4); // 32 mod 6 = 2
         assert_eq!(adaptive_block_size(12), 4); // 12 mod 6 = 0
         assert_eq!(adaptive_block_size(14), 4); // 14 mod 6 = 2
-        // unit mod 6 > 2 → 6.
+                                                // unit mod 6 > 2 → 6.
         assert_eq!(adaptive_block_size(16), 6); // 16 mod 6 = 4
         assert_eq!(adaptive_block_size(22), 6); // 22 mod 6 = 4
         assert_eq!(adaptive_block_size(9), 6); // 9 mod 6 = 3
-        // unit ≥ 64 → 6 regardless.
+                                               // unit ≥ 64 → 6 regardless.
         assert_eq!(adaptive_block_size(64), 6); // 64 mod 6 = 4 anyway
         assert_eq!(adaptive_block_size(128), 6); // 128 mod 6 = 2 but ≥ 64
         assert_eq!(adaptive_block_size(66), 6);

@@ -45,7 +45,12 @@ impl BitWriter {
         if self.bytes.is_empty() {
             0
         } else {
-            (self.bytes.len() - 1) * 8 + if self.used == 0 { 8 } else { self.used as usize }
+            (self.bytes.len() - 1) * 8
+                + if self.used == 0 {
+                    8
+                } else {
+                    self.used as usize
+                }
         }
     }
 

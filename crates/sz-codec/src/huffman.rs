@@ -90,6 +90,14 @@ impl HuffmanCode {
 
     /// Decode exactly `n` symbols from the bit stream.
     pub fn decode(&self, bytes: &[u8], n: usize) -> WireResult<Vec<u32>> {
+        // Every symbol costs at least one bit, so a count beyond 8 bits
+        // per payload byte can only come from a corrupted header.
+        if n as u128 > bytes.len() as u128 * 8 {
+            return Err(WireError(format!(
+                "symbol count {n} exceeds {}-byte payload",
+                bytes.len()
+            )));
+        }
         // Per-length canonical decode tables.
         let max_len = self.lens.last().map(|&(_, l)| l).unwrap_or(0);
         // first_code[len], first_index[len] into self.lens.
@@ -148,6 +156,8 @@ impl HuffmanCode {
         if n == 0 {
             return Err(WireError("empty huffman table".into()));
         }
+        // Each table entry occupies 5 bytes (u32 symbol + u8 length).
+        r.check_count(n, 5)?;
         let mut lens = Vec::with_capacity(n);
         for _ in 0..n {
             let s = r.get_u32()?;
@@ -181,10 +191,7 @@ fn build_lengths(used: &[(u32, u64)], shift: u32) -> Vec<(u32, u32)> {
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Reverse for min-heap; tie-break on id for determinism.
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {

@@ -98,9 +98,24 @@ pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
         return Err(WireError("unsupported SZ_Interp version".into()));
     }
     let abs_eb = r.get_f64()?;
+    if !(abs_eb > 0.0 && abs_eb.is_finite()) {
+        return Err(WireError(format!("invalid error bound {abs_eb}")));
+    }
     let nx = r.get_u32()? as usize;
     let ny = r.get_u32()? as usize;
     let nz = r.get_u32()? as usize;
+    if nx == 0 || ny == 0 || nz == 0 {
+        return Err(WireError(format!("degenerate dims {nx}x{ny}x{nz}")));
+    }
+    // Each point consumes at least one symbol bit; corrupted dims can't
+    // claim more cells than the remaining payload could encode.
+    let cells = nx as u128 * ny as u128 * nz as u128;
+    if cells > r.remaining() as u128 * 8 + 64 {
+        return Err(WireError(format!(
+            "dims claim {cells} cells, only {} payload bytes left",
+            r.remaining()
+        )));
+    }
     let dims = Dims3::new(nx, ny, nz);
     let syms = huffman::decode_with_table(r.get_block()?)?;
     if syms.len() != dims.len() {
@@ -111,6 +126,7 @@ pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
         )));
     }
     let n_out = r.get_u64()? as usize;
+    r.check_count(n_out, 8)?;
     let mut outliers = Vec::with_capacity(n_out);
     for _ in 0..n_out {
         outliers.push(r.get_f64()?);
@@ -122,12 +138,12 @@ pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
     let mut out_iter = outliers.into_iter();
     let truncated = || WireError("SZ_Interp stream truncated".into());
     let place = |recon: &mut Buffer3,
-                     i: usize,
-                     j: usize,
-                     k: usize,
-                     pred: f64,
-                     sym_iter: &mut std::vec::IntoIter<u32>,
-                     out_iter: &mut std::vec::IntoIter<f64>|
+                 i: usize,
+                 j: usize,
+                 k: usize,
+                 pred: f64,
+                 sym_iter: &mut std::vec::IntoIter<u32>,
+                 out_iter: &mut std::vec::IntoIter<f64>|
      -> WireResult<()> {
         let sym = sym_iter.next().ok_or_else(truncated)?;
         let v = if sym == OUTLIER_SYMBOL {
@@ -144,8 +160,7 @@ pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
         for axis in [Axis::X, Axis::Y, Axis::Z] {
             // Collect targets first: prediction must read the buffer state
             // from *before* each point is written, and PassIter borrows it.
-            let targets: Vec<(usize, usize, usize)> =
-                PassTargets::new(dims, s, axis).collect();
+            let targets: Vec<(usize, usize, usize)> = PassTargets::new(dims, s, axis).collect();
             for (i, j, k) in targets {
                 let pred = predict(&recon, dims, s, axis, i, j, k);
                 place(&mut recon, i, j, k, pred, &mut sym_iter, &mut out_iter)?;
@@ -246,7 +261,15 @@ impl Iterator for PassTargets {
 /// buffer: cubic when both ±3s neighbours are in range, linear when the +s
 /// neighbour exists, previous value otherwise.
 #[inline]
-fn predict(recon: &Buffer3, dims: Dims3, s: usize, axis: Axis, i: usize, j: usize, k: usize) -> f64 {
+fn predict(
+    recon: &Buffer3,
+    dims: Dims3,
+    s: usize,
+    axis: Axis,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> f64 {
     let (pos, n) = match axis {
         Axis::X => (i, dims.nx),
         Axis::Y => (j, dims.ny),
@@ -292,7 +315,10 @@ mod tests {
                     for (i, j, k) in PassTargets::new(dims, s, axis) {
                         assert!(i < dims.nx && j < dims.ny && k < dims.nz);
                         let idx = dims.idx(i, j, k);
-                        assert!(!seen[idx], "point ({i},{j},{k}) visited twice, dims {dims:?}");
+                        assert!(
+                            !seen[idx],
+                            "point ({i},{j},{k}) visited twice, dims {dims:?}"
+                        );
                         seen[idx] = true;
                     }
                 }
@@ -308,7 +334,11 @@ mod tests {
     fn smooth(n: usize) -> Buffer3 {
         let mut b = Buffer3::zeros(Dims3::cube(n));
         b.fill_with(|i, j, k| {
-            let (x, y, z) = (i as f64 / n as f64, j as f64 / n as f64, k as f64 / n as f64);
+            let (x, y, z) = (
+                i as f64 / n as f64,
+                j as f64 / n as f64,
+                k as f64 / n as f64,
+            );
             (3.0 * x + 1.0).sin() * (2.0 * y).cos() * (z + 0.3).sqrt()
         });
         b

@@ -19,7 +19,9 @@ pub fn lorenzo3(recon: &Buffer3, i: usize, j: usize, k: usize) -> f64 {
         }
     };
     let (i, j, k) = (i as isize, j as isize, k as isize);
-    g(i - 1, j, k) + g(i, j - 1, k) + g(i, j, k - 1) - g(i - 1, j - 1, k) - g(i - 1, j, k - 1)
+    g(i - 1, j, k) + g(i, j - 1, k) + g(i, j, k - 1)
+        - g(i - 1, j - 1, k)
+        - g(i - 1, j, k - 1)
         - g(i, j - 1, k - 1)
         + g(i - 1, j - 1, k - 1)
 }
@@ -47,13 +49,7 @@ pub fn lorenzo1(recon: &[f64], i: usize) -> f64 {
 /// `(oi, oj, ok)` and shape `bd`; the stencil may reach outside the block
 /// into the rest of the domain (crossing block boundaries, like the real
 /// pass does).
-pub fn lorenzo3_block_error(
-    data: &Buffer3,
-    oi: usize,
-    oj: usize,
-    ok: usize,
-    bd: Dims3,
-) -> f64 {
+pub fn lorenzo3_block_error(data: &Buffer3, oi: usize, oj: usize, ok: usize, bd: Dims3) -> f64 {
     let mut err = 0.0;
     for k in ok..ok + bd.nz {
         for j in oj..oj + bd.ny {

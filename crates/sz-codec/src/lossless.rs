@@ -2,7 +2,7 @@
 //! Huffman.
 //!
 //! SZ runs Zstd over its Huffman-coded quantization stream; this module is
-//! the from-scratch stand-in (see DESIGN.md). What matters for the paper's
+//! the from-scratch stand-in (see README.md). What matters for the paper's
 //! experiments is the *scaling behaviour*: long repeated patterns (runs of
 //! the centre quantization code in smooth data) collapse to near-zero size,
 //! and encoding efficiency grows with buffer size — which is exactly what
@@ -37,10 +37,22 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Ceiling on a stream's declared decompressed length. LZ matches expand
+/// legitimately without any input-proportional bound (long RLE runs), so
+/// a corrupt header can't be caught by comparing against the token count;
+/// this cap rejects absurd claims deterministically, far above any
+/// payload this workspace produces (whole snapshots are megabytes).
+const MAX_DECODE_LEN: usize = 1 << 34; // 16 GiB
+
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> WireResult<Vec<u8>> {
     let mut r = Reader::new(bytes);
     let orig_len = r.get_u64()? as usize;
+    if orig_len > MAX_DECODE_LEN {
+        return Err(WireError(format!(
+            "declared length {orig_len} exceeds decode ceiling"
+        )));
+    }
     let mode = r.get_u8()?;
     let payload = r.get_block()?;
     match mode {
@@ -55,9 +67,7 @@ pub fn decompress(bytes: &[u8]) -> WireResult<Vec<u8>> {
             let tokens = huffman::decode_with_table(payload)?;
             let token_bytes: Vec<u8> = tokens
                 .into_iter()
-                .map(|t| {
-                    u8::try_from(t).map_err(|_| WireError("token out of byte range".into()))
-                })
+                .map(|t| u8::try_from(t).map_err(|_| WireError("token out of byte range".into())))
                 .collect::<WireResult<_>>()?;
             lz_expand(&token_bytes, orig_len)
         }
@@ -190,7 +200,10 @@ fn emit_match(out: &mut Vec<u8>, len: usize, dist: usize) {
 }
 
 fn lz_expand(tokens: &[u8], orig_len: usize) -> WireResult<Vec<u8>> {
-    let mut out = Vec::with_capacity(orig_len);
+    // Capacity is a hint only: a corrupted `orig_len` must not drive a
+    // multi-GB upfront allocation, so cap it; the vec grows as needed for
+    // legitimately large (highly repetitive) streams.
+    let mut out = Vec::with_capacity(orig_len.min(1 << 24));
     let mut it = tokens.iter();
     while out.len() < orig_len {
         let control = *it
@@ -201,6 +214,11 @@ fn lz_expand(tokens: &[u8], orig_len: usize) -> WireResult<Vec<u8>> {
             if control & 0x7F == 0x7F {
                 n += get_varint(&mut it)?;
             }
+            if n > orig_len - out.len() {
+                return Err(WireError("literal run overflows declared length".into()));
+            }
+            out.try_reserve(n)
+                .map_err(|_| WireError("literal run exceeds available memory".into()))?;
             for _ in 0..n {
                 out.push(
                     *it.next()
@@ -225,6 +243,11 @@ fn lz_expand(tokens: &[u8], orig_len: usize) -> WireResult<Vec<u8>> {
                     out.len()
                 )));
             }
+            if len > orig_len - out.len() {
+                return Err(WireError("match overflows declared length".into()));
+            }
+            out.try_reserve(len)
+                .map_err(|_| WireError("match exceeds available memory".into()))?;
             // Byte-wise forward copy handles overlapping (RLE-style) matches.
             let start = out.len() - dist;
             for p in 0..len {
@@ -250,6 +273,46 @@ mod tests {
         c.len()
     }
 
+    /// Mode-1 bomb payload: one literal byte, then a match with dist 1
+    /// and an enormous varint-extended length.
+    fn bomb_stream(declared_len: u64) -> Vec<u8> {
+        let mut w = crate::wire::Writer::new();
+        w.put_u64(declared_len);
+        w.put_u8(1);
+        let mut tokens = vec![0x00, 0x41]; // literal run of 1 × 'A'
+        tokens.push(0x80 | 0x7F); // match, varint-extended length
+        tokens.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]); // huge varint
+        tokens.extend_from_slice(&1u16.to_le_bytes()); // dist = 1
+        w.put_block(&tokens);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn absurd_declared_length_rejected_at_header() {
+        // A petabyte claim dies at the MAX_DECODE_LEN ceiling before any
+        // token is read.
+        assert!(decompress(&bomb_stream(1 << 50)).is_err());
+    }
+
+    #[test]
+    fn decompression_bomb_rejected_in_expansion() {
+        // A claim under the ceiling reaches lz_expand; the huge-varint
+        // match (len ≫ declared length) must hit the overflow guard, not
+        // expand the output toward the varint value.
+        assert!(decompress(&bomb_stream(1 << 30)).is_err());
+    }
+
+    #[test]
+    fn lying_length_header_rejected() {
+        // Declared length larger than the tokens can produce: truncation
+        // error, not a hang or giant allocation.
+        let mut w = crate::wire::Writer::new();
+        w.put_u64(10_000_000);
+        w.put_u8(1);
+        w.put_block(&[0x00, 0x41]); // a single literal byte
+        assert!(decompress(&w.into_bytes()).is_err());
+    }
+
     #[test]
     fn empty() {
         roundtrip(&[]);
@@ -270,7 +333,9 @@ mod tests {
 
     #[test]
     fn repeated_pattern() {
-        let data: Vec<u8> = (0..50_000).map(|i| ((i % 64) as u8).wrapping_mul(3)).collect();
+        let data: Vec<u8> = (0..50_000)
+            .map(|i| ((i % 64) as u8).wrapping_mul(3))
+            .collect();
         let n = roundtrip(&data);
         assert!(n < 2_000, "periodic data compressed to {n} bytes");
     }
@@ -280,7 +345,9 @@ mod tests {
         let mut x = 1u64;
         let data: Vec<u8> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 56) as u8
             })
             .collect();
@@ -305,10 +372,7 @@ mod tests {
         // Encoding efficiency must improve with buffer size — the property
         // behind the paper's small-chunk pathology (§2.1).
         let unit: Vec<u8> = (0..1024u32).flat_map(|i| (i % 17).to_le_bytes()).collect();
-        let small: usize = unit
-            .chunks(256)
-            .map(|c| compress(c).len())
-            .sum();
+        let small: usize = unit.chunks(256).map(|c| compress(c).len()).sum();
         let large = compress(&unit).len();
         assert!(
             large < small,

@@ -122,14 +122,36 @@ pub fn decompress_domains(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
         return Err(WireError(format!("unsupported SZ_L/R version {version}")));
     }
     let abs_eb = r.get_f64()?;
+    if !(abs_eb > 0.0 && abs_eb.is_finite()) {
+        return Err(WireError(format!("invalid error bound {abs_eb}")));
+    }
     let block_size = r.get_u8()? as usize;
+    if block_size == 0 {
+        return Err(WireError("zero block size".into()));
+    }
     let ndomains = r.get_u32()? as usize;
+    // Each domain header is 3 × u32; reject counts the stream can't hold.
+    r.check_count(ndomains, 12)?;
     let mut dims = Vec::with_capacity(ndomains);
+    let mut total_cells: u128 = 0;
     for _ in 0..ndomains {
         let nx = r.get_u32()? as usize;
         let ny = r.get_u32()? as usize;
         let nz = r.get_u32()? as usize;
+        if nx == 0 || ny == 0 || nz == 0 {
+            return Err(WireError(format!("degenerate domain dims {nx}x{ny}x{nz}")));
+        }
+        total_cells += nx as u128 * ny as u128 * nz as u128;
         dims.push(Dims3::new(nx, ny, nz));
+    }
+    // Every cell consumes at least one bit of the remaining payload, so
+    // corrupted dims can't demand more cells than the stream could encode
+    // (this also keeps buffer allocations bounded by the input size).
+    if total_cells > r.remaining() as u128 * 8 + 64 {
+        return Err(WireError(format!(
+            "domain dims claim {total_cells} cells, only {} payload bytes left",
+            r.remaining()
+        )));
     }
     // Selection bitmap.
     let nblocks = r.get_u64()? as usize;
@@ -140,6 +162,7 @@ pub fn decompress_domains(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
     // Coefficient stream.
     let coeff_syms = huffman::decode_with_table(r.get_block()?)?;
     let n_coeff_out = r.get_u64()? as usize;
+    r.check_count(n_coeff_out, 8)?;
     let mut coeff_outliers = Vec::with_capacity(n_coeff_out);
     for _ in 0..n_coeff_out {
         coeff_outliers.push(r.get_f64()?);
@@ -147,6 +170,7 @@ pub fn decompress_domains(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
     // Data stream.
     let data_syms = huffman::decode_with_table(r.get_block()?)?;
     let n_out = r.get_u64()? as usize;
+    r.check_count(n_out, 8)?;
     let mut data_outliers = Vec::with_capacity(n_out);
     for _ in 0..n_out {
         data_outliers.push(r.get_f64()?);
@@ -363,7 +387,11 @@ mod tests {
     fn smooth_cube(n: usize) -> Buffer3 {
         let mut b = Buffer3::zeros(Dims3::cube(n));
         b.fill_with(|i, j, k| {
-            let (x, y, z) = (i as f64 / n as f64, j as f64 / n as f64, k as f64 / n as f64);
+            let (x, y, z) = (
+                i as f64 / n as f64,
+                j as f64 / n as f64,
+                k as f64 / n as f64,
+            );
             (6.0 * x).sin() * (5.0 * y).cos() + 0.5 * (4.0 * z).sin()
         });
         b
@@ -373,7 +401,9 @@ mod tests {
         let mut x = 99u64;
         let mut b = Buffer3::zeros(Dims3::cube(n));
         b.fill_with(|i, j, k| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
             (i + j + k) as f64 * 0.05 + noise
         });

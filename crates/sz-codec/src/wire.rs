@@ -90,7 +90,9 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
+        // `n` may come straight from a corrupted length field; checked
+        // comparison avoids `pos + n` overflowing on absurd values.
+        if n > self.buf.len() - self.pos {
             return Err(WireError(format!(
                 "need {n} bytes at offset {}, have {}",
                 self.pos,
@@ -136,6 +138,21 @@ impl<'a> Reader<'a> {
     /// Bytes left unread.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Validate an element count decoded from the stream against the
+    /// minimum bytes each element must still occupy. Rejecting implausible
+    /// counts here keeps corrupted length fields from driving huge
+    /// preallocations (which would abort, not unwind) in decode paths.
+    pub fn check_count(&self, n: usize, min_bytes_per_elem: usize) -> WireResult<usize> {
+        let need = (n as u128) * (min_bytes_per_elem.max(1) as u128);
+        if need > self.remaining() as u128 {
+            return Err(WireError(format!(
+                "count {n} needs {need} bytes, stream has {}",
+                self.remaining()
+            )));
+        }
+        Ok(n)
     }
 }
 

@@ -46,7 +46,11 @@ fn huge_dynamic_range_nyx_style() {
 
 #[test]
 fn pencil_and_plane_shapes() {
-    for dims in [Dims3::new(256, 1, 1), Dims3::new(64, 64, 1), Dims3::new(1, 1, 7)] {
+    for dims in [
+        Dims3::new(256, 1, 1),
+        Dims3::new(64, 64, 1),
+        Dims3::new(1, 1, 7),
+    ] {
         let mut b = Buffer3::zeros(dims);
         b.fill_with(|i, j, k| ((i * 3 + j * 5 + k * 7) as f64 * 0.1).sin());
         let eb = 1e-4;
@@ -146,10 +150,7 @@ fn tighter_bound_never_smaller_stream() {
     let mut prev = 0usize;
     for eb in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5] {
         let n = lr::compress(&b, &LrConfig::new(eb)).len();
-        assert!(
-            n + 64 >= prev,
-            "eb {eb}: stream shrank from {prev} to {n}"
-        );
+        assert!(n + 64 >= prev, "eb {eb}: stream shrank from {prev} to {n}");
         prev = n;
     }
 }

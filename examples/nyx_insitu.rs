@@ -2,7 +2,7 @@
 //! the paper's evaluation loop — per snapshot, the grids adapt, AMRIC
 //! removes redundancy, compresses per field, and writes collectively.
 //!
-//! Run with: `cargo run --release -p amric --example nyx_insitu`
+//! Run with: `cargo run --release --example nyx_insitu`
 
 use amr_apps::prelude::*;
 use amric::prelude::*;
@@ -22,10 +22,7 @@ fn main() {
     let mut prev: Option<amr_mesh::AmrHierarchy> = None;
     println!("step  time   fine-boxes  regrid-change   CR      write(model) s");
     for (step, t, h) in TimeSeries::new(&scenario, mesh, 0.25, 4) {
-        let change = prev
-            .as_ref()
-            .map(|p| regrid_change(p, &h))
-            .unwrap_or(0.0);
+        let change = prev.as_ref().map(|p| regrid_change(p, &h)).unwrap_or(0.0);
         let path = std::env::temp_dir().join(format!("amric-nyx-{step:04}.h5l"));
         let report = write_amric(&path, &h, &config, mesh.blocking_factor).expect("write");
         let (prep, io) = report.modeled_seconds(&rankpar::PfsParams::default());

@@ -1,7 +1,7 @@
 //! Quickstart: build a small two-level AMR hierarchy, write it with AMRIC
 //! in-situ compression, read it back, and verify the error bound.
 //!
-//! Run with: `cargo run --release -p amric --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use amr_apps::prelude::*;
 use amric::prelude::*;
@@ -32,8 +32,8 @@ fn main() {
     //    range-relative error bound 1e-3).
     let path = std::env::temp_dir().join("amric-quickstart.h5l");
     let config = AmricConfig::lr(1e-3);
-    let report = write_amric(&path, &hierarchy, &config, mesh.blocking_factor)
-        .expect("in-situ write");
+    let report =
+        write_amric(&path, &hierarchy, &config, mesh.blocking_factor).expect("in-situ write");
     println!(
         "wrote {} -> {} bytes (CR {:.1}x), {} compressor calls",
         report.orig_bytes,

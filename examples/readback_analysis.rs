@@ -3,7 +3,7 @@
 //! workflow), and compute simple statistics — without ever materializing
 //! the uncompressed plotfile on disk.
 //!
-//! Run with: `cargo run --release -p amric --example readback_analysis`
+//! Run with: `cargo run --release --example readback_analysis`
 
 use amr_apps::prelude::*;
 use amric::prelude::*;
@@ -57,7 +57,11 @@ fn main() {
         "verification: mean PSNR {:.2} dB across {} fields, bounds {}",
         checks.iter().map(|c| c.stats.psnr()).sum::<f64>() / checks.len() as f64,
         checks.len(),
-        if checks.iter().all(|c| c.bound_ok) { "all OK" } else { "VIOLATED" }
+        if checks.iter().all(|c| c.bound_ok) {
+            "all OK"
+        } else {
+            "VIOLATED"
+        }
     );
     std::fs::remove_file(&path).ok();
 }

@@ -2,7 +2,7 @@
 //! elongated domain — the smooth-data regime where AMRIC's compression
 //! ratios explode (paper Table 2) and I/O savings peak.
 //!
-//! Run with: `cargo run --release -p amric --example warpx_insitu`
+//! Run with: `cargo run --release --example warpx_insitu`
 
 use amr_apps::prelude::*;
 use amric::prelude::*;
@@ -24,7 +24,9 @@ fn main() {
         ("AMRIC(SZ_L/R)", AmricConfig::lr(1e-3)),
         ("AMRIC(SZ_Interp)", AmricConfig::interp(1e-3)),
     ] {
-        let path = std::env::temp_dir().join(format!("amric-warpx-{label}.h5l"));
+        // Labels contain '/' (e.g. "SZ_L/R"); keep it out of the filename.
+        let path =
+            std::env::temp_dir().join(format!("amric-warpx-{}.h5l", label.replace('/', "-")));
         let report = write_amric(&path, &h, &cfg, mesh.blocking_factor).expect("write");
         println!(
             "{label:<16}  {:>6.1}  {:>10.1}  {:>12}",

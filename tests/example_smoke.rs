@@ -1,0 +1,46 @@
+//! Smoke tests for the runnable `examples/`: each must build and exit 0
+//! via `cargo run --example`, so examples can't silently rot as the
+//! crates evolve.
+//!
+//! Uses `--release` because the tier-1 verify (`cargo build --release &&
+//! cargo test -q`) and CI both build release artifacts first, making
+//! these runs incremental no-op builds plus a fast execution.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(cargo)
+        .args(["run", "--release", "--offline", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn nyx_insitu_runs() {
+    run_example("nyx_insitu");
+}
+
+#[test]
+fn warpx_insitu_runs() {
+    run_example("warpx_insitu");
+}
+
+#[test]
+fn readback_analysis_runs() {
+    run_example("readback_analysis");
+}

@@ -57,8 +57,7 @@ fn full_pipeline_nyx_lr() {
 fn full_pipeline_warpx_interp() {
     let (h, mesh) = warpx(2, 4);
     let path = tmp("warpx-interp");
-    let report =
-        write_amric(&path, &h, &AmricConfig::interp(1e-3), mesh.blocking_factor).unwrap();
+    let report = write_amric(&path, &h, &AmricConfig::interp(1e-3), mesh.blocking_factor).unwrap();
     // Smooth WarpX data must compress at least an order of magnitude.
     assert!(
         report.compression_ratio() > 10.0,

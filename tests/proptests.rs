@@ -15,6 +15,49 @@ fn buffer_strategy(max_edge: usize) -> impl Strategy<Value = Buffer3> {
     })
 }
 
+/// Degenerate shapes and value regimes the randomized [`buffer_strategy`]
+/// rarely produces: constant fields, single-cell boxes, 1-D pencils and
+/// 2-D slabs, and NaN-free extreme magnitudes (±1e150 with tiny spread).
+fn degenerate_buffer_strategy() -> impl Strategy<Value = Buffer3> {
+    let constant =
+        (1usize..=7, 1usize..=7, 1usize..=7, -1.0e15f64..1.0e15).prop_map(|(nx, ny, nz, v)| {
+            Buffer3::from_vec(Dims3::new(nx, ny, nz), vec![v; nx * ny * nz])
+        });
+    let single_cell =
+        (-1.0e150f64..1.0e150).prop_map(|v| Buffer3::from_vec(Dims3::new(1, 1, 1), vec![v]));
+    let pencil = (0u8..3, 2usize..=32, -1.0e6f64..1.0e6).prop_flat_map(|(axis, n, base)| {
+        proptest::collection::vec(-1.0f64..1.0, n..=n).prop_map(move |noise| {
+            let dims = match axis {
+                0 => Dims3::new(n, 1, 1),
+                1 => Dims3::new(1, n, 1),
+                _ => Dims3::new(1, 1, n),
+            };
+            Buffer3::from_vec(dims, noise.iter().map(|d| base + d).collect())
+        })
+    });
+    let slab = (2usize..=8, 2usize..=8).prop_flat_map(|(nx, ny)| {
+        let n = nx * ny;
+        proptest::collection::vec(-1.0e3f64..1.0e3, n..=n)
+            .prop_map(move |data| Buffer3::from_vec(Dims3::new(nx, ny, 1), data))
+    });
+    let extreme = (
+        1usize..=5,
+        1usize..=5,
+        1usize..=5,
+        prop_oneof![Just(1.0e150f64), Just(-1.0e150)],
+    )
+        .prop_flat_map(|(nx, ny, nz, scale)| {
+            let n = nx * ny * nz;
+            proptest::collection::vec(0.999f64..1.001, n..=n).prop_map(move |v| {
+                Buffer3::from_vec(
+                    Dims3::new(nx, ny, nz),
+                    v.iter().map(|x| x * scale).collect(),
+                )
+            })
+        });
+    prop_oneof![constant, single_cell, pencil, slab, extreme]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -130,6 +173,62 @@ proptest! {
             prop_assert_eq!(r.get_u64().unwrap(), v);
         }
         prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn lr_bound_on_degenerate_inputs(
+        buf in degenerate_buffer_strategy(),
+        eb_exp in -6i32..-1,
+    ) {
+        let abs_eb = 10f64.powi(eb_exp) * buf.value_range().max(1.0);
+        let stream = lr::compress(&buf, &LrConfig::new(abs_eb));
+        let back = lr::decompress(&stream).unwrap();
+        prop_assert_eq!(back.dims(), buf.dims());
+        let stats = ErrorStats::compare(buf.data(), back.data());
+        prop_assert!(stats.max_abs_err <= abs_eb * (1.0 + 1e-9),
+            "max err {} > bound {} on dims {:?}", stats.max_abs_err, abs_eb, buf.dims());
+    }
+
+    #[test]
+    fn interp_bound_on_degenerate_inputs(
+        buf in degenerate_buffer_strategy(),
+        eb_exp in -6i32..-1,
+    ) {
+        let abs_eb = 10f64.powi(eb_exp) * buf.value_range().max(1.0);
+        let stream = interp::compress(&buf, &InterpConfig::new(abs_eb));
+        let back = interp::decompress(&stream).unwrap();
+        prop_assert_eq!(back.dims(), buf.dims());
+        let stats = ErrorStats::compare(buf.data(), back.data());
+        prop_assert!(stats.max_abs_err <= abs_eb * (1.0 + 1e-9),
+            "max err {} > bound {} on dims {:?}", stats.max_abs_err, abs_eb, buf.dims());
+    }
+
+    #[test]
+    fn constant_fields_compress_losslessly_enough(
+        value in -1.0e12f64..1.0e12,
+        edge in 1usize..9,
+        eb_exp in -6i32..-1,
+    ) {
+        // A constant field has zero range; the bound still must hold with
+        // the range-floor convention the other tests use.
+        let buf = Buffer3::from_vec(Dims3::cube(edge), vec![value; edge * edge * edge]);
+        let abs_eb = 10f64.powi(eb_exp) * buf.value_range().max(1.0);
+        let back = lr::decompress(&lr::compress(&buf, &LrConfig::new(abs_eb))).unwrap();
+        let stats = ErrorStats::compare(buf.data(), back.data());
+        prop_assert!(stats.max_abs_err <= abs_eb * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn lr_1d_respects_bound(
+        data in proptest::collection::vec(-1.0e9f64..1.0e9, 1..600),
+        eb_exp in -6i32..-1,
+    ) {
+        let range = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let abs_eb = 10f64.powi(eb_exp) * range.max(1.0);
+        let back = lr::decompress(&lr::compress_1d(&data, abs_eb)).unwrap();
+        let stats = ErrorStats::compare(&data, back.data());
+        prop_assert!(stats.max_abs_err <= abs_eb * (1.0 + 1e-9));
     }
 
     #[test]

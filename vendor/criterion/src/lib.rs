@@ -1,0 +1,311 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the API surface this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, sample_size, bench_function, finish}`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter` — over a plain
+//! warmup-then-measure timing loop instead of criterion's statistical
+//! machinery.
+//!
+//! Mode selection mirrors criterion: `cargo bench` passes `--bench`, which
+//! enables timed runs; under `cargo test` (no `--bench` flag) every
+//! benchmark body executes exactly once so benches are smoke-tested
+//! without burning minutes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark throughput annotation, reported as MB/s or Melem/s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function` in place of a plain string.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// (total elapsed, iterations) of the measured phase; None in test mode.
+    measured: Option<(Duration, u64)>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: warm up, then time `sample_size` batches.
+    Measure,
+    /// `cargo test`: run the body once to prove it works.
+    TestOnce,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                // Warmup: at least one call, up to ~50 ms.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                loop {
+                    black_box(routine());
+                    warm_iters += 1;
+                    if warm_start.elapsed() > Duration::from_millis(50) || warm_iters >= 10 {
+                        break;
+                    }
+                }
+                let per_iter = warm_start.elapsed() / warm_iters as u32;
+                // Aim for roughly sample_size iterations but cap the
+                // measured phase near 2 s for slow routines.
+                let budget = Duration::from_secs(2);
+                let mut iters = self.sample_size as u64;
+                if per_iter > Duration::ZERO {
+                    let fit = (budget.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+                    iters = iters.min(fit).max(1);
+                }
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.measured = Some((start.elapsed(), iters));
+            }
+        }
+    }
+
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine)
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        report(&full, self.throughput, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, throughput: Option<Throughput>, b: &Bencher) {
+    match b.measured {
+        None => {
+            if b.mode == Mode::TestOnce {
+                eprintln!("bench {name}: ok (test mode, 1 iteration)");
+            } else {
+                eprintln!("bench {name}: no measurement (b.iter never called)");
+            }
+        }
+        Some((elapsed, iters)) => {
+            let per = elapsed.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                    format!(", {:.1} MiB/s", n as f64 / per / (1u64 << 20) as f64)
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!(", {:.2} Melem/s", n as f64 / per / 1e6)
+                }
+                None => String::new(),
+            };
+            eprintln!(
+                "bench {name}: {:.3} ms/iter ({iters} iters{rate})",
+                per * 1e3
+            );
+        }
+    }
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`'s builder calls.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench injects `--bench`; cargo test does not. Same probe
+        // criterion itself uses to pick full-measurement vs test mode.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if bench_mode {
+                Mode::Measure
+            } else {
+                Mode::TestOnce
+            },
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("standalone").bench_function(id, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            mode: Mode::TestOnce,
+            sample_size: 10,
+        };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_iterations() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            sample_size: 3,
+        };
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .throughput(Throughput::Bytes(8))
+                .bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| calls += 1));
+        }
+        assert!(calls >= 3, "warmup + measured phases ran: {calls}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}
