@@ -1,5 +1,20 @@
 //! AMRIC configuration: compressor choice, error bounds, and the ablation
 //! switches for every design decision §3 of the paper introduces.
+//!
+//! Both config structs are `#[non_exhaustive]` with builder-style
+//! `with_*` setters, so future ablation switches can be added without a
+//! breaking change: start from a paper preset ([`AmricConfig::lr`] /
+//! [`AmricConfig::interp`] / [`BaselineConfig::new`]) and chain the
+//! switches you want to flip.
+//!
+//! ```
+//! use amric::config::{AmricConfig, MergePolicy};
+//!
+//! let ablated = AmricConfig::lr(1e-3)
+//!     .with_merge(MergePolicy::LinearMerge)
+//!     .with_adaptive_block_size(false);
+//! assert_eq!(ablated.merge, MergePolicy::LinearMerge);
+//! ```
 
 use sz_codec::SzAlgorithm;
 
@@ -17,6 +32,7 @@ pub enum MergePolicy {
 
 /// Full AMRIC pipeline configuration.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct AmricConfig {
     /// Which SZ algorithm compresses the arranged data.
     pub algorithm: SzAlgorithm,
@@ -66,6 +82,48 @@ impl AmricConfig {
         }
     }
 
+    /// Set the SZ algorithm.
+    pub fn with_algorithm(mut self, algorithm: SzAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Set the value-range-relative error bound.
+    pub fn with_rel_eb(mut self, rel_eb: f64) -> Self {
+        self.rel_eb = rel_eb;
+        self
+    }
+
+    /// Set the SZ_L/R merge policy (ablation switch).
+    pub fn with_merge(mut self, merge: MergePolicy) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// Toggle the adaptive SZ block size (ablation switch).
+    pub fn with_adaptive_block_size(mut self, on: bool) -> Self {
+        self.adaptive_block_size = on;
+        self
+    }
+
+    /// Toggle the cluster arrangement for SZ_Interp (ablation switch).
+    pub fn with_cluster_arrangement(mut self, on: bool) -> Self {
+        self.cluster_arrangement = on;
+        self
+    }
+
+    /// Toggle coarse-redundancy removal (ablation switch).
+    pub fn with_remove_redundancy(mut self, on: bool) -> Self {
+        self.remove_redundancy = on;
+        self
+    }
+
+    /// Toggle the size-aware HDF5 filter (ablation switch).
+    pub fn with_size_aware_filter(mut self, on: bool) -> Self {
+        self.size_aware_filter = on;
+        self
+    }
+
     /// SZ block size for a given unit edge under this config.
     pub fn sz_block_size(&self, unit_edge: usize) -> usize {
         if self.adaptive_block_size {
@@ -79,6 +137,7 @@ impl AmricConfig {
 /// AMReX-baseline configuration (the paper's comparison target): 1-D SZ
 /// through small standard-mode chunks on the interleaved layout.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct BaselineConfig {
     /// Value-range-relative error bound.
     pub rel_eb: f64,
@@ -94,6 +153,18 @@ impl BaselineConfig {
             rel_eb,
             chunk_elems: 1024,
         }
+    }
+
+    /// Set the value-range-relative error bound.
+    pub fn with_rel_eb(mut self, rel_eb: f64) -> Self {
+        self.rel_eb = rel_eb;
+        self
+    }
+
+    /// Set the HDF5 chunk size in elements.
+    pub fn with_chunk_elems(mut self, chunk_elems: usize) -> Self {
+        self.chunk_elems = chunk_elems;
+        self
     }
 }
 
@@ -114,12 +185,35 @@ mod tests {
     }
 
     #[test]
+    fn builders_flip_every_switch() {
+        let cfg = AmricConfig::lr(1e-3)
+            .with_algorithm(SzAlgorithm::Interpolation)
+            .with_rel_eb(1e-4)
+            .with_merge(MergePolicy::LinearMerge)
+            .with_adaptive_block_size(false)
+            .with_cluster_arrangement(true)
+            .with_remove_redundancy(false)
+            .with_size_aware_filter(false);
+        assert_eq!(cfg.algorithm, SzAlgorithm::Interpolation);
+        assert_eq!(cfg.rel_eb, 1e-4);
+        assert_eq!(cfg.merge, MergePolicy::LinearMerge);
+        assert!(!cfg.adaptive_block_size);
+        assert!(cfg.cluster_arrangement);
+        assert!(!cfg.remove_redundancy);
+        assert!(!cfg.size_aware_filter);
+        let base = BaselineConfig::new(1e-2)
+            .with_chunk_elems(4096)
+            .with_rel_eb(5e-3);
+        assert_eq!(base.chunk_elems, 4096);
+        assert_eq!(base.rel_eb, 5e-3);
+    }
+
+    #[test]
     fn sz_block_size_follows_eq1_when_adaptive() {
         let cfg = AmricConfig::lr(1e-3);
         assert_eq!(cfg.sz_block_size(8), 4);
         assert_eq!(cfg.sz_block_size(16), 6);
-        let mut fixed = cfg;
-        fixed.adaptive_block_size = false;
+        let fixed = cfg.with_adaptive_block_size(false);
         assert_eq!(fixed.sz_block_size(8), 6);
     }
 }

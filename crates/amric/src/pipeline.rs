@@ -3,10 +3,26 @@
 
 use crate::config::{AmricConfig, MergePolicy};
 use crate::reorganize::{cluster_pack, cluster_unpack, linear_merge, linear_split, ClusterGrid};
+use sz_codec::codec::{expect_envelope, write_envelope, StreamInfo};
 use sz_codec::prelude::*;
-use sz_codec::wire::{Reader, WireError, WireResult, Writer};
+use sz_codec::wire::{Reader, Writer};
 
-const MAGIC: u32 = 0x4352_4D41; // "AMRC"
+/// AMRIC pipeline payload format version (rides in the envelope header).
+const VERSION: u8 = 1;
+
+/// Reusable compression scratch for the pipeline hot path: holds the
+/// SZ_L/R quantization-stream buffers so repeated `*_into` calls stop
+/// paying per-call allocations. One per writer rank is enough.
+#[derive(Default)]
+pub struct AmricScratch {
+    lr: LrScratch,
+}
+
+impl std::fmt::Debug for AmricScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AmricScratch { .. }")
+    }
+}
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mode {
@@ -18,14 +34,14 @@ enum Mode {
 }
 
 impl Mode {
-    fn from_u8(v: u8) -> WireResult<Mode> {
+    fn from_u8(v: u8) -> CodecResult<Mode> {
         Ok(match v {
             0 => Mode::LrSle,
             1 => Mode::LrLinearMerge,
             2 => Mode::InterpLinear,
             3 => Mode::InterpCluster,
             255 => Mode::Empty,
-            _ => return Err(WireError(format!("bad AMRIC mode {v}"))),
+            _ => return Err(CodecError::BadMode { found: v }),
         })
     }
 }
@@ -47,6 +63,13 @@ fn uniform_cubes(units: &[Buffer3]) -> bool {
 /// Resolve the field's absolute error bound from the rank-local value
 /// range across all units (the paper's per-rank range-relative bounds,
 /// §4.3).
+///
+/// **Constant-valued fields** (value range 0 — e.g. a quiet rank whose
+/// units all hold one value) fall back to `rel_eb` itself as the absolute
+/// bound, matching [`absolute_bound`]. REL bounds therefore stay
+/// well-defined at the API boundary: the quantizer receives a positive
+/// bound, the constant field round-trips within `rel_eb`, and the in-situ
+/// writer resolves its global bound under the same contract.
 pub fn resolve_abs_eb(units: &[Buffer3], rel_eb: f64) -> f64 {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
@@ -81,20 +104,74 @@ pub fn compress_field_units_with_bound(
     unit_edge: usize,
     abs_eb: f64,
 ) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.put_u32(MAGIC);
+    let mut out = Vec::new();
+    compress_field_units_with_bound_pooled(units, cfg, unit_edge, abs_eb, &mut out);
+    out
+}
+
+thread_local! {
+    /// Per-thread (= per-rank) scratch pool backing the `&self` entry
+    /// points that cannot hold a scratch of their own.
+    static AMRIC_POOL: std::cell::RefCell<AmricScratch> =
+        std::cell::RefCell::new(AmricScratch::default());
+}
+
+/// Like [`compress_field_units_with_bound_into`] but reusing a
+/// thread-local scratch — for `&self` contexts (the `Codec` impl) that
+/// cannot thread an explicit [`AmricScratch`] through.
+pub fn compress_field_units_with_bound_pooled(
+    units: &[Buffer3],
+    cfg: &AmricConfig,
+    unit_edge: usize,
+    abs_eb: f64,
+    out: &mut Vec<u8>,
+) -> StreamInfo {
+    AMRIC_POOL.with(|s| {
+        compress_field_units_with_bound_into(
+            units,
+            cfg,
+            unit_edge,
+            abs_eb,
+            &mut s.borrow_mut(),
+            out,
+        )
+    })
+}
+
+/// Compress one field's unit blocks with an explicit absolute error
+/// bound, **appending** the stream to `out` and reusing `scratch` — the
+/// writer's per-chunk hot path, which allocates no fresh output `Vec`.
+pub fn compress_field_units_with_bound_into(
+    units: &[Buffer3],
+    cfg: &AmricConfig,
+    unit_edge: usize,
+    abs_eb: f64,
+    scratch: &mut AmricScratch,
+    out: &mut Vec<u8>,
+) -> StreamInfo {
+    let start = out.len();
+    let mut w = Writer::from_vec(std::mem::take(out));
+    write_envelope(&mut w, CodecId::AmricPipeline, VERSION, 0);
     if units.is_empty() {
         w.put_u8(Mode::Empty as u8);
-        return w.into_bytes();
+        *out = w.into_bytes();
+        return StreamInfo {
+            codec: CodecId::AmricPipeline,
+            bytes: out.len() - start,
+            units: 0,
+            cells: 0,
+        };
     }
     let mode = select_mode(cfg, units);
     w.put_u8(mode as u8);
     w.put_u32(units.len() as u32);
+    // The SZ payload is the stream's final field: appended raw (no length
+    // prefix, no intermediate buffer).
     match mode {
         Mode::LrSle => {
             let lr_cfg = LrConfig::new(abs_eb).with_block_size(cfg.sz_block_size(unit_edge));
             let refs: Vec<&Buffer3> = units.iter().collect();
-            w.put_block(&lr::compress_domains(&refs, &lr_cfg));
+            lr::compress_domains_into(&refs, &lr_cfg, &mut scratch.lr, w.buf_mut());
         }
         Mode::LrLinearMerge => {
             let (merged, extents) = linear_merge(units);
@@ -102,7 +179,7 @@ pub fn compress_field_units_with_bound(
                 w.put_u32(*e as u32);
             }
             let lr_cfg = LrConfig::new(abs_eb).with_block_size(cfg.sz_block_size(unit_edge));
-            w.put_block(&lr::compress(&merged, &lr_cfg));
+            lr::compress_domains_into(&[&merged], &lr_cfg, &mut scratch.lr, w.buf_mut());
         }
         Mode::InterpLinear => {
             let (merged, extents) = linear_merge(units);
@@ -111,7 +188,7 @@ pub fn compress_field_units_with_bound(
             }
             w.put_u32(merged.dims().nx as u32);
             w.put_u32(merged.dims().ny as u32);
-            w.put_block(&interp::compress(&merged, &InterpConfig::new(abs_eb)));
+            interp::compress_into(&merged, &InterpConfig::new(abs_eb), w.buf_mut());
         }
         Mode::InterpCluster => {
             let (packed, grid) = cluster_pack(units);
@@ -120,11 +197,17 @@ pub fn compress_field_units_with_bound(
             w.put_u32(grid.gx as u32);
             w.put_u32(grid.gy as u32);
             w.put_u32(grid.gz as u32);
-            w.put_block(&interp::compress(&packed, &InterpConfig::new(abs_eb)));
+            interp::compress_into(&packed, &InterpConfig::new(abs_eb), w.buf_mut());
         }
         Mode::Empty => unreachable!("handled above"),
     }
-    w.into_bytes()
+    *out = w.into_bytes();
+    StreamInfo {
+        codec: CodecId::AmricPipeline,
+        bytes: out.len() - start,
+        units: units.len(),
+        cells: units.iter().map(|u| u.dims().len()).sum(),
+    }
 }
 
 /// Pick the stream mode the configuration implies, with safe fallbacks
@@ -151,11 +234,9 @@ fn select_mode(cfg: &AmricConfig, units: &[Buffer3]) -> Mode {
 
 /// Decompress a stream produced by [`compress_field_units`], returning the
 /// unit buffers in their original order.
-pub fn decompress_field_units(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
-    let mut r = Reader::new(bytes);
-    if r.get_u32()? != MAGIC {
-        return Err(WireError("bad AMRIC magic".into()));
-    }
+pub fn decompress_field_units(bytes: &[u8]) -> CodecResult<Vec<Buffer3>> {
+    let env = expect_envelope(bytes, CodecId::AmricPipeline, VERSION)?;
+    let mut r = Reader::new(&bytes[env.payload_offset..]);
     let mode = Mode::from_u8(r.get_u8()?)?;
     if mode == Mode::Empty {
         return Ok(Vec::new());
@@ -163,9 +244,9 @@ pub fn decompress_field_units(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
     let n = r.get_u32()? as usize;
     match mode {
         Mode::LrSle => {
-            let units = lr::decompress_domains(r.get_block()?)?;
+            let units = lr::decompress_domains(r.get_raw(r.remaining())?)?;
             if units.len() != n {
-                return Err(WireError(format!(
+                return Err(CodecError::dims(format!(
                     "expected {n} units, stream holds {}",
                     units.len()
                 )));
@@ -179,19 +260,19 @@ pub fn decompress_field_units(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
             for _ in 0..n {
                 let e = r.get_u32()? as usize;
                 if e == 0 {
-                    return Err(WireError("zero unit extent".into()));
+                    return Err(CodecError::dims("zero unit extent"));
                 }
                 extents.push(e);
             }
             let merged = if mode == Mode::LrLinearMerge {
-                lr::decompress(r.get_block()?)?
+                lr::decompress(r.get_raw(r.remaining())?)?
             } else {
                 let _nx = r.get_u32()?;
                 let _ny = r.get_u32()?;
-                interp::decompress(r.get_block()?)?
+                interp::decompress(r.get_raw(r.remaining())?)?
             };
             if merged.dims().nz != extents.iter().sum::<usize>() {
-                return Err(WireError("merged extents mismatch".into()));
+                return Err(CodecError::dims("merged extents mismatch"));
             }
             Ok(linear_split(&merged, &extents))
         }
@@ -202,7 +283,7 @@ pub fn decompress_field_units(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
                 gy: r.get_u32()? as usize,
                 gz: r.get_u32()? as usize,
             };
-            let packed = interp::decompress(r.get_block()?)?;
+            let packed = interp::decompress(r.get_raw(r.remaining())?)?;
             // Compare in u128 so corrupted grid/edge fields can neither
             // overflow the products nor hit Dims3's nonzero assertion.
             let pd = packed.dims();
@@ -210,10 +291,10 @@ pub fn decompress_field_units(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
                 && grid.gy as u128 * edge as u128 == pd.ny as u128
                 && grid.gz as u128 * edge as u128 == pd.nz as u128;
             if !matches {
-                return Err(WireError("cluster grid mismatch".into()));
+                return Err(CodecError::dims("cluster grid mismatch"));
             }
             if n > grid.slots() {
-                return Err(WireError("unit count exceeds cluster slots".into()));
+                return Err(CodecError::dims("unit count exceeds cluster slots"));
             }
             Ok(cluster_unpack(&packed, grid, Dims3::cube(edge), n))
         }
@@ -266,8 +347,7 @@ mod tests {
     #[test]
     fn lr_lm_roundtrip() {
         let u = units(7, 8, 1.0);
-        let mut cfg = AmricConfig::lr(1e-3);
-        cfg.merge = MergePolicy::LinearMerge;
+        let cfg = AmricConfig::lr(1e-3).with_merge(MergePolicy::LinearMerge);
         let abs = resolve_abs_eb(&u, 1e-3);
         let bytes = compress_field_units(&u, &cfg, 8);
         let back = decompress_field_units(&bytes).unwrap();
@@ -287,8 +367,7 @@ mod tests {
     #[test]
     fn interp_linear_roundtrip() {
         let u = units(9, 8, 3.0);
-        let mut cfg = AmricConfig::interp(1e-3);
-        cfg.cluster_arrangement = false;
+        let cfg = AmricConfig::interp(1e-3).with_cluster_arrangement(false);
         let abs = resolve_abs_eb(&u, 1e-3);
         let bytes = compress_field_units(&u, &cfg, 8);
         let back = decompress_field_units(&bytes).unwrap();
@@ -311,6 +390,19 @@ mod tests {
             let bytes = compress_field_units(&u, &cfg, 8);
             let back = decompress_field_units(&bytes).unwrap();
             check_bound(&u, &back, abs);
+        }
+    }
+
+    #[test]
+    fn resolve_abs_eb_constant_field_falls_back_to_rel() {
+        // Range-0 (constant) fields: the REL bound resolves to the raw
+        // relative value, and the pipeline honors it end to end.
+        let u = vec![Buffer3::from_vec(Dims3::cube(4), vec![3.25; 64]); 3];
+        assert_eq!(resolve_abs_eb(&u, 1e-3), 1e-3);
+        for cfg in [AmricConfig::lr(1e-3), AmricConfig::interp(1e-3)] {
+            let bytes = compress_field_units(&u, &cfg, 4);
+            let back = decompress_field_units(&bytes).unwrap();
+            check_bound(&u, &back, 1e-3);
         }
     }
 
@@ -348,8 +440,7 @@ mod tests {
             })
             .collect();
         let sle_cfg = AmricConfig::lr(1e-4);
-        let mut lm_cfg = sle_cfg;
-        lm_cfg.merge = MergePolicy::LinearMerge;
+        let lm_cfg = sle_cfg.with_merge(MergePolicy::LinearMerge);
         let sle_bytes = compress_field_units(&u, &sle_cfg, 8).len();
         let lm_bytes = compress_field_units(&u, &lm_cfg, 8).len();
         // SLE should not be (much) worse; on discontiguous data it wins.

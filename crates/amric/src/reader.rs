@@ -16,8 +16,8 @@ impl ChunkFilter for AmricDecoder {
     fn id(&self) -> u32 {
         crate::writer::FILTER_AMRIC
     }
-    fn encode(&self, _chunk: &[f64]) -> Vec<u8> {
-        unreachable!("AmricDecoder is read-only")
+    fn encode_into(&self, _chunk: &[f64], _out: &mut Vec<u8>) -> H5Result<()> {
+        Err(H5Error::Format("AmricDecoder is read-only".into()))
     }
     fn decode(&self, bytes: &[u8], n_elems: usize) -> H5Result<Vec<f64>> {
         let units = decompress_field_units(bytes)?;

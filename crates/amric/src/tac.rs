@@ -11,10 +11,12 @@
 //! block size.
 
 use amr_mesh::IntVect;
+use sz_codec::codec::{expect_envelope, write_envelope};
 use sz_codec::prelude::*;
-use sz_codec::wire::{Reader, WireError, WireResult, Writer};
+use sz_codec::wire::{Reader, Writer};
 
-const MAGIC: u32 = 0x0043_4154; // "TAC\0"
+/// TAC payload format version (rides in the envelope header).
+const VERSION: u8 = 1;
 
 /// Units per spatial group (TAC's partition granularity).
 const GROUP: usize = 8;
@@ -35,12 +37,21 @@ pub fn morton3(p: &IntVect) -> u128 {
 /// Compress unit blocks TAC-style: Morton-sort by origin, group, linearly
 /// merge each group, stock SZ_L/R per group.
 pub fn tac_compress(units: &[Buffer3], origins: &[IntVect], rel_eb: f64) -> Vec<u8> {
+    let mut out = Vec::new();
+    tac_compress_into(units, origins, rel_eb, &mut out);
+    out
+}
+
+/// Compress unit blocks TAC-style, **appending** the stream to `out`
+/// (the buffer-reusing variant of [`tac_compress`]).
+pub fn tac_compress_into(units: &[Buffer3], origins: &[IntVect], rel_eb: f64, out: &mut Vec<u8>) {
     assert_eq!(units.len(), origins.len());
-    let mut w = Writer::new();
-    w.put_u32(MAGIC);
+    let mut w = Writer::from_vec(std::mem::take(out));
+    write_envelope(&mut w, CodecId::Tac, VERSION, 0);
     w.put_u32(units.len() as u32);
     if units.is_empty() {
-        return w.into_bytes();
+        *out = w.into_bytes();
+        return;
     }
     let abs_eb = crate::pipeline::resolve_abs_eb(units, rel_eb);
     // Spatial ordering.
@@ -84,15 +95,13 @@ pub fn tac_compress(units: &[Buffer3], origins: &[IntVect], rel_eb: f64) -> Vec<
         // Separate SZ call per group — the black-box behaviour.
         w.put_block(&lr::compress(&merged, &cfg));
     }
-    w.into_bytes()
+    *out = w.into_bytes();
 }
 
 /// Decompress a TAC stream back to units in the original input order.
-pub fn tac_decompress(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
-    let mut r = Reader::new(bytes);
-    if r.get_u32()? != MAGIC {
-        return Err(WireError("bad TAC magic".into()));
-    }
+pub fn tac_decompress(bytes: &[u8]) -> CodecResult<Vec<Buffer3>> {
+    let env = expect_envelope(bytes, CodecId::Tac, VERSION)?;
+    let mut r = Reader::new(&bytes[env.payload_offset..]);
     let n = r.get_u32()? as usize;
     if n == 0 {
         return Ok(Vec::new());
@@ -112,7 +121,7 @@ pub fn tac_decompress(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
         for _ in 0..glen {
             let e = r.get_u32()? as usize;
             if e == 0 {
-                return Err(WireError("zero unit extent in TAC group".into()));
+                return Err(CodecError::dims("zero unit extent in TAC group"));
             }
             extents.push(e);
         }
@@ -120,18 +129,18 @@ pub fn tac_decompress(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
         // Validate before linear_split, whose extent-coverage check is an
         // assert (its callers are trusted; the wire format is not).
         if extents.iter().sum::<usize>() != merged.dims().nz {
-            return Err(WireError("TAC group extents mismatch".into()));
+            return Err(CodecError::dims("TAC group extents mismatch"));
         }
         sorted_units.extend(crate::reorganize::linear_split(&merged, &extents));
     }
     if sorted_units.len() != n {
-        return Err(WireError("TAC unit count mismatch".into()));
+        return Err(CodecError::dims("TAC unit count mismatch"));
     }
     // Invert the permutation.
     let mut out: Vec<Option<Buffer3>> = vec![None; n];
     for (buf, &idx) in sorted_units.into_iter().zip(&order) {
         if idx >= n || out[idx].is_some() {
-            return Err(WireError("bad TAC permutation".into()));
+            return Err(CodecError::corrupt("bad TAC permutation"));
         }
         out[idx] = Some(buf);
     }

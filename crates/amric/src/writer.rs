@@ -10,13 +10,14 @@
 //! in the chunk metadata so no padding is ever compressed.
 
 use crate::config::AmricConfig;
-use crate::pipeline::{compress_field_units_with_bound, decompress_field_units};
+use crate::pipeline::{compress_field_units_with_bound_pooled, decompress_field_units};
 use crate::preprocess::{extract_units, plan_units, unit_edge_for_level};
 use amr_mesh::prelude::*;
 use h5lite::prelude::*;
 use rankpar::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
+use sz_codec::CodecError;
 
 /// Filter id for the AMRIC application-defined filter (outside h5lite's
 /// built-in registry, like a dynamically loaded HDF5 plugin).
@@ -24,7 +25,9 @@ pub const FILTER_AMRIC: u32 = 100;
 
 /// The AMRIC chunk filter: the chunk payload is a concatenation of cubic
 /// unit blocks of edge `unit_edge`; encode runs the full §3.1–3.2
-/// pipeline on them.
+/// pipeline on them. Encoding appends into the caller's buffer through
+/// the thread-local (= per-rank) scratch pool, so the per-chunk hot path
+/// allocates no fresh output `Vec` and no fresh quantization scratch.
 #[derive(Clone, Copy, Debug)]
 pub struct AmricFieldFilter {
     /// Pipeline configuration.
@@ -47,19 +50,21 @@ impl ChunkFilter for AmricFieldFilter {
         vec![self.unit_edge as u8]
     }
 
-    fn encode(&self, chunk: &[f64]) -> Vec<u8> {
+    fn encode_into(&self, chunk: &[f64], out: &mut Vec<u8>) -> H5Result<()> {
         let e3 = self.unit_edge * self.unit_edge * self.unit_edge;
-        assert!(
-            chunk.len().is_multiple_of(e3),
-            "chunk of {} elems is not a multiple of unit {}³",
-            chunk.len(),
-            self.unit_edge
-        );
+        if e3 == 0 || !chunk.len().is_multiple_of(e3) {
+            return Err(H5Error::Codec(CodecError::dims(format!(
+                "chunk of {} elems is not a multiple of unit {}³",
+                chunk.len(),
+                self.unit_edge
+            ))));
+        }
         let units: Vec<sz_codec::Buffer3> = chunk
             .chunks_exact(e3)
             .map(|u| sz_codec::Buffer3::from_vec(sz_codec::Dims3::cube(self.unit_edge), u.to_vec()))
             .collect();
-        compress_field_units_with_bound(&units, &self.cfg, self.unit_edge, self.abs_eb)
+        compress_field_units_with_bound_pooled(&units, &self.cfg, self.unit_edge, self.abs_eb, out);
+        Ok(())
     }
 
     fn decode(&self, bytes: &[u8], n_elems: usize) -> H5Result<Vec<f64>> {
@@ -226,8 +231,10 @@ pub fn write_amric(
                 let glo = ranges.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
                 let ghi = ranges.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
                 let range = if ghi > glo { ghi - glo } else { 0.0 };
-                let abs_eb =
-                    sz_codec::quantizer::absolute_bound(cfg.rel_eb, range.max(f64::MIN_POSITIVE));
+                // Constant (range-0) fields fall back to the raw relative
+                // value — same contract as `resolve_abs_eb`, so quiet
+                // ranks get a well-defined, non-degenerate bound.
+                let abs_eb = sz_codec::quantizer::absolute_bound(cfg.rel_eb, range);
                 let filter = AmricFieldFilter {
                     cfg: *cfg,
                     unit_edge: unit as usize,
@@ -355,12 +362,37 @@ mod tests {
                 chunk.push((u * 64 + i) as f64 * 0.01);
             }
         }
-        let enc = filter.encode(&chunk);
+        let enc = filter.encode(&chunk).unwrap();
         let dec = filter.decode(&enc, chunk.len()).unwrap();
         let range = chunk.len() as f64 * 0.01;
         for (o, r) in chunk.iter().zip(&dec) {
             assert!((o - r).abs() <= 1e-3 * range + 1e-12);
         }
+    }
+
+    #[test]
+    fn filter_rejects_non_unit_multiple_chunks() {
+        // Regression: a chunk whose length is not a multiple of the unit
+        // volume must surface as a typed error, not an assert panic.
+        let filter = AmricFieldFilter {
+            cfg: AmricConfig::lr(1e-3),
+            unit_edge: 4,
+            abs_eb: 1e-3,
+        };
+        let chunk = vec![0.0; 63]; // 4³ = 64 ∤ 63
+        let err = filter.encode(&chunk).unwrap_err();
+        assert!(
+            matches!(err.as_codec(), Some(CodecError::DimsMismatch { .. })),
+            "{err:?}"
+        );
+        let mut out = vec![0xAAu8; 3];
+        assert!(filter.encode_into(&chunk, &mut out).is_err());
+        // A zero unit edge is equally rejected (no division-by-zero path).
+        let zero = AmricFieldFilter {
+            unit_edge: 0,
+            ..filter
+        };
+        assert!(zero.encode(&[1.0, 2.0]).is_err());
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! offline comparator.
 
 use amr_mesh::prelude::*;
+use sz_codec::codec::{expect_envelope, write_envelope};
 use sz_codec::prelude::*;
-use sz_codec::wire::{Reader, WireError, WireResult, Writer};
+use sz_codec::wire::{Reader, Writer};
 
-const MAGIC: u32 = 0x4853_4D5A; // "ZMSH"
+/// zMesh payload format version (rides in the envelope header).
+pub(crate) const VERSION: u8 = 1;
 
 /// A point sample tagged with its position at fine-level resolution
 /// (coarse cells map to the even lattice, `2·i`, fine cells to their own
@@ -72,9 +74,11 @@ pub fn zmesh_compress(h: &AmrHierarchy, field: usize, rel_eb: f64) -> Vec<u8> {
             (l.min(v), u.max(v))
         });
     let range = if hi > lo { hi - lo } else { 0.0 };
-    let abs_eb = sz_codec::quantizer::absolute_bound(rel_eb, range.max(f64::MIN_POSITIVE));
+    // Constant (range-0) fields fall back to `rel_eb` itself — the same
+    // contract as `resolve_abs_eb` and the in-situ writer.
+    let abs_eb = sz_codec::quantizer::absolute_bound(rel_eb, range);
     let mut w = Writer::new();
-    w.put_u32(MAGIC);
+    write_envelope(&mut w, CodecId::Zmesh, VERSION, 0);
     w.put_u64(values.len() as u64);
     w.put_block(&lr::compress_1d(&values, abs_eb));
     w.into_bytes()
@@ -83,21 +87,19 @@ pub fn zmesh_compress(h: &AmrHierarchy, field: usize, rel_eb: f64) -> Vec<u8> {
 /// Decompress a zMesh stream against the same hierarchy structure,
 /// returning `(values in zMesh order, reconstruction of the original
 /// order)` — callers with the hierarchy can invert the ordering.
-pub fn zmesh_decompress(h: &AmrHierarchy, field: usize, bytes: &[u8]) -> WireResult<Vec<f64>> {
-    let mut r = Reader::new(bytes);
-    if r.get_u32()? != MAGIC {
-        return Err(WireError("bad zMesh magic".into()));
-    }
+pub fn zmesh_decompress(h: &AmrHierarchy, field: usize, bytes: &[u8]) -> CodecResult<Vec<f64>> {
+    let env = expect_envelope(bytes, CodecId::Zmesh, VERSION)?;
+    let mut r = Reader::new(&bytes[env.payload_offset..]);
     let n = r.get_u64()? as usize;
     let buf = lr::decompress(r.get_block()?)?;
     let values = buf.into_vec();
     if values.len() != n {
-        return Err(WireError("zMesh length mismatch".into()));
+        return Err(CodecError::dims("zMesh length mismatch"));
     }
     // Sanity: the order must match the hierarchy we were given.
     let samples = zmesh_order(h, field);
     if samples.len() != n {
-        return Err(WireError(format!(
+        return Err(CodecError::dims(format!(
             "hierarchy yields {} samples, stream has {n}",
             samples.len()
         )));

@@ -26,10 +26,8 @@ fn discontiguous_units(n: usize, edge: usize) -> Vec<Buffer3> {
 fn adaptive_block_size_helps_unit8() {
     // Eq. 1's domain: 8³ units. Adaptive (4³) must match or beat fixed 6³.
     let units = discontiguous_units(48, 8);
-    let mut on = AmricConfig::lr(1e-3);
-    on.adaptive_block_size = true;
-    let mut off = on;
-    off.adaptive_block_size = false;
+    let on = AmricConfig::lr(1e-3).with_adaptive_block_size(true);
+    let off = on.with_adaptive_block_size(false);
     let n_on = compress_field_units(&units, &on, 8).len();
     let n_off = compress_field_units(&units, &off, 8).len();
     assert!(
@@ -42,10 +40,8 @@ fn adaptive_block_size_helps_unit8() {
 fn adaptive_is_noop_for_unit16() {
     // 16 mod 6 = 4 → Eq. 1 keeps 6³; outputs must be identical.
     let units = discontiguous_units(8, 16);
-    let mut on = AmricConfig::lr(1e-3);
-    on.adaptive_block_size = true;
-    let mut off = on;
-    off.adaptive_block_size = false;
+    let on = AmricConfig::lr(1e-3).with_adaptive_block_size(true);
+    let off = on.with_adaptive_block_size(false);
     assert_eq!(
         compress_field_units(&units, &on, 16),
         compress_field_units(&units, &off, 16)
@@ -56,8 +52,7 @@ fn adaptive_is_noop_for_unit16() {
 fn sle_not_worse_than_lm_on_discontiguous_data() {
     let units = discontiguous_units(64, 8);
     let sle = AmricConfig::lr(1e-4);
-    let mut lm = sle;
-    lm.merge = MergePolicy::LinearMerge;
+    let lm = sle.with_merge(MergePolicy::LinearMerge);
     let n_sle = compress_field_units(&units, &sle, 8).len();
     let n_lm = compress_field_units(&units, &lm, 8).len();
     assert!(
@@ -73,15 +68,11 @@ fn every_config_combination_roundtrips() {
         for merge in [MergePolicy::SharedEncoding, MergePolicy::LinearMerge] {
             for adaptive in [false, true] {
                 for cluster in [false, true] {
-                    let cfg = AmricConfig {
-                        algorithm,
-                        rel_eb: 1e-3,
-                        merge,
-                        adaptive_block_size: adaptive,
-                        cluster_arrangement: cluster,
-                        remove_redundancy: true,
-                        size_aware_filter: true,
-                    };
+                    let cfg = AmricConfig::lr(1e-3)
+                        .with_algorithm(algorithm)
+                        .with_merge(merge)
+                        .with_adaptive_block_size(adaptive)
+                        .with_cluster_arrangement(cluster);
                     let stream = compress_field_units(&units, &cfg, 8);
                     let back = decompress_field_units(&stream)
                         .unwrap_or_else(|e| panic!("decode failed for {cfg:?}: {e}"));

@@ -15,7 +15,7 @@ use amric::tac::{tac_compress, tac_decompress};
 use amric::zmesh::{zmesh_compress, zmesh_decompress};
 use amric::MergePolicy;
 use sz_codec::prelude::*;
-use sz_codec::wire::WireError;
+use sz_codec::CodecError;
 
 /// Unit blocks with mild structure (so all pipeline modes exercise their
 /// real paths: selection bitmaps, outliers, huffman tables, LZ matches).
@@ -67,7 +67,7 @@ fn flip_points(len: usize) -> Vec<usize> {
 
 /// Drive one decoder over truncations (must `Err`) and byte flips (must
 /// not panic; `Ok` with different payload is acceptable).
-fn assault<T>(name: &str, valid: &[u8], decode: impl Fn(&[u8]) -> Result<T, WireError>) {
+fn assault<T>(name: &str, valid: &[u8], decode: impl Fn(&[u8]) -> Result<T, CodecError>) {
     assert!(decode(valid).is_ok(), "{name}: pristine stream must decode");
     for cut in truncation_points(valid.len()) {
         assert!(
@@ -96,8 +96,7 @@ fn amric_stream_lr_sle_total() {
 #[test]
 fn amric_stream_lr_linear_merge_total() {
     let u = units(24, 8);
-    let mut cfg = AmricConfig::lr(1e-3);
-    cfg.merge = MergePolicy::LinearMerge;
+    let cfg = AmricConfig::lr(1e-3).with_merge(MergePolicy::LinearMerge);
     let bytes = compress_field_units(&u, &cfg, 8);
     assault("amric/lr-lm", &bytes, decompress_field_units);
 }
@@ -112,8 +111,7 @@ fn amric_stream_interp_cluster_total() {
 #[test]
 fn amric_stream_interp_linear_total() {
     let u = units(27, 8);
-    let mut cfg = AmricConfig::interp(1e-3);
-    cfg.cluster_arrangement = false;
+    let cfg = AmricConfig::interp(1e-3).with_cluster_arrangement(false);
     let bytes = compress_field_units(&u, &cfg, 8);
     assault("amric/interp-linear", &bytes, decompress_field_units);
 }

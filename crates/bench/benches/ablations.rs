@@ -30,9 +30,9 @@ fn bench_merge_policies(c: &mut Criterion) {
         ("sle", MergePolicy::SharedEncoding),
         ("linear_merge", MergePolicy::LinearMerge),
     ] {
-        let mut cfg = AmricConfig::lr(1e-3);
-        cfg.merge = merge;
-        cfg.adaptive_block_size = false;
+        let cfg = AmricConfig::lr(1e-3)
+            .with_merge(merge)
+            .with_adaptive_block_size(false);
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| compress_field_units(&u, &cfg, 8))
         });
@@ -55,8 +55,7 @@ fn bench_block_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/sz_block_size");
     g.throughput(Throughput::Bytes(bytes));
     for (name, adaptive) in [("eq1_adaptive", true), ("fixed_6", false)] {
-        let mut cfg = AmricConfig::lr(1e-3);
-        cfg.adaptive_block_size = adaptive;
+        let cfg = AmricConfig::lr(1e-3).with_adaptive_block_size(adaptive);
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| compress_field_units(&u, &cfg, 8))
         });
@@ -70,8 +69,7 @@ fn bench_arrangement(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/interp_arrangement");
     g.throughput(Throughput::Bytes(bytes));
     for (name, cluster) in [("cluster", true), ("linear", false)] {
-        let mut cfg = AmricConfig::interp(1e-3);
-        cfg.cluster_arrangement = cluster;
+        let cfg = AmricConfig::interp(1e-3).with_cluster_arrangement(cluster);
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| compress_field_units(&u, &cfg, 8))
         });

@@ -32,9 +32,9 @@ fn main() {
         ("Original SZ_L/R", MergePolicy::LinearMerge, false),
         ("AMRIC SZ_L/R", MergePolicy::SharedEncoding, true),
     ] {
-        let mut cfg = AmricConfig::lr(rel_eb);
-        cfg.merge = merge;
-        cfg.adaptive_block_size = adaptive;
+        let cfg = AmricConfig::lr(rel_eb)
+            .with_merge(merge)
+            .with_adaptive_block_size(adaptive);
         let stream = compress_field_units(&units, &cfg, 8);
         let recon = decompress_field_units(&stream).expect("decode");
         let (mut nb_sum, mut nb_n, mut far_sum, mut far_n) = (0.0, 0u64, 0.0, 0u64);

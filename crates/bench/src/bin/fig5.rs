@@ -23,8 +23,7 @@ fn main() {
         let mut rows = Vec::new();
         for rel_eb in rd_bounds() {
             let point = |cluster: bool| {
-                let mut cfg = AmricConfig::interp(rel_eb);
-                cfg.cluster_arrangement = cluster;
+                let cfg = AmricConfig::interp(rel_eb).with_cluster_arrangement(cluster);
                 rate_point(
                     &units,
                     |u| compress_field_units(u, &cfg, unit as usize),

@@ -77,9 +77,9 @@ fn main() {
         ("LinearMerge", MergePolicy::LinearMerge),
         ("Unit SLE", MergePolicy::SharedEncoding),
     ] {
-        let mut cfg = AmricConfig::lr(rel_eb);
-        cfg.merge = merge;
-        cfg.adaptive_block_size = false;
+        let cfg = AmricConfig::lr(rel_eb)
+            .with_merge(merge)
+            .with_adaptive_block_size(false);
         let stream = compress_field_units(&units, &cfg, 16);
         let recon = decompress_field_units(&stream).expect("decode");
         let (b_err, i_err, max_err) = boundary_interior_error(&units, &recon);

@@ -35,9 +35,9 @@ fn main() {
         let mut rows = Vec::new();
         for rel_eb in rd_bounds() {
             let point = |merge: MergePolicy, adaptive: bool| {
-                let mut cfg = AmricConfig::lr(rel_eb);
-                cfg.merge = merge;
-                cfg.adaptive_block_size = adaptive;
+                let cfg = AmricConfig::lr(rel_eb)
+                    .with_merge(merge)
+                    .with_adaptive_block_size(adaptive);
                 rate_point(
                     &units,
                     |u| compress_field_units(u, &cfg, unit as usize),

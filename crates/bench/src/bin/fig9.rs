@@ -16,8 +16,7 @@ fn main() {
     let rel_eb = 4e-3;
     let mut rows = Vec::new();
     for (label, adaptive) in [("SLE (6³)", false), ("Adp-4 (4³)", true)] {
-        let mut cfg = AmricConfig::lr(rel_eb);
-        cfg.adaptive_block_size = adaptive;
+        let cfg = AmricConfig::lr(rel_eb).with_adaptive_block_size(adaptive);
         let stream = compress_field_units(&units, &cfg, 8);
         let recon = decompress_field_units(&stream).expect("decode");
         let orig: Vec<f64> = units

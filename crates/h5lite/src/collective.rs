@@ -9,7 +9,7 @@
 //! returned receipt.
 
 use crate::dataset::{ChunkRecord, DatasetMeta};
-use crate::error::H5Result;
+use crate::error::{H5Error, H5Result};
 use crate::file::{encode_chunk, ChunkData, H5Writer};
 use crate::filter::{ChunkFilter, FilterMode};
 use rankpar::Communicator;
@@ -46,30 +46,53 @@ pub fn collective_write(
         dataset_creates: 1,
         ..Default::default()
     };
-    // 1. Encode locally (the real compute of in-situ compression).
-    let t0 = std::time::Instant::now();
-    let encoded: Vec<(Vec<u8>, u64)> = my_chunks
-        .iter()
-        .map(|c| {
-            writer.count_filter_call();
-            receipt.filter_calls += 1;
-            encode_chunk(c, chunk_elems, filter, mode)
-        })
-        .collect();
-    receipt.encode_seconds = t0.elapsed().as_secs_f64();
-
-    // 2. Reserve space and write payloads concurrently.
-    let mut my_records = Vec::with_capacity(encoded.len());
-    for (bytes, logical) in &encoded {
-        let offset = writer.reserve(bytes.len() as u64);
-        writer.write_at(offset, bytes)?;
+    // Encode and write chunk by chunk, reusing one scratch pair across the
+    // whole collective call — the per-chunk hot path allocates no fresh
+    // output `Vec` (the §3.3 writer encodes one chunk per rank per
+    // (level, field); the baseline path pushes hundreds through here).
+    let mut pad = Vec::new();
+    let mut encoded = Vec::new();
+    let mut my_records = Vec::with_capacity(my_chunks.len());
+    let mut failure: Option<H5Error> = None;
+    for chunk in my_chunks {
+        writer.count_filter_call();
+        receipt.filter_calls += 1;
+        let t0 = std::time::Instant::now();
+        let result = encode_chunk(chunk, chunk_elems, filter, mode, &mut pad, &mut encoded);
+        receipt.encode_seconds += t0.elapsed().as_secs_f64();
+        let logical = match result {
+            Ok(l) => l,
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        };
+        let offset = writer.reserve(encoded.len() as u64);
+        if let Err(e) = writer.write_at(offset, &encoded) {
+            failure = Some(e);
+            break;
+        }
         receipt.write_calls += 1;
-        receipt.bytes_written += bytes.len() as u64;
+        receipt.bytes_written += encoded.len() as u64;
         my_records.push(ChunkRecord {
             offset,
-            stored_bytes: bytes.len() as u64,
-            logical_elems: *logical,
+            stored_bytes: encoded.len() as u64,
+            logical_elems: logical,
         });
+    }
+
+    // Collective agreement before the records gather: a rank whose encode
+    // failed must not abandon its peers inside a barrier (the communicator
+    // has no timeout), so every rank first learns whether all succeeded
+    // and the whole collective fails together.
+    let all_ok = comm.allgather(failure.is_none());
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    if all_ok.contains(&false) {
+        return Err(H5Error::Format(
+            "collective write aborted: a peer rank's chunk failed to encode".into(),
+        ));
     }
 
     // 3. Gather chunk records in rank order; rank 0 registers the dataset.
@@ -192,6 +215,33 @@ mod tests {
         let off = 128 + 256 + 384;
         // Rank 3's chunk range is ≈2 (sin ± 1), so REL 1e-3 → abs ≈2e-3.
         assert!((all[off] - 3.0).abs() <= 2.5e-3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failing_rank_aborts_collective_without_deadlock() {
+        // One rank's chunk is invalid (larger than the chunk size): every
+        // rank must return Err — the failing rank its encode error, the
+        // peers an abort notice — instead of hanging in the record gather.
+        let path = tmp("abort");
+        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let w = Arc::clone(&writer);
+        let results = run_ranks(2, move |comm| {
+            let n = if comm.rank() == 1 { 512 } else { 64 }; // 512 > chunk 64
+            let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            collective_write(
+                &comm,
+                &w,
+                "d",
+                &[ChunkData::full(data)],
+                64,
+                &NoFilter,
+                FilterMode::Standard,
+            )
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert!(r.is_err(), "rank {rank} must see the collective failure");
+        }
         std::fs::remove_file(&path).ok();
     }
 

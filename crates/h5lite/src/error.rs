@@ -1,6 +1,6 @@
 //! Error type shared by the h5lite read/write paths.
 
-use sz_codec::wire::WireError;
+use sz_codec::CodecError;
 
 /// Anything that can go wrong while reading or writing an h5lite file.
 #[derive(Debug)]
@@ -9,8 +9,10 @@ pub enum H5Error {
     Io(std::io::Error),
     /// Structurally invalid file.
     Format(String),
-    /// A chunk failed to decode through its filter.
-    Codec(WireError),
+    /// A chunk failed to encode or decode through its filter. The typed
+    /// [`CodecError`] is preserved losslessly, so callers can still match
+    /// on the precise failure (truncation vs bad magic vs …).
+    Codec(CodecError),
     /// Unknown dataset name.
     NotFound(String),
     /// Dataset created twice.
@@ -48,9 +50,19 @@ impl From<std::io::Error> for H5Error {
     }
 }
 
-impl From<WireError> for H5Error {
-    fn from(e: WireError) -> Self {
+impl From<CodecError> for H5Error {
+    fn from(e: CodecError) -> Self {
         H5Error::Codec(e)
+    }
+}
+
+impl H5Error {
+    /// The underlying [`CodecError`], when this is a codec failure.
+    pub fn as_codec(&self) -> Option<&CodecError> {
+        match self {
+            H5Error::Codec(e) => Some(e),
+            _ => None,
+        }
     }
 }
 

@@ -163,10 +163,13 @@ impl H5Writer {
         total_override: Option<u64>,
     ) -> H5Result<()> {
         let mut records = Vec::with_capacity(chunks.len());
+        // One scratch pair reused across every chunk of the dataset: the
+        // padded-values staging and the encoded output buffer.
+        let mut pad = Vec::new();
+        let mut encoded = Vec::new();
         for chunk in chunks {
-            assert!(chunk.data.len() <= chunk_elems, "chunk exceeds chunk size");
-            assert!(chunk.logical <= chunk.data.len());
-            let (encoded, logical_elems) = encode_chunk(chunk, chunk_elems, filter, mode);
+            let logical_elems =
+                encode_chunk(chunk, chunk_elems, filter, mode, &mut pad, &mut encoded)?;
             self.count_filter_call();
             let offset = self.reserve(encoded.len() as u64);
             self.write_at(offset, &encoded)?;
@@ -215,28 +218,47 @@ impl H5Writer {
     }
 }
 
-/// Apply mode semantics and run the filter; returns (encoded bytes,
-/// logical element count to record).
+/// Apply mode semantics and run the filter, writing the encoded bytes
+/// into `out` (cleared first; `pad` is the reusable padding staging
+/// buffer). Returns the logical element count to record.
 pub(crate) fn encode_chunk(
     chunk: &ChunkData,
     chunk_elems: usize,
     filter: &dyn ChunkFilter,
     mode: FilterMode,
-) -> (Vec<u8>, u64) {
+    pad: &mut Vec<f64>,
+    out: &mut Vec<u8>,
+) -> H5Result<u64> {
+    if chunk.data.len() > chunk_elems {
+        return Err(H5Error::Format(format!(
+            "chunk holds {} elems, exceeds chunk size {chunk_elems}",
+            chunk.data.len()
+        )));
+    }
+    if chunk.logical > chunk.data.len() {
+        return Err(H5Error::Format(format!(
+            "chunk logical length {} exceeds its {} elems",
+            chunk.logical,
+            chunk.data.len()
+        )));
+    }
+    out.clear();
     match mode {
         FilterMode::Standard => {
             if chunk.data.len() == chunk_elems {
-                (filter.encode(&chunk.data), chunk_elems as u64)
+                filter.encode_into(&chunk.data, out)?;
             } else {
-                let mut padded = chunk.data.clone();
-                padded.resize(chunk_elems, 0.0);
-                (filter.encode(&padded), chunk_elems as u64)
+                pad.clear();
+                pad.extend_from_slice(&chunk.data);
+                pad.resize(chunk_elems, 0.0);
+                filter.encode_into(pad, out)?;
             }
+            Ok(chunk_elems as u64)
         }
-        FilterMode::SizeAware => (
-            filter.encode(&chunk.data[..chunk.logical]),
-            chunk.logical as u64,
-        ),
+        FilterMode::SizeAware => {
+            filter.encode_into(&chunk.data[..chunk.logical], out)?;
+            Ok(chunk.logical as u64)
+        }
     }
 }
 

@@ -47,6 +47,12 @@ impl FilterMode {
 }
 
 /// A bidirectional chunk transform.
+///
+/// `encode_into` is the primary entry point: it **appends** to a
+/// caller-provided buffer (the writer reuses one buffer across chunks, so
+/// the per-chunk hot path allocates no fresh output `Vec`) and it is
+/// fallible — a filter handed a chunk it cannot represent returns `Err`
+/// instead of panicking.
 pub trait ChunkFilter: Send + Sync {
     /// Stable id stored in the file.
     fn id(&self) -> u32;
@@ -54,8 +60,15 @@ pub trait ChunkFilter: Send + Sync {
     fn client_data(&self) -> Vec<u8> {
         Vec::new()
     }
-    /// Encode one chunk (already cut to the data the filter may see).
-    fn encode(&self, chunk: &[f64]) -> Vec<u8>;
+    /// Encode one chunk (already cut to the data the filter may see),
+    /// appending the bytes to `out`.
+    fn encode_into(&self, chunk: &[f64], out: &mut Vec<u8>) -> H5Result<()>;
+    /// Convenience: encode into a fresh buffer.
+    fn encode(&self, chunk: &[f64]) -> H5Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.encode_into(chunk, &mut out)?;
+        Ok(out)
+    }
     /// Decode to exactly `n_elems` values.
     fn decode(&self, bytes: &[u8], n_elems: usize) -> H5Result<Vec<f64>>;
 }
@@ -69,12 +82,12 @@ impl ChunkFilter for NoFilter {
         FILTER_NONE
     }
 
-    fn encode(&self, chunk: &[f64]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(chunk.len() * 8);
+    fn encode_into(&self, chunk: &[f64], out: &mut Vec<u8>) -> H5Result<()> {
+        out.reserve(chunk.len() * 8);
         for v in chunk {
             out.extend_from_slice(&v.to_le_bytes());
         }
-        out
+        Ok(())
     }
 
     fn decode(&self, bytes: &[u8], n_elems: usize) -> H5Result<Vec<f64>> {
@@ -159,7 +172,12 @@ impl ChunkFilter for SzFilter {
         cd
     }
 
-    fn encode(&self, chunk: &[f64]) -> Vec<u8> {
+    fn encode_into(&self, chunk: &[f64], out: &mut Vec<u8>) -> H5Result<()> {
+        if chunk.is_empty() {
+            // Zero-length chunks carry no bytes; decode restores them
+            // symmetrically without touching the SZ layer.
+            return Ok(());
+        }
         let dims = match self.dims_hint {
             Some(d) if d.len() == chunk.len() => d,
             _ => Dims3::new(chunk.len().max(1), 1, 1),
@@ -172,13 +190,19 @@ impl ChunkFilter for SzFilter {
                 if let Some(bs) = self.block_size {
                     cfg = cfg.with_block_size(bs);
                 }
-                lr::compress(&buf, &cfg)
+                lr::compress_domains_pooled(&[&buf], &cfg, out);
             }
-            SzAlgorithm::Interpolation => interp::compress(&buf, &InterpConfig::new(abs_eb)),
+            SzAlgorithm::Interpolation => {
+                interp::compress_into(&buf, &InterpConfig::new(abs_eb), out)
+            }
         }
+        Ok(())
     }
 
     fn decode(&self, bytes: &[u8], n_elems: usize) -> H5Result<Vec<f64>> {
+        if n_elems == 0 {
+            return Ok(Vec::new());
+        }
         let buf = match self.algorithm {
             SzAlgorithm::LorenzoRegression => lr::decompress(bytes)?,
             SzAlgorithm::Interpolation => interp::decompress(bytes)?,
@@ -238,7 +262,7 @@ mod tests {
     fn no_filter_roundtrip() {
         let data = vec![1.5, -2.25, 1e300, 0.0];
         let f = NoFilter;
-        let enc = f.encode(&data);
+        let enc = f.encode(&data).unwrap();
         assert_eq!(enc.len(), 32);
         assert_eq!(f.decode(&enc, 4).unwrap(), data);
         assert!(f.decode(&enc, 3).is_err());
@@ -248,7 +272,7 @@ mod tests {
     fn sz_filter_roundtrip_1d() {
         let data: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.01).sin()).collect();
         let f = SzFilter::one_dimensional(1e-3);
-        let enc = f.encode(&data);
+        let enc = f.encode(&data).unwrap();
         assert!(enc.len() < data.len() * 8);
         let dec = f.decode(&enc, 2000).unwrap();
         // REL mode: bound resolves against the chunk's own range.
@@ -271,10 +295,10 @@ mod tests {
         let data = buf.data().to_vec();
         let f1 = SzFilter::one_dimensional(1e-3);
         let f3 = SzFilter::three_dimensional(SzAlgorithm::LorenzoRegression, 1e-3, dims);
-        let e1 = f1.encode(&data).len();
-        let e3 = f3.encode(&data).len();
+        let e1 = f1.encode(&data).unwrap().len();
+        let e3 = f3.encode(&data).unwrap().len();
         assert!(e3 < e1, "3-D ({e3}) should beat 1-D ({e1})");
-        let dec = f3.decode(&f3.encode(&data), data.len()).unwrap();
+        let dec = f3.decode(&f3.encode(&data).unwrap(), data.len()).unwrap();
         for (o, r) in data.iter().zip(&dec) {
             assert!((o - r).abs() <= 1e-3);
         }
@@ -286,11 +310,21 @@ mod tests {
         let mut buf = Buffer3::zeros(dims);
         buf.fill_with(|i, j, k| (i + 2 * j + 3 * k) as f64 * 0.05);
         let f = SzFilter::three_dimensional(SzAlgorithm::Interpolation, 1e-4, dims);
-        let enc = f.encode(buf.data());
+        let enc = f.encode(buf.data()).unwrap();
         let dec = f.decode(&enc, dims.len()).unwrap();
         for (o, r) in buf.data().iter().zip(&dec) {
             assert!((o - r).abs() <= 1e-4);
         }
+    }
+
+    #[test]
+    fn sz_filter_empty_chunk_is_not_a_panic() {
+        // Regression: the fallible filter contract extends to zero-length
+        // chunks — no Buffer3 dims assert, symmetric decode.
+        let f = SzFilter::one_dimensional(1e-3);
+        let enc = f.encode(&[]).unwrap();
+        assert!(enc.is_empty());
+        assert_eq!(f.decode(&enc, 0).unwrap(), Vec::<f64>::new());
     }
 
     #[test]
@@ -299,7 +333,7 @@ mod tests {
         let d = decoder_for(f.id(), &f.client_data()).unwrap();
         assert_eq!(d.id(), FILTER_SZ);
         let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let enc = f.encode(&data);
+        let enc = f.encode(&data).unwrap();
         let dec = d.decode(&enc, 100).unwrap();
         for (o, r) in data.iter().zip(&dec) {
             assert!((o - r).abs() <= 5e-3 * 99.0 + 1e-12);

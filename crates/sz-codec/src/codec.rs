@@ -1,0 +1,335 @@
+//! The unified [`Codec`] abstraction: one trait, one self-describing
+//! stream envelope, and a registry-backed auto-dispatching decoder shared
+//! by every compressor family in the workspace.
+//!
+//! # The envelope
+//!
+//! Every compressed stream produced anywhere in the workspace starts with
+//! the same 8-byte header:
+//!
+//! ```text
+//! magic  u32  = AMEC ("AMric Envelope Codec")
+//! codec  u16  — which family wrote the payload (see [`CodecId`])
+//! version u8  — format version of that family's payload
+//! flags  u8   — family-independent stream flags ([`FLAG_EMPTY`], …)
+//! ```
+//!
+//! The payload that follows is family-specific, but because the id rides
+//! in the header, a [`CodecRegistry`] can dispatch *any* workspace stream
+//! to the right decoder without out-of-band context.
+//!
+//! # The trait
+//!
+//! [`Codec`] is the pluggable compressor interface AMRIC (a *framework*
+//! hosting several error-bounded compressors) needs: compress a set of
+//! unit blocks into a caller-provided output buffer, decompress any of
+//! your own streams back. `compress_into` **appends** to `out` so hot
+//! paths can reuse one buffer across calls instead of allocating a fresh
+//! `Vec<u8>` per chunk.
+
+use crate::buffer3::Buffer3;
+use crate::error::{CodecError, CodecResult};
+use crate::wire::{Reader, Writer};
+
+/// Envelope magic: the bytes `AMEC` on disk (little-endian u32). The
+/// header's version byte belongs to the family payload, so an envelope
+/// layout change would come with a new magic.
+pub const ENVELOPE_MAGIC: u32 = 0x4345_4D41;
+
+/// Flag bit: the stream encodes zero unit blocks and carries no payload.
+pub const FLAG_EMPTY: u8 = 0b0000_0001;
+
+/// Flag bit: the payload is a multi-unit container (a `u32` unit count
+/// followed by length-prefixed single-unit payloads) rather than one bare
+/// single-unit payload. Used by families whose native stream holds exactly
+/// one buffer (e.g. SZ_Interp).
+pub const FLAG_MULTI: u8 = 0b0000_0010;
+
+/// Stable codec identifiers for the envelope header.
+///
+/// These ids are part of the on-disk format and must never be renumbered.
+/// Families implemented outside this crate (the AMRIC pipeline and the
+/// offline comparators) still take their ids from here so the namespace
+/// stays collision-free workspace-wide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+#[repr(u16)]
+pub enum CodecId {
+    /// SZ_L/R with Shared Lossless Encoding (this crate, [`crate::lr`]).
+    LrSle = 1,
+    /// SZ_Interp dynamic spline (this crate, [`crate::interp`]).
+    Interp = 2,
+    /// The full AMRIC pipeline (reorganize + optimized SZ).
+    AmricPipeline = 3,
+    /// The TAC offline comparator (Morton grouping + black-box SZ).
+    Tac = 4,
+    /// The zMesh offline comparator (locality-ordered 1-D stream).
+    Zmesh = 5,
+    /// The AMReX baseline (1-D SZ through small chunks).
+    AmrexBaseline = 6,
+}
+
+impl CodecId {
+    /// Decode a raw id from an envelope header.
+    pub fn from_u16(v: u16) -> Option<CodecId> {
+        Some(match v {
+            1 => CodecId::LrSle,
+            2 => CodecId::Interp,
+            3 => CodecId::AmricPipeline,
+            4 => CodecId::Tac,
+            5 => CodecId::Zmesh,
+            6 => CodecId::AmrexBaseline,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable family name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::LrSle => "sz-lr",
+            CodecId::Interp => "sz-interp",
+            CodecId::AmricPipeline => "amric",
+            CodecId::Tac => "tac",
+            CodecId::Zmesh => "zmesh",
+            CodecId::AmrexBaseline => "amrex-baseline",
+        }
+    }
+}
+
+/// Parsed envelope header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Raw codec id (kept raw so registries can report unknown ids).
+    pub codec: u16,
+    /// Payload format version.
+    pub version: u8,
+    /// Stream flags ([`FLAG_EMPTY`], [`FLAG_MULTI`], …).
+    pub flags: u8,
+    /// Byte offset where the family payload starts.
+    pub payload_offset: usize,
+}
+
+/// Append an envelope header for `id` to the writer.
+pub fn write_envelope(w: &mut Writer, id: CodecId, version: u8, flags: u8) {
+    w.put_u32(ENVELOPE_MAGIC);
+    w.put_u16(id as u16);
+    w.put_u8(version);
+    w.put_u8(flags);
+}
+
+/// Parse the envelope header off the front of `bytes`.
+pub fn read_envelope(bytes: &[u8]) -> CodecResult<Envelope> {
+    let mut r = Reader::new(bytes);
+    let magic = r.get_u32()?;
+    if magic != ENVELOPE_MAGIC {
+        return Err(CodecError::BadMagic { found: magic });
+    }
+    let codec = r.get_u16()?;
+    let version = r.get_u8()?;
+    let flags = r.get_u8()?;
+    Ok(Envelope {
+        codec,
+        version,
+        flags,
+        payload_offset: bytes.len() - r.remaining(),
+    })
+}
+
+/// Parse the envelope and require a specific codec id and version — the
+/// standard prologue of every family's `decompress`.
+pub fn expect_envelope(bytes: &[u8], id: CodecId, version: u8) -> CodecResult<Envelope> {
+    let env = read_envelope(bytes)?;
+    if env.codec != id as u16 {
+        return Err(CodecError::WrongCodec {
+            expected: id as u16,
+            found: env.codec,
+        });
+    }
+    if env.version != version {
+        return Err(CodecError::BadVersion { found: env.version });
+    }
+    Ok(env)
+}
+
+/// Accounting for one `compress_into` call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamInfo {
+    /// Which family wrote the stream.
+    pub codec: CodecId,
+    /// Bytes appended to the output buffer (envelope included).
+    pub bytes: usize,
+    /// Unit blocks encoded.
+    pub units: usize,
+    /// Total cells encoded.
+    pub cells: usize,
+}
+
+/// A pluggable error-bounded compressor over unit blocks.
+///
+/// Implementations carry their own configuration (error bound, merge
+/// policy, spatial metadata, …); the trait surface is deliberately just
+/// "units in, self-describing envelope stream out" so the writer, the
+/// benches, and the comparators can treat all six families uniformly.
+pub trait Codec: Send + Sync {
+    /// The family id written into the envelope.
+    fn id(&self) -> CodecId;
+
+    /// Compress `units`, **appending** the envelope + payload to `out`.
+    ///
+    /// `out` is not cleared: callers own the buffer and decide when to
+    /// reuse it, which is what keeps per-chunk hot paths allocation-free.
+    fn compress_into(&self, units: &[Buffer3], out: &mut Vec<u8>) -> CodecResult<StreamInfo>;
+
+    /// Decompress a stream this codec produced, returning the unit blocks
+    /// in their original order.
+    fn decompress(&self, bytes: &[u8]) -> CodecResult<Vec<Buffer3>>;
+
+    /// Convenience: compress into a fresh buffer.
+    fn compress(&self, units: &[Buffer3]) -> CodecResult<Vec<u8>> {
+        let mut out = Vec::new();
+        self.compress_into(units, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// A set of decoders keyed by codec id, powering
+/// [`decompress_auto`](CodecRegistry::decompress_auto) dispatch of any
+/// envelope stream.
+///
+/// This crate's [`CodecRegistry::sz_only`] covers the two SZ families
+/// implemented here; the `amric` crate layers the pipeline and comparator
+/// families on top in its `default_registry()`.
+#[derive(Default)]
+pub struct CodecRegistry {
+    entries: Vec<Box<dyn Codec>>,
+}
+
+impl CodecRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry with this crate's families (SZ_L/R + SZ_Interp).
+    pub fn sz_only() -> Self {
+        let mut reg = Self::new();
+        reg.register(Box::new(crate::lr::LrCodec::default()));
+        reg.register(Box::new(crate::interp::InterpCodec::default()));
+        reg
+    }
+
+    /// Add a decoder. A later registration for the same id wins.
+    pub fn register(&mut self, codec: Box<dyn Codec>) -> &mut Self {
+        self.entries.retain(|c| c.id() != codec.id());
+        self.entries.push(codec);
+        self
+    }
+
+    /// Look up the decoder for a raw envelope id.
+    pub fn get(&self, id: u16) -> Option<&dyn Codec> {
+        self.entries
+            .iter()
+            .find(|c| c.id() as u16 == id)
+            .map(|c| c.as_ref())
+    }
+
+    /// Registered ids, in registration order.
+    pub fn ids(&self) -> Vec<CodecId> {
+        self.entries.iter().map(|c| c.id()).collect()
+    }
+
+    /// Parse the envelope of `bytes` and dispatch to the registered
+    /// decoder for its codec id.
+    pub fn decompress_auto(&self, bytes: &[u8]) -> CodecResult<Vec<Buffer3>> {
+        let env = read_envelope(bytes)?;
+        let codec = self
+            .get(env.codec)
+            .ok_or(CodecError::UnknownCodec { id: env.codec })?;
+        codec.decompress(bytes)
+    }
+}
+
+/// Sum of cells across unit blocks (StreamInfo helper).
+pub(crate) fn total_cells(units: &[Buffer3]) -> usize {
+    units.iter().map(|u| u.dims().len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrip() {
+        let mut w = Writer::new();
+        write_envelope(&mut w, CodecId::Tac, 3, FLAG_EMPTY);
+        w.put_u8(0xAB);
+        let bytes = w.into_bytes();
+        let env = read_envelope(&bytes).unwrap();
+        assert_eq!(env.codec, CodecId::Tac as u16);
+        assert_eq!(env.version, 3);
+        assert_eq!(env.flags, FLAG_EMPTY);
+        assert_eq!(bytes[env.payload_offset], 0xAB);
+    }
+
+    #[test]
+    fn envelope_rejects_bad_magic_and_truncation() {
+        assert!(matches!(
+            read_envelope(b"XXXXXXXX"),
+            Err(CodecError::BadMagic { .. })
+        ));
+        let mut w = Writer::new();
+        write_envelope(&mut w, CodecId::LrSle, 1, 0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            read_envelope(&bytes[..5]),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn expect_envelope_checks_id_and_version() {
+        let mut w = Writer::new();
+        write_envelope(&mut w, CodecId::Interp, 1, 0);
+        let bytes = w.into_bytes();
+        assert!(expect_envelope(&bytes, CodecId::Interp, 1).is_ok());
+        assert!(matches!(
+            expect_envelope(&bytes, CodecId::LrSle, 1),
+            Err(CodecError::WrongCodec { expected, found })
+                if expected == CodecId::LrSle as u16 && found == CodecId::Interp as u16
+        ));
+        assert!(matches!(
+            expect_envelope(&bytes, CodecId::Interp, 2),
+            Err(CodecError::BadVersion { found: 1 })
+        ));
+    }
+
+    #[test]
+    fn codec_id_round_trips_through_u16() {
+        for id in [
+            CodecId::LrSle,
+            CodecId::Interp,
+            CodecId::AmricPipeline,
+            CodecId::Tac,
+            CodecId::Zmesh,
+            CodecId::AmrexBaseline,
+        ] {
+            assert_eq!(CodecId::from_u16(id as u16), Some(id));
+            assert!(!id.name().is_empty());
+        }
+        assert_eq!(CodecId::from_u16(0), None);
+        assert_eq!(CodecId::from_u16(999), None);
+    }
+
+    #[test]
+    fn registry_dispatches_and_reports_unknown() {
+        let reg = CodecRegistry::sz_only();
+        assert!(reg.get(CodecId::LrSle as u16).is_some());
+        assert!(reg.get(CodecId::Tac as u16).is_none());
+        let mut w = Writer::new();
+        write_envelope(&mut w, CodecId::Tac, 1, 0);
+        assert!(matches!(
+            reg.decompress_auto(&w.into_bytes()),
+            Err(CodecError::UnknownCodec { id }) if id == CodecId::Tac as u16
+        ));
+    }
+}

@@ -6,7 +6,7 @@
 //! per-length first-code offsets.
 
 use crate::bitstream::{BitReader, BitWriter};
-use crate::wire::{Reader, WireError, WireResult, Writer};
+use crate::wire::{CodecError, CodecResult, Reader, Writer};
 use std::collections::BinaryHeap;
 
 /// Maximum admitted code length. Frequencies are flattened and the tree is
@@ -89,14 +89,15 @@ impl HuffmanCode {
     }
 
     /// Decode exactly `n` symbols from the bit stream.
-    pub fn decode(&self, bytes: &[u8], n: usize) -> WireResult<Vec<u32>> {
+    pub fn decode(&self, bytes: &[u8], n: usize) -> CodecResult<Vec<u32>> {
         // Every symbol costs at least one bit, so a count beyond 8 bits
         // per payload byte can only come from a corrupted header.
         if n as u128 > bytes.len() as u128 * 8 {
-            return Err(WireError(format!(
-                "symbol count {n} exceeds {}-byte payload",
-                bytes.len()
-            )));
+            return Err(CodecError::LimitExceeded {
+                what: "symbol count",
+                claimed: n as u128,
+                available: bytes.len() as u128 * 8,
+            });
         }
         // Per-length canonical decode tables.
         let max_len = self.lens.last().map(|&(_, l)| l).unwrap_or(0);
@@ -125,11 +126,11 @@ impl HuffmanCode {
             loop {
                 let bit = r
                     .read_bit()
-                    .ok_or_else(|| WireError("huffman stream exhausted".into()))?;
+                    .ok_or_else(|| CodecError::corrupt("huffman stream exhausted"))?;
                 code = (code << 1) | bit;
                 len += 1;
                 if len > max_len as usize {
-                    return Err(WireError("invalid huffman code".into()));
+                    return Err(CodecError::corrupt("invalid huffman code"));
                 }
                 let rel = code.wrapping_sub(first_code[len]);
                 if count[len] > 0 && code >= first_code[len] && (rel as usize) < count[len] {
@@ -151,10 +152,10 @@ impl HuffmanCode {
     }
 
     /// Deserialize a code book written by [`HuffmanCode::write_table`].
-    pub fn read_table(r: &mut Reader<'_>) -> WireResult<Self> {
+    pub fn read_table(r: &mut Reader<'_>) -> CodecResult<Self> {
         let n = r.get_u32()? as usize;
         if n == 0 {
-            return Err(WireError("empty huffman table".into()));
+            return Err(CodecError::corrupt("empty huffman table"));
         }
         // Each table entry occupies 5 bytes (u32 symbol + u8 length).
         r.check_count(n, 5)?;
@@ -163,7 +164,7 @@ impl HuffmanCode {
             let s = r.get_u32()?;
             let l = r.get_u8()? as u32;
             if l == 0 || l > MAX_CODE_LEN {
-                return Err(WireError(format!("bad code length {l}")));
+                return Err(CodecError::corrupt(format!("bad code length {l}")));
             }
             lens.push((s, l));
         }
@@ -264,7 +265,7 @@ pub fn encode_with_table(symbols: &[u32]) -> Vec<u8> {
 }
 
 /// Inverse of [`encode_with_table`].
-pub fn decode_with_table(bytes: &[u8]) -> WireResult<Vec<u32>> {
+pub fn decode_with_table(bytes: &[u8]) -> CodecResult<Vec<u32>> {
     let mut r = Reader::new(bytes);
     // Peek the symbol count; 0 means the empty-stream marker.
     let n_table = {

@@ -14,13 +14,17 @@
 //! block-based SZ_L/R better (§4.3 insight).
 
 use crate::buffer3::{Buffer3, Dims3};
+use crate::codec::{
+    expect_envelope, total_cells, write_envelope, Codec, CodecId, StreamInfo, FLAG_EMPTY,
+    FLAG_MULTI,
+};
 use crate::huffman;
 use crate::lossless;
 use crate::quantizer::{Quantizer, OUTLIER_SYMBOL};
-use crate::wire::{Reader, WireError, WireResult, Writer};
+use crate::wire::{CodecError, CodecResult, Reader, Writer};
 
-const MAGIC: u32 = 0x504E_4953; // "SINP"
-const VERSION: u8 = 1;
+/// SZ_Interp payload format version (rides in the envelope header).
+const VERSION: u8 = 2;
 
 /// Configuration for SZ_Interp.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +42,14 @@ impl InterpConfig {
 
 /// Compress one 3-D buffer.
 pub fn compress(data: &Buffer3, cfg: &InterpConfig) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_into(data, cfg, &mut out);
+    out
+}
+
+/// Compress one 3-D buffer, **appending** the stream to `out` (the
+/// buffer-reusing variant of [`compress`]).
+pub fn compress_into(data: &Buffer3, cfg: &InterpConfig, out: &mut Vec<u8>) {
     let dims = data.dims();
     let q = Quantizer::new(cfg.abs_eb);
     let mut recon = Buffer3::zeros(dims);
@@ -70,7 +82,6 @@ pub fn compress(data: &Buffer3, cfg: &InterpConfig) -> Vec<u8> {
     debug_assert_eq!(syms.len(), dims.len());
 
     let mut w = Writer::new();
-    w.put_u8(VERSION);
     w.put_f64(cfg.abs_eb);
     w.put_u32(dims.nx as u32);
     w.put_u32(dims.ny as u32);
@@ -80,46 +91,48 @@ pub fn compress(data: &Buffer3, cfg: &InterpConfig) -> Vec<u8> {
     for &v in &outliers {
         w.put_f64(v);
     }
-    let mut out = Writer::new();
-    out.put_u32(MAGIC);
-    out.put_raw(&lossless::compress(&w.into_bytes()));
-    out.into_bytes()
+    let mut env = Writer::from_vec(std::mem::take(out));
+    write_envelope(&mut env, CodecId::Interp, VERSION, 0);
+    *out = env.into_bytes();
+    lossless::compress_into(&w.into_bytes(), out);
 }
 
 /// Decompress a stream produced by [`compress`].
-pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
-    let mut top = Reader::new(bytes);
-    if top.get_u32()? != MAGIC {
-        return Err(WireError("bad SZ_Interp magic".into()));
+pub fn decompress(bytes: &[u8]) -> CodecResult<Buffer3> {
+    let env = expect_envelope(bytes, CodecId::Interp, VERSION)?;
+    if env.flags & FLAG_MULTI != 0 {
+        return Err(CodecError::BadParameter {
+            what: "multi-unit container passed to single-buffer decompress",
+        });
     }
-    let payload = lossless::decompress(top.get_raw(top.remaining())?)?;
+    let payload = lossless::decompress(&bytes[env.payload_offset..])?;
     let mut r = Reader::new(&payload);
-    if r.get_u8()? != VERSION {
-        return Err(WireError("unsupported SZ_Interp version".into()));
-    }
     let abs_eb = r.get_f64()?;
     if !(abs_eb > 0.0 && abs_eb.is_finite()) {
-        return Err(WireError(format!("invalid error bound {abs_eb}")));
+        return Err(CodecError::BadParameter {
+            what: "error bound",
+        });
     }
     let nx = r.get_u32()? as usize;
     let ny = r.get_u32()? as usize;
     let nz = r.get_u32()? as usize;
     if nx == 0 || ny == 0 || nz == 0 {
-        return Err(WireError(format!("degenerate dims {nx}x{ny}x{nz}")));
+        return Err(CodecError::dims(format!("degenerate dims {nx}x{ny}x{nz}")));
     }
     // Each point consumes at least one symbol bit; corrupted dims can't
     // claim more cells than the remaining payload could encode.
     let cells = nx as u128 * ny as u128 * nz as u128;
     if cells > r.remaining() as u128 * 8 + 64 {
-        return Err(WireError(format!(
-            "dims claim {cells} cells, only {} payload bytes left",
-            r.remaining()
-        )));
+        return Err(CodecError::LimitExceeded {
+            what: "cells",
+            claimed: cells,
+            available: r.remaining() as u128 * 8 + 64,
+        });
     }
     let dims = Dims3::new(nx, ny, nz);
     let syms = huffman::decode_with_table(r.get_block()?)?;
     if syms.len() != dims.len() {
-        return Err(WireError(format!(
+        return Err(CodecError::dims(format!(
             "symbol count {} != {} points",
             syms.len(),
             dims.len()
@@ -136,7 +149,7 @@ pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
     let mut recon = Buffer3::zeros(dims);
     let mut sym_iter = syms.into_iter();
     let mut out_iter = outliers.into_iter();
-    let truncated = || WireError("SZ_Interp stream truncated".into());
+    let truncated = || CodecError::corrupt("SZ_Interp stream truncated");
     let place = |recon: &mut Buffer3,
                  i: usize,
                  j: usize,
@@ -144,7 +157,7 @@ pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
                  pred: f64,
                  sym_iter: &mut std::vec::IntoIter<u32>,
                  out_iter: &mut std::vec::IntoIter<f64>|
-     -> WireResult<()> {
+     -> CodecResult<()> {
         let sym = sym_iter.next().ok_or_else(truncated)?;
         let v = if sym == OUTLIER_SYMBOL {
             out_iter.next().ok_or_else(truncated)?
@@ -291,6 +304,90 @@ fn predict(
         0.5 * (at(pos - s) + at(pos + s))
     } else {
         at(pos - s)
+    }
+}
+
+/// [`Codec`] adapter for SZ_Interp.
+///
+/// The native SZ_Interp stream holds exactly one 3-D buffer, so the
+/// adapter distinguishes three shapes via envelope flags: a bare
+/// single-buffer stream (no flags), an empty stream ([`FLAG_EMPTY`]), and
+/// a multi-unit container ([`FLAG_MULTI`]: a `u32` unit count followed by
+/// length-prefixed bare streams). `decompress` accepts all three, so any
+/// stream [`compress`] ever produced dispatches through the registry.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpCodec {
+    /// The SZ_Interp configuration used for compression (ignored on
+    /// decode — streams are self-describing).
+    pub cfg: InterpConfig,
+}
+
+impl InterpCodec {
+    /// Build from a configuration.
+    pub fn new(cfg: InterpConfig) -> Self {
+        InterpCodec { cfg }
+    }
+}
+
+impl Default for InterpCodec {
+    /// Decode-capable default (compression uses a 1e-3 absolute bound).
+    fn default() -> Self {
+        InterpCodec::new(InterpConfig::new(1e-3))
+    }
+}
+
+impl Codec for InterpCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Interp
+    }
+
+    fn compress_into(&self, units: &[Buffer3], out: &mut Vec<u8>) -> CodecResult<StreamInfo> {
+        let start = out.len();
+        match units {
+            [] => {
+                let mut w = Writer::from_vec(std::mem::take(out));
+                write_envelope(&mut w, CodecId::Interp, VERSION, FLAG_EMPTY);
+                *out = w.into_bytes();
+            }
+            [one] => compress_into(one, &self.cfg, out),
+            many => {
+                let mut w = Writer::from_vec(std::mem::take(out));
+                write_envelope(&mut w, CodecId::Interp, VERSION, FLAG_MULTI);
+                w.put_u32(many.len() as u32);
+                let mut scratch = Vec::new();
+                for u in many {
+                    scratch.clear();
+                    compress_into(u, &self.cfg, &mut scratch);
+                    w.put_block(&scratch);
+                }
+                *out = w.into_bytes();
+            }
+        }
+        Ok(StreamInfo {
+            codec: CodecId::Interp,
+            bytes: out.len() - start,
+            units: units.len(),
+            cells: total_cells(units),
+        })
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> CodecResult<Vec<Buffer3>> {
+        let env = expect_envelope(bytes, CodecId::Interp, VERSION)?;
+        if env.flags & FLAG_EMPTY != 0 {
+            return Ok(Vec::new());
+        }
+        if env.flags & FLAG_MULTI == 0 {
+            return Ok(vec![decompress(bytes)?]);
+        }
+        let mut r = Reader::new(&bytes[env.payload_offset..]);
+        let n = r.get_u32()? as usize;
+        // Every unit stream is at least an envelope + lossless header.
+        r.check_count(n, 8)?;
+        let mut units = Vec::with_capacity(n);
+        for _ in 0..n {
+            units.push(decompress(r.get_block()?)?);
+        }
+        Ok(units)
     }
 }
 

@@ -1,7 +1,31 @@
 //! # sz-codec — error-bounded lossy compression for scientific floats
 //!
 //! A from-scratch Rust implementation of the SZ compressor family the
-//! AMRIC paper (SC '23) builds on:
+//! AMRIC paper (SC '23) builds on, organized around one public
+//! abstraction: the [`codec::Codec`] trait.
+//!
+//! ## The `Codec` API
+//!
+//! Every compressor family implements [`codec::Codec`]:
+//!
+//! * `compress_into(&self, units, &mut out)` — compress a set of unit
+//!   blocks, **appending** a self-describing stream to the caller's
+//!   buffer (reuse the buffer across calls for the zero-alloc hot path);
+//! * `decompress(&self, bytes)` — restore the unit blocks from any
+//!   stream the codec produced.
+//!
+//! All streams share one 8-byte **envelope** (magic, codec id, version,
+//! flags — see [`codec`]); a [`codec::CodecRegistry`] dispatches any
+//! envelope stream to the right family's decoder. This crate implements
+//! two families — [`lr::LrCodec`] and [`interp::InterpCodec`] — and the
+//! `amric` crate layers the pipeline and the offline comparators (TAC,
+//! zMesh, AMReX baseline) on the same trait.
+//!
+//! Decoders are total over `&[u8]`: malformed input returns a structured
+//! [`error::CodecError`] (`Truncated`, `BadMagic`, `BadMode`, …) — never
+//! a panic, never an unbounded allocation.
+//!
+//! ## The families
 //!
 //! * [`lr`] — **SZ_L/R** (SZ2, Liang et al. 2018): blockwise selection
 //!   between the 3-D Lorenzo predictor and per-block linear regression,
@@ -12,24 +36,30 @@
 //! * [`adaptive`] — the paper's adaptive SZ-block-size rule (Equation 1).
 //! * [`metrics`] — PSNR (paper formula), MSE, max-error, rate helpers.
 //!
-//! Every compressed stream is self-describing and the decompressors return
-//! `Result`s — corrupted input never panics.
-//!
 //! ```
 //! use sz_codec::prelude::*;
 //!
 //! let mut data = Buffer3::zeros(Dims3::cube(16));
 //! data.fill_with(|i, j, k| (i as f64 * 0.3).sin() + (j + k) as f64 * 0.01);
 //! let eb = absolute_bound(1e-3, data.value_range());
-//! let stream = lr::compress(&data, &LrConfig::new(eb));
-//! let restored = lr::decompress(&stream).unwrap();
-//! let stats = ErrorStats::compare(data.data(), restored.data());
+//!
+//! // Trait-level: any family behind the same two calls.
+//! let codec = LrCodec::new(LrConfig::new(eb));
+//! let mut stream = Vec::new();
+//! let info = codec.compress_into(std::slice::from_ref(&data), &mut stream).unwrap();
+//! assert_eq!(info.cells, 16 * 16 * 16);
+//!
+//! // Registry-level: decode without knowing who wrote the stream.
+//! let restored = CodecRegistry::sz_only().decompress_auto(&stream).unwrap();
+//! let stats = ErrorStats::compare(data.data(), restored[0].data());
 //! assert!(stats.max_abs_err <= eb);
 //! ```
 
 pub mod adaptive;
 pub mod bitstream;
 pub mod buffer3;
+pub mod codec;
+pub mod error;
 pub mod huffman;
 pub mod interp;
 pub mod lorenzo;
@@ -41,6 +71,8 @@ pub mod regression;
 pub mod wire;
 
 pub use buffer3::{Buffer3, Dims3};
+pub use codec::{Codec, CodecId, CodecRegistry, StreamInfo};
+pub use error::{CodecError, CodecResult};
 pub use metrics::ErrorStats;
 
 /// User-facing error-bound specification.
@@ -55,6 +87,8 @@ pub enum ErrorBound {
 
 impl ErrorBound {
     /// Resolve to an absolute bound for data with the given value range.
+    /// Constant data (range 0) falls back to the raw relative value — see
+    /// [`quantizer::absolute_bound`].
     pub fn to_absolute(self, value_range: f64) -> f64 {
         match self {
             ErrorBound::Abs(v) => v,
@@ -76,8 +110,10 @@ pub enum SzAlgorithm {
 pub mod prelude {
     pub use crate::adaptive::adaptive_block_size;
     pub use crate::buffer3::{Buffer3, Dims3};
-    pub use crate::interp::{self, InterpConfig};
-    pub use crate::lr::{self, LrConfig};
+    pub use crate::codec::{Codec, CodecId, CodecRegistry, StreamInfo};
+    pub use crate::error::{CodecError, CodecResult};
+    pub use crate::interp::{self, InterpCodec, InterpConfig};
+    pub use crate::lr::{self, LrCodec, LrConfig, LrScratch};
     pub use crate::metrics::{bit_rate, compression_ratio, ErrorStats, RatePoint};
     pub use crate::quantizer::absolute_bound;
     pub use crate::{ErrorBound, SzAlgorithm};

@@ -9,7 +9,7 @@
 //! makes many small HDF5 chunks lose to one large chunk.
 
 use crate::huffman;
-use crate::wire::{Reader, WireError, WireResult, Writer};
+use crate::wire::{CodecError, CodecResult, Reader, Writer};
 
 const MIN_MATCH: usize = 4;
 const WINDOW: usize = 1 << 16; // u16 distances
@@ -18,9 +18,16 @@ const MAX_CHAIN: usize = 48;
 
 /// Compress `data`. The output embeds the original length.
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_into(data, &mut out);
+    out
+}
+
+/// Compress `data`, appending to `out` (the buffer-reusing hot path).
+pub fn compress_into(data: &[u8], out: &mut Vec<u8>) {
     let tokens = lz_parse(data);
     let entropy = huffman::encode_with_table(&tokens.iter().map(|&b| b as u32).collect::<Vec<_>>());
-    let mut w = Writer::new();
+    let mut w = Writer::from_vec(std::mem::take(out));
     w.put_u64(data.len() as u64);
     // Keep whichever representation is smaller; raw fallback keeps the
     // worst case bounded (header + data).
@@ -34,7 +41,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         w.put_u8(0); // stored
         w.put_block(data);
     }
-    w.into_bytes()
+    *out = w.into_bytes();
 }
 
 /// Ceiling on a stream's declared decompressed length. LZ matches expand
@@ -45,20 +52,22 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 const MAX_DECODE_LEN: usize = 1 << 34; // 16 GiB
 
 /// Decompress a stream produced by [`compress`].
-pub fn decompress(bytes: &[u8]) -> WireResult<Vec<u8>> {
+pub fn decompress(bytes: &[u8]) -> CodecResult<Vec<u8>> {
     let mut r = Reader::new(bytes);
     let orig_len = r.get_u64()? as usize;
     if orig_len > MAX_DECODE_LEN {
-        return Err(WireError(format!(
-            "declared length {orig_len} exceeds decode ceiling"
-        )));
+        return Err(CodecError::LimitExceeded {
+            what: "declared length",
+            claimed: orig_len as u128,
+            available: MAX_DECODE_LEN as u128,
+        });
     }
     let mode = r.get_u8()?;
     let payload = r.get_block()?;
     match mode {
         0 => {
             if payload.len() != orig_len {
-                return Err(WireError("stored block length mismatch".into()));
+                return Err(CodecError::corrupt("stored block length mismatch"));
             }
             Ok(payload.to_vec())
         }
@@ -67,11 +76,13 @@ pub fn decompress(bytes: &[u8]) -> WireResult<Vec<u8>> {
             let tokens = huffman::decode_with_table(payload)?;
             let token_bytes: Vec<u8> = tokens
                 .into_iter()
-                .map(|t| u8::try_from(t).map_err(|_| WireError("token out of byte range".into())))
-                .collect::<WireResult<_>>()?;
+                .map(|t| {
+                    u8::try_from(t).map_err(|_| CodecError::corrupt("token out of byte range"))
+                })
+                .collect::<CodecResult<_>>()?;
             lz_expand(&token_bytes, orig_len)
         }
-        m => Err(WireError(format!("unknown lossless mode {m}"))),
+        m => Err(CodecError::BadMode { found: m }),
     }
 }
 
@@ -155,20 +166,20 @@ fn put_varint(out: &mut Vec<u8>, mut v: usize) {
     }
 }
 
-fn get_varint(r: &mut std::slice::Iter<'_, u8>) -> WireResult<usize> {
+fn get_varint(r: &mut std::slice::Iter<'_, u8>) -> CodecResult<usize> {
     let mut v = 0usize;
     let mut shift = 0u32;
     loop {
         let b = *r
             .next()
-            .ok_or_else(|| WireError("varint truncated".into()))?;
+            .ok_or_else(|| CodecError::corrupt("varint truncated"))?;
         v |= ((b & 0x7F) as usize) << shift;
         if b & 0x80 == 0 {
             return Ok(v);
         }
         shift += 7;
         if shift > 56 {
-            return Err(WireError("varint overflow".into()));
+            return Err(CodecError::corrupt("varint overflow"));
         }
     }
 }
@@ -199,7 +210,7 @@ fn emit_match(out: &mut Vec<u8>, len: usize, dist: usize) {
     out.extend_from_slice(&(dist as u16).to_le_bytes());
 }
 
-fn lz_expand(tokens: &[u8], orig_len: usize) -> WireResult<Vec<u8>> {
+fn lz_expand(tokens: &[u8], orig_len: usize) -> CodecResult<Vec<u8>> {
     // Capacity is a hint only: a corrupted `orig_len` must not drive a
     // multi-GB upfront allocation, so cap it; the vec grows as needed for
     // legitimately large (highly repetitive) streams.
@@ -208,21 +219,21 @@ fn lz_expand(tokens: &[u8], orig_len: usize) -> WireResult<Vec<u8>> {
     while out.len() < orig_len {
         let control = *it
             .next()
-            .ok_or_else(|| WireError("token stream truncated".into()))?;
+            .ok_or_else(|| CodecError::corrupt("token stream truncated"))?;
         if control & 0x80 == 0 {
             let mut n = (control & 0x7F) as usize + 1;
             if control & 0x7F == 0x7F {
                 n += get_varint(&mut it)?;
             }
             if n > orig_len - out.len() {
-                return Err(WireError("literal run overflows declared length".into()));
+                return Err(CodecError::corrupt("literal run overflows declared length"));
             }
             out.try_reserve(n)
-                .map_err(|_| WireError("literal run exceeds available memory".into()))?;
+                .map_err(|_| CodecError::corrupt("literal run exceeds available memory"))?;
             for _ in 0..n {
                 out.push(
                     *it.next()
-                        .ok_or_else(|| WireError("literal run truncated".into()))?,
+                        .ok_or_else(|| CodecError::corrupt("literal run truncated"))?,
                 );
             }
         } else {
@@ -232,22 +243,22 @@ fn lz_expand(tokens: &[u8], orig_len: usize) -> WireResult<Vec<u8>> {
             }
             let lo = *it
                 .next()
-                .ok_or_else(|| WireError("match dist truncated".into()))?;
+                .ok_or_else(|| CodecError::corrupt("match dist truncated"))?;
             let hi = *it
                 .next()
-                .ok_or_else(|| WireError("match dist truncated".into()))?;
+                .ok_or_else(|| CodecError::corrupt("match dist truncated"))?;
             let dist = u16::from_le_bytes([lo, hi]) as usize;
             if dist == 0 || dist > out.len() {
-                return Err(WireError(format!(
+                return Err(CodecError::corrupt(format!(
                     "bad match distance {dist} at output {}",
                     out.len()
                 )));
             }
             if len > orig_len - out.len() {
-                return Err(WireError("match overflows declared length".into()));
+                return Err(CodecError::corrupt("match overflows declared length"));
             }
             out.try_reserve(len)
-                .map_err(|_| WireError("match exceeds available memory".into()))?;
+                .map_err(|_| CodecError::corrupt("match exceeds available memory"))?;
             // Byte-wise forward copy handles overlapping (RLE-style) matches.
             let start = out.len() - dist;
             for p in 0..len {
@@ -257,7 +268,7 @@ fn lz_expand(tokens: &[u8], orig_len: usize) -> WireResult<Vec<u8>> {
         }
     }
     if out.len() != orig_len {
-        return Err(WireError("decompressed length mismatch".into()));
+        return Err(CodecError::corrupt("decompressed length mismatch"));
     }
     Ok(out)
 }

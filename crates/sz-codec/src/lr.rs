@@ -17,16 +17,18 @@
 //! "compress each box individually" strawman the paper rejects.
 
 use crate::buffer3::{Buffer3, Dims3};
+use crate::codec::{
+    expect_envelope, total_cells, write_envelope, Codec, CodecId, StreamInfo, FLAG_EMPTY,
+};
 use crate::huffman;
 use crate::lorenzo::{lorenzo3, lorenzo3_block_error};
 use crate::lossless;
 use crate::quantizer::{Quantizer, OUTLIER_SYMBOL};
 use crate::regression::{fit_block, regression_block_error, CoefficientCodec};
-use crate::wire::{Reader, WireError, WireResult, Writer};
+use crate::wire::{CodecError, CodecResult, Reader, Writer};
 
-/// Stream magic for SZ_L/R payloads.
-const MAGIC: u32 = 0x525A_4C53; // "SZLR" little-endian-ish tag
-const VERSION: u8 = 1;
+/// SZ_L/R payload format version (rides in the envelope header).
+const VERSION: u8 = 2;
 
 /// Regression is never attempted for blocks with fewer cells than this
 /// (coefficient overhead would dominate).
@@ -69,17 +71,64 @@ struct Streams {
     coeff_outliers: Vec<f64>,
 }
 
+impl Streams {
+    fn clear(&mut self) {
+        self.selection.clear();
+        self.data_syms.clear();
+        self.data_outliers.clear();
+        self.coeff_syms.clear();
+        self.coeff_outliers.clear();
+    }
+}
+
+/// Reusable compression scratch: the quantization-symbol streams and the
+/// pre-lossless payload buffer. Hot paths (the in-situ writer encoding one
+/// chunk per (rank, level, field)) hold one of these per rank and stop
+/// paying per-call allocations for the symbol vectors.
+#[derive(Default)]
+pub struct LrScratch {
+    streams: Streams,
+    payload: Vec<u8>,
+}
+
 /// Compress a set of prediction domains with one shared encoding (SLE).
 /// A single-element slice reproduces plain SZ_L/R on that buffer.
 pub fn compress_domains(domains: &[&Buffer3], cfg: &LrConfig) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_domains_pooled(domains, cfg, &mut out);
+    out
+}
+
+thread_local! {
+    /// Per-thread (= per-rank) scratch pool backing the `&self` entry
+    /// points that cannot hold a scratch of their own.
+    static LR_POOL: std::cell::RefCell<LrScratch> = std::cell::RefCell::new(LrScratch::default());
+}
+
+/// Like [`compress_domains_into`] but reusing a thread-local scratch —
+/// the zero-alloc path for `&self` contexts (`Codec` impls, chunk
+/// filters) that cannot thread an explicit [`LrScratch`] through.
+pub fn compress_domains_pooled(domains: &[&Buffer3], cfg: &LrConfig, out: &mut Vec<u8>) {
+    LR_POOL.with(|s| compress_domains_into(domains, cfg, &mut s.borrow_mut(), out));
+}
+
+/// Compress a set of prediction domains with one shared encoding (SLE),
+/// **appending** the stream to `out` and reusing `scratch` across calls —
+/// the zero-alloc variant of [`compress_domains`].
+pub fn compress_domains_into(
+    domains: &[&Buffer3],
+    cfg: &LrConfig,
+    scratch: &mut LrScratch,
+    out: &mut Vec<u8>,
+) {
     assert!(!domains.is_empty(), "no domains to compress");
-    let mut streams = Streams::default();
+    scratch.streams.clear();
     let mut coeff_codec = CoefficientCodec::new(cfg.abs_eb, cfg.block_size);
     let q = Quantizer::new(cfg.abs_eb);
     for domain in domains {
-        compress_one_domain(domain, cfg, &q, &mut coeff_codec, &mut streams);
+        compress_one_domain(domain, cfg, &q, &mut coeff_codec, &mut scratch.streams);
     }
-    encode_container(domains, cfg, &streams)
+    encode_container(domains, cfg, scratch, out)
 }
 
 /// Convenience wrapper: single domain.
@@ -109,25 +158,19 @@ pub fn compress_1d(data: &[f64], abs_eb: f64) -> Vec<u8> {
 
 /// Decompress a stream produced by any of the `compress*` functions.
 /// Returns one buffer per prediction domain, in input order.
-pub fn decompress_domains(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
-    let mut top = Reader::new(bytes);
-    let magic = top.get_u32()?;
-    if magic != MAGIC {
-        return Err(WireError(format!("bad SZ_L/R magic {magic:#x}")));
-    }
-    let payload = lossless::decompress(top.get_raw(top.remaining())?)?;
+pub fn decompress_domains(bytes: &[u8]) -> CodecResult<Vec<Buffer3>> {
+    let env = expect_envelope(bytes, CodecId::LrSle, VERSION)?;
+    let payload = lossless::decompress(&bytes[env.payload_offset..])?;
     let mut r = Reader::new(&payload);
-    let version = r.get_u8()?;
-    if version != VERSION {
-        return Err(WireError(format!("unsupported SZ_L/R version {version}")));
-    }
     let abs_eb = r.get_f64()?;
     if !(abs_eb > 0.0 && abs_eb.is_finite()) {
-        return Err(WireError(format!("invalid error bound {abs_eb}")));
+        return Err(CodecError::BadParameter {
+            what: "error bound",
+        });
     }
     let block_size = r.get_u8()? as usize;
     if block_size == 0 {
-        return Err(WireError("zero block size".into()));
+        return Err(CodecError::BadParameter { what: "block size" });
     }
     let ndomains = r.get_u32()? as usize;
     // Each domain header is 3 × u32; reject counts the stream can't hold.
@@ -139,7 +182,9 @@ pub fn decompress_domains(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
         let ny = r.get_u32()? as usize;
         let nz = r.get_u32()? as usize;
         if nx == 0 || ny == 0 || nz == 0 {
-            return Err(WireError(format!("degenerate domain dims {nx}x{ny}x{nz}")));
+            return Err(CodecError::dims(format!(
+                "degenerate domain dims {nx}x{ny}x{nz}"
+            )));
         }
         total_cells += nx as u128 * ny as u128 * nz as u128;
         dims.push(Dims3::new(nx, ny, nz));
@@ -148,10 +193,11 @@ pub fn decompress_domains(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
     // corrupted dims can't demand more cells than the stream could encode
     // (this also keeps buffer allocations bounded by the input size).
     if total_cells > r.remaining() as u128 * 8 + 64 {
-        return Err(WireError(format!(
-            "domain dims claim {total_cells} cells, only {} payload bytes left",
-            r.remaining()
-        )));
+        return Err(CodecError::LimitExceeded {
+            what: "domain cells",
+            claimed: total_cells,
+            available: r.remaining() as u128 * 8 + 64,
+        });
     }
     // Selection bitmap.
     let nblocks = r.get_u64()? as usize;
@@ -203,10 +249,13 @@ pub fn decompress_domains(bytes: &[u8]) -> WireResult<Vec<Buffer3>> {
 }
 
 /// Convenience wrapper: single-domain decompress.
-pub fn decompress(bytes: &[u8]) -> WireResult<Buffer3> {
+pub fn decompress(bytes: &[u8]) -> CodecResult<Buffer3> {
     let mut v = decompress_domains(bytes)?;
     if v.len() != 1 {
-        return Err(WireError(format!("expected 1 domain, found {}", v.len())));
+        return Err(CodecError::dims(format!(
+            "expected 1 domain, found {}",
+            v.len()
+        )));
     }
     Ok(v.pop().expect("len checked"))
 }
@@ -300,9 +349,9 @@ fn decompress_one_domain(
     out_iter: &mut impl Iterator<Item = f64>,
     csym_iter: &mut impl Iterator<Item = u32>,
     cout_iter: &mut impl Iterator<Item = f64>,
-) -> WireResult<Buffer3> {
+) -> CodecResult<Buffer3> {
     let mut recon = Buffer3::zeros(dims);
-    let truncated = || WireError("SZ_L/R stream truncated".into());
+    let truncated = || CodecError::corrupt("SZ_L/R stream truncated");
     for ((oi, oj, ok), bd) in blocks_of(dims, cfg.block_size) {
         let use_regression = sel_iter.next().ok_or_else(truncated)?;
         if use_regression {
@@ -342,9 +391,15 @@ fn decompress_one_domain(
     Ok(recon)
 }
 
-fn encode_container(domains: &[&Buffer3], cfg: &LrConfig, s: &Streams) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.put_u8(VERSION);
+fn encode_container(
+    domains: &[&Buffer3],
+    cfg: &LrConfig,
+    scratch: &mut LrScratch,
+    out: &mut Vec<u8>,
+) {
+    let s = &scratch.streams;
+    scratch.payload.clear();
+    let mut w = Writer::from_vec(std::mem::take(&mut scratch.payload));
     w.put_f64(cfg.abs_eb);
     w.put_u8(cfg.block_size as u8);
     w.put_u32(domains.len() as u32);
@@ -372,11 +427,66 @@ fn encode_container(domains: &[&Buffer3], cfg: &LrConfig, s: &Streams) -> Vec<u8
     for &v in &s.data_outliers {
         w.put_f64(v);
     }
-    let payload = w.into_bytes();
-    let mut out = Writer::new();
-    out.put_u32(MAGIC);
-    out.put_raw(&lossless::compress(&payload));
-    out.into_bytes()
+    scratch.payload = w.into_bytes();
+    let mut env = Writer::from_vec(std::mem::take(out));
+    write_envelope(&mut env, CodecId::LrSle, VERSION, 0);
+    *out = env.into_bytes();
+    lossless::compress_into(&scratch.payload, out);
+}
+
+/// [`Codec`] adapter for SZ_L/R with Shared Lossless Encoding: every unit
+/// block becomes one prediction domain under a single shared Huffman tree.
+#[derive(Clone, Copy, Debug)]
+pub struct LrCodec {
+    /// The SZ_L/R configuration used for compression (ignored on decode —
+    /// streams are self-describing).
+    pub cfg: LrConfig,
+}
+
+impl LrCodec {
+    /// Build from a configuration.
+    pub fn new(cfg: LrConfig) -> Self {
+        LrCodec { cfg }
+    }
+}
+
+impl Default for LrCodec {
+    /// Decode-capable default (compression uses a 1e-3 absolute bound).
+    fn default() -> Self {
+        LrCodec::new(LrConfig::new(1e-3))
+    }
+}
+
+impl Codec for LrCodec {
+    fn id(&self) -> CodecId {
+        CodecId::LrSle
+    }
+
+    fn compress_into(&self, units: &[Buffer3], out: &mut Vec<u8>) -> CodecResult<StreamInfo> {
+        let start = out.len();
+        if units.is_empty() {
+            let mut w = Writer::from_vec(std::mem::take(out));
+            write_envelope(&mut w, CodecId::LrSle, VERSION, FLAG_EMPTY);
+            *out = w.into_bytes();
+        } else {
+            let refs: Vec<&Buffer3> = units.iter().collect();
+            compress_domains_pooled(&refs, &self.cfg, out);
+        }
+        Ok(StreamInfo {
+            codec: CodecId::LrSle,
+            bytes: out.len() - start,
+            units: units.len(),
+            cells: total_cells(units),
+        })
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> CodecResult<Vec<Buffer3>> {
+        let env = expect_envelope(bytes, CodecId::LrSle, VERSION)?;
+        if env.flags & FLAG_EMPTY != 0 {
+            return Ok(Vec::new());
+        }
+        decompress_domains(bytes)
+    }
 }
 
 #[cfg(test)]

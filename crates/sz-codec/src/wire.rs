@@ -2,21 +2,9 @@
 //!
 //! Kept deliberately tiny (no serde in the hot format): every multi-byte
 //! integer is little-endian, lengths are `u64`, floats are IEEE-754 bits.
+//! Decode failures surface as the workspace-wide [`CodecError`].
 
-/// Error type for malformed compressed streams.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireError(pub String);
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "malformed stream: {}", self.0)
-    }
-}
-
-impl std::error::Error for WireError {}
-
-/// Result alias for decode paths.
-pub type WireResult<T> = Result<T, WireError>;
+pub use crate::error::{CodecError, CodecResult};
 
 /// Append-only writer.
 #[derive(Default)]
@@ -28,6 +16,13 @@ impl Writer {
     /// New empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wrap an existing buffer and append to it — the zero-alloc path:
+    /// `mem::take` a caller's scratch `Vec`, write, hand it back with
+    /// [`Writer::into_bytes`].
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Writer { buf }
     }
 
     pub fn put_u8(&mut self, v: u8) {
@@ -61,6 +56,12 @@ impl Writer {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Mutable access to the underlying buffer — lets `*_into` helpers
+    /// append through an existing writer without unwrapping it.
+    pub fn buf_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+
     /// Finish.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -89,49 +90,49 @@ impl<'a> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+    fn take(&mut self, n: usize) -> CodecResult<&'a [u8]> {
         // `n` may come straight from a corrupted length field; checked
         // comparison avoids `pos + n` overflowing on absurd values.
         if n > self.buf.len() - self.pos {
-            return Err(WireError(format!(
-                "need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.buf.len() - self.pos
-            )));
+            return Err(CodecError::Truncated {
+                offset: self.pos,
+                need: n,
+                have: self.buf.len() - self.pos,
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
 
-    pub fn get_u8(&mut self) -> WireResult<u8> {
+    pub fn get_u8(&mut self) -> CodecResult<u8> {
         Ok(self.take(1)?[0])
     }
 
-    pub fn get_u16(&mut self) -> WireResult<u16> {
+    pub fn get_u16(&mut self) -> CodecResult<u16> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
-    pub fn get_u32(&mut self) -> WireResult<u32> {
+    pub fn get_u32(&mut self) -> CodecResult<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    pub fn get_u64(&mut self) -> WireResult<u64> {
+    pub fn get_u64(&mut self) -> CodecResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    pub fn get_f64(&mut self) -> WireResult<f64> {
+    pub fn get_f64(&mut self) -> CodecResult<f64> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// Length-prefixed byte block (see [`Writer::put_block`]).
-    pub fn get_block(&mut self) -> WireResult<&'a [u8]> {
+    pub fn get_block(&mut self) -> CodecResult<&'a [u8]> {
         let n = self.get_u64()? as usize;
         self.take(n)
     }
 
     /// Raw bytes of known length.
-    pub fn get_raw(&mut self, n: usize) -> WireResult<&'a [u8]> {
+    pub fn get_raw(&mut self, n: usize) -> CodecResult<&'a [u8]> {
         self.take(n)
     }
 
@@ -144,13 +145,14 @@ impl<'a> Reader<'a> {
     /// minimum bytes each element must still occupy. Rejecting implausible
     /// counts here keeps corrupted length fields from driving huge
     /// preallocations (which would abort, not unwind) in decode paths.
-    pub fn check_count(&self, n: usize, min_bytes_per_elem: usize) -> WireResult<usize> {
+    pub fn check_count(&self, n: usize, min_bytes_per_elem: usize) -> CodecResult<usize> {
         let need = (n as u128) * (min_bytes_per_elem.max(1) as u128);
         if need > self.remaining() as u128 {
-            return Err(WireError(format!(
-                "count {n} needs {need} bytes, stream has {}",
-                self.remaining()
-            )));
+            return Err(CodecError::LimitExceeded {
+                what: "element count",
+                claimed: need,
+                available: self.remaining() as u128,
+            });
         }
         Ok(n)
     }
@@ -186,9 +188,16 @@ mod tests {
         w.put_u32(5);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes[..2]);
-        assert!(r.get_u32().is_err());
+        assert!(matches!(
+            r.get_u32(),
+            Err(CodecError::Truncated {
+                offset: 0,
+                need: 4,
+                have: 2
+            })
+        ));
         let mut r2 = Reader::new(&bytes);
-        assert!(r2.get_u64().is_err());
+        assert!(matches!(r2.get_u64(), Err(CodecError::Truncated { .. })));
     }
 
     #[test]
@@ -198,6 +207,23 @@ mod tests {
         w.put_raw(b"xx");
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
-        assert!(r.get_block().is_err());
+        assert!(matches!(r.get_block(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn implausible_count_is_limit_exceeded() {
+        let r = Reader::new(b"1234");
+        assert!(matches!(
+            r.check_count(10_000, 8),
+            Err(CodecError::LimitExceeded { .. })
+        ));
+        assert_eq!(r.check_count(4, 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn from_vec_appends() {
+        let mut w = Writer::from_vec(vec![0xFF]);
+        w.put_u8(1);
+        assert_eq!(w.into_bytes(), vec![0xFF, 1]);
     }
 }

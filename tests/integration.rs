@@ -133,10 +133,10 @@ fn redundancy_removal_shrinks_stream() {
     let (h, mesh) = nyx(6, 2);
     let p1 = tmp("red-on");
     let p2 = tmp("red-off");
-    let mut cfg = AmricConfig::lr(1e-3);
+    let cfg = AmricConfig::lr(1e-3);
     let r_on = write_amric(&p1, &h, &cfg, mesh.blocking_factor).unwrap();
-    cfg.remove_redundancy = false;
-    let r_off = write_amric(&p2, &h, &cfg, mesh.blocking_factor).unwrap();
+    let cfg_off = cfg.with_remove_redundancy(false);
+    let r_off = write_amric(&p2, &h, &cfg_off, mesh.blocking_factor).unwrap();
     assert!(
         r_on.stored_bytes < r_off.stored_bytes,
         "with removal {} vs without {}",

@@ -1,0 +1,78 @@
+//! Public-API smoke test: the prelude re-exports the workspace's intended
+//! surface. If a refactor accidentally drops or renames one of these
+//! items, this test fails tier-1 instead of breaking downstream users.
+
+use amric_repro::prelude::*;
+
+/// Every codec family is reachable as a `Codec` trait object through the
+/// prelude alone.
+fn assert_codec<C: Codec>() {}
+
+#[test]
+fn prelude_exposes_the_codec_api() {
+    assert_codec::<LrCodec>();
+    assert_codec::<InterpCodec>();
+    assert_codec::<AmricCodec>();
+    assert_codec::<TacCodec>();
+    assert_codec::<ZmeshCodec>();
+    assert_codec::<BaselineCodec>();
+
+    // The registry path: all six ids registered, auto-dispatch works.
+    let reg: CodecRegistry = default_registry();
+    for id in [
+        CodecId::LrSle,
+        CodecId::Interp,
+        CodecId::AmricPipeline,
+        CodecId::Tac,
+        CodecId::Zmesh,
+        CodecId::AmrexBaseline,
+    ] {
+        assert!(reg.get(id as u16).is_some(), "{} unregistered", id.name());
+    }
+    let stream = AmricCodec::new(AmricConfig::lr(1e-3), 8)
+        .compress(&[])
+        .expect("compress");
+    assert!(decompress_auto(&stream).expect("dispatch").is_empty());
+}
+
+#[test]
+fn prelude_exposes_the_error_hierarchy() {
+    // The typed errors and their lossless conversion into H5Error.
+    let e: CodecError = CodecError::BadMode { found: 7 };
+    let h: h5lite::H5Error = e.clone().into();
+    assert!(matches!(
+        h.as_codec(),
+        Some(CodecError::BadMode { found: 7 })
+    ));
+    let _: CodecResult<()> = Err(e);
+}
+
+#[test]
+fn prelude_exposes_configs_filters_and_pipeline() {
+    // Builder-style configs.
+    let cfg: AmricConfig = AmricConfig::interp(1e-3).with_cluster_arrangement(false);
+    let _base: BaselineConfig = BaselineConfig::new(1e-2).with_chunk_elems(4096);
+    let _merge: MergePolicy = MergePolicy::SharedEncoding;
+
+    // The pipeline free functions and the zero-alloc writer path.
+    let units = vec![Buffer3::zeros(Dims3::cube(4))];
+    let abs = resolve_abs_eb(&units, 1e-3);
+    let mut out = Vec::new();
+    let info: StreamInfo = compress_field_units_with_bound_into(
+        &units,
+        &cfg,
+        4,
+        abs,
+        &mut AmricScratch::default(),
+        &mut out,
+    );
+    assert_eq!(info.codec, CodecId::AmricPipeline);
+    assert_eq!(decompress_field_units(&out).expect("decode").len(), 1);
+    assert_eq!(compress_field_units(&units, &cfg, 4), out);
+
+    // h5lite filter surface.
+    fn assert_filter<F: ChunkFilter>() {}
+    assert_filter::<NoFilter>();
+    assert_filter::<SzFilter>();
+    let _mode: FilterMode = FilterMode::SizeAware;
+}

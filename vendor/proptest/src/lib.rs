@@ -287,7 +287,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`]: `lo..hi`, `lo..=hi`, or an exact size.
+    /// Length bounds for [`vec()`]: `lo..hi`, `lo..=hi`, or an exact size.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
