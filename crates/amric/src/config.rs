@@ -18,6 +18,42 @@
 
 use sz_codec::SzAlgorithm;
 
+/// How many compression workers the writer's rank-local pool runs — the
+/// overlap policy of the parallel write path.
+///
+/// `Serial` is the reference path (compress, then write, one chunk at a
+/// time). `Workers(n)` compresses on `n` pool threads per rank while the
+/// collective writes are in flight; output streams are byte-identical to
+/// `Serial` for every codec family (enforced by the
+/// `parallel_determinism` suite).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteParallelism {
+    /// One thread per rank: compress chunk, write chunk, repeat.
+    Serial,
+    /// A rank-local pool of `n ≥ 2` workers overlapping compression with
+    /// the collective writes.
+    Workers(usize),
+}
+
+impl WriteParallelism {
+    /// Policy for a requested worker count (`n <= 1` means serial).
+    pub fn from_workers(n: usize) -> Self {
+        if n <= 1 {
+            WriteParallelism::Serial
+        } else {
+            WriteParallelism::Workers(n)
+        }
+    }
+
+    /// Effective worker count (serial = 1).
+    pub fn workers(self) -> usize {
+        match self {
+            WriteParallelism::Serial => 1,
+            WriteParallelism::Workers(n) => n,
+        }
+    }
+}
+
 /// How unit blocks are merged before SZ sees them (paper §3.1–3.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MergePolicy {
@@ -53,6 +89,10 @@ pub struct AmricConfig {
     /// Pass actual per-rank data sizes to the HDF5 filter (§3.3
     /// Solution 2). When false, ranks pad to the global chunk size.
     pub size_aware_filter: bool,
+    /// Rank-local compression parallelism for the write path (overlap of
+    /// compression with the collective writes). Does not affect the
+    /// compressed streams — parallel output is byte-identical to serial.
+    pub parallelism: WriteParallelism,
 }
 
 impl AmricConfig {
@@ -66,6 +106,7 @@ impl AmricConfig {
             cluster_arrangement: false,
             remove_redundancy: true,
             size_aware_filter: true,
+            parallelism: WriteParallelism::Serial,
         }
     }
 
@@ -79,6 +120,7 @@ impl AmricConfig {
             cluster_arrangement: true,
             remove_redundancy: true,
             size_aware_filter: true,
+            parallelism: WriteParallelism::Serial,
         }
     }
 
@@ -121,6 +163,19 @@ impl AmricConfig {
     /// Toggle the size-aware HDF5 filter (ablation switch).
     pub fn with_size_aware_filter(mut self, on: bool) -> Self {
         self.size_aware_filter = on;
+        self
+    }
+
+    /// Set the rank-local compression worker count for the write path
+    /// (`n <= 1` selects the serial reference path).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.parallelism = WriteParallelism::from_workers(n);
+        self
+    }
+
+    /// Set the write-path parallelism policy directly.
+    pub fn with_parallelism(mut self, parallelism: WriteParallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -179,9 +234,28 @@ mod tests {
         assert!(lr.adaptive_block_size);
         assert_eq!(lr.merge, MergePolicy::SharedEncoding);
         assert!(lr.remove_redundancy && lr.size_aware_filter);
+        assert_eq!(lr.parallelism, WriteParallelism::Serial);
         let it = AmricConfig::interp(1e-3);
         assert_eq!(it.algorithm, SzAlgorithm::Interpolation);
         assert!(it.cluster_arrangement);
+    }
+
+    #[test]
+    fn workers_builder_and_policy() {
+        for n in [0, 1] {
+            let cfg = AmricConfig::lr(1e-3).with_workers(n);
+            assert_eq!(cfg.parallelism, WriteParallelism::Serial);
+            assert_eq!(cfg.parallelism.workers(), 1);
+        }
+        let cfg = AmricConfig::lr(1e-3).with_workers(4);
+        assert_eq!(cfg.parallelism, WriteParallelism::Workers(4));
+        assert_eq!(cfg.parallelism.workers(), 4);
+        let direct = AmricConfig::interp(1e-3).with_parallelism(WriteParallelism::Workers(2));
+        assert_eq!(direct.parallelism.workers(), 2);
+        assert_eq!(
+            WriteParallelism::from_workers(7),
+            WriteParallelism::Workers(7)
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod baseline;
 pub mod codec;
 pub mod config;
+pub mod parallel;
 pub mod pipeline;
 pub mod preprocess;
 pub mod reader;
@@ -60,7 +61,8 @@ pub mod writer;
 pub mod zmesh;
 
 pub use codec::{decompress_auto, default_registry};
-pub use config::{AmricConfig, BaselineConfig, MergePolicy};
+pub use config::{AmricConfig, BaselineConfig, MergePolicy, WriteParallelism};
+pub use parallel::compress_chunks_parallel;
 
 /// Commonly used items.
 pub mod prelude {
@@ -68,7 +70,8 @@ pub mod prelude {
     pub use crate::codec::{
         decompress_auto, default_registry, AmricCodec, BaselineCodec, TacCodec, ZmeshCodec,
     };
-    pub use crate::config::{AmricConfig, BaselineConfig, MergePolicy};
+    pub use crate::config::{AmricConfig, BaselineConfig, MergePolicy, WriteParallelism};
+    pub use crate::parallel::compress_chunks_parallel;
     pub use crate::pipeline::{
         compress_field_units, compress_field_units_with_bound,
         compress_field_units_with_bound_into, compress_field_units_with_bound_pooled,
@@ -78,5 +81,5 @@ pub mod prelude {
         extract_units, plan_units, scatter_units, unit_edge_for_level, UnitRef,
     };
     pub use crate::reader::{read_amric_hierarchy, verify_against};
-    pub use crate::writer::{write_amric, WriteReport};
+    pub use crate::writer::{write_amric, write_field_parallel, FieldWriteJob, WriteReport};
 }

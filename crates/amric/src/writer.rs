@@ -10,7 +10,10 @@
 //! in the chunk metadata so no padding is ever compressed.
 
 use crate::config::AmricConfig;
-use crate::pipeline::{compress_field_units_with_bound_pooled, decompress_field_units};
+use crate::pipeline::{
+    compress_field_units_with_bound_into, compress_field_units_with_bound_pooled,
+    decompress_field_units, AmricScratch,
+};
 use crate::preprocess::{extract_units, plan_units, unit_edge_for_level};
 use amr_mesh::prelude::*;
 use h5lite::prelude::*;
@@ -41,6 +44,50 @@ pub struct AmricFieldFilter {
     pub abs_eb: f64,
 }
 
+impl AmricFieldFilter {
+    /// Cut the chunk payload into its cubic unit blocks, rejecting chunks
+    /// whose length is not a multiple of the unit volume (typed error,
+    /// never a panic — the PR 2 regression contract).
+    fn cut_units(&self, chunk: &[f64]) -> H5Result<Vec<sz_codec::Buffer3>> {
+        let e3 = self.unit_edge * self.unit_edge * self.unit_edge;
+        if e3 == 0 || !chunk.len().is_multiple_of(e3) {
+            return Err(H5Error::Codec(CodecError::dims(format!(
+                "chunk of {} elems is not a multiple of unit {}³",
+                chunk.len(),
+                self.unit_edge
+            ))));
+        }
+        Ok(chunk
+            .chunks_exact(e3)
+            .map(|u| sz_codec::Buffer3::from_vec(sz_codec::Dims3::cube(self.unit_edge), u.to_vec()))
+            .collect())
+    }
+
+    /// [`ChunkFilter::encode_into`] with an **explicit** scratch pool —
+    /// the parallel engine's entry point, where every pool worker owns
+    /// its own [`AmricScratch`] instead of sharing the thread-local one.
+    /// The produced bytes are identical either way: compression depends
+    /// only on the chunk data and this filter's parameters, never on
+    /// scratch history (the scratch is cleared at entry).
+    pub fn encode_with_scratch(
+        &self,
+        chunk: &[f64],
+        scratch: &mut AmricScratch,
+        out: &mut Vec<u8>,
+    ) -> H5Result<()> {
+        let units = self.cut_units(chunk)?;
+        compress_field_units_with_bound_into(
+            &units,
+            &self.cfg,
+            self.unit_edge,
+            self.abs_eb,
+            scratch,
+            out,
+        );
+        Ok(())
+    }
+}
+
 impl ChunkFilter for AmricFieldFilter {
     fn id(&self) -> u32 {
         FILTER_AMRIC
@@ -51,18 +98,7 @@ impl ChunkFilter for AmricFieldFilter {
     }
 
     fn encode_into(&self, chunk: &[f64], out: &mut Vec<u8>) -> H5Result<()> {
-        let e3 = self.unit_edge * self.unit_edge * self.unit_edge;
-        if e3 == 0 || !chunk.len().is_multiple_of(e3) {
-            return Err(H5Error::Codec(CodecError::dims(format!(
-                "chunk of {} elems is not a multiple of unit {}³",
-                chunk.len(),
-                self.unit_edge
-            ))));
-        }
-        let units: Vec<sz_codec::Buffer3> = chunk
-            .chunks_exact(e3)
-            .map(|u| sz_codec::Buffer3::from_vec(sz_codec::Dims3::cube(self.unit_edge), u.to_vec()))
-            .collect();
+        let units = self.cut_units(chunk)?;
         compress_field_units_with_bound_pooled(&units, &self.cfg, self.unit_edge, self.abs_eb, out);
         Ok(())
     }
@@ -184,6 +220,241 @@ pub(crate) fn field_dataset(level: usize, field: usize) -> String {
     format!("level_{level}/field_{field}")
 }
 
+/// One field's fully-staged write work for [`write_field_parallel`]: the
+/// rank's chunks, the resolved filter, and the collective chunk geometry.
+/// All metadata (global chunk size, absolute bound) is pre-computed, so
+/// compression can run on pool workers while earlier fields' collective
+/// writes are still in flight — the paper's one-pass write.
+#[derive(Clone, Debug)]
+pub struct FieldWriteJob {
+    /// Dataset name (identical on every rank).
+    pub name: String,
+    /// This rank's chunks (the AMRIC layout stages exactly one per field;
+    /// empty when no rank on the level holds data).
+    pub chunks: Vec<ChunkData>,
+    /// Collective chunk size in elements (max over ranks, pre-agreed).
+    pub chunk_elems: usize,
+    /// Resolved filter (global absolute bound baked in).
+    pub filter: AmricFieldFilter,
+    /// Standard vs size-aware filter semantics.
+    pub mode: FilterMode,
+}
+
+/// Per-worker compression state of the field pipeline: an explicit
+/// [`AmricScratch`] (quantization-stream buffers) plus the padding
+/// staging buffer. One per pool worker — workers never contend on hot
+/// buffers, and nothing rides on thread-local state.
+#[derive(Default)]
+struct FieldEncodeScratch {
+    scratch: AmricScratch,
+    pad: Vec<f64>,
+}
+
+/// Per-field accumulation while its frames stream to storage: the
+/// receipt under construction, the chunk records already on disk, and
+/// the batch of frames awaiting the next extent reservation.
+struct FieldProgress {
+    receipt: CollectiveReceipt,
+    records: Vec<ChunkRecord>,
+    batch: Vec<EncodedFrame>,
+}
+
+impl FieldProgress {
+    fn new() -> Self {
+        FieldProgress {
+            receipt: CollectiveReceipt {
+                dataset_creates: 1,
+                ..Default::default()
+            },
+            records: Vec::new(),
+            batch: Vec::new(),
+        }
+    }
+
+    fn chunks_done(&self) -> usize {
+        self.records.len() + self.batch.len()
+    }
+}
+
+/// Write the batched frames into one pre-reserved contiguous extent,
+/// folding them into the field's records and receipt.
+fn flush_field_frames(writer: &H5Writer, progress: &mut FieldProgress) -> H5Result<()> {
+    if progress.batch.is_empty() {
+        return Ok(());
+    }
+    let plan = writer.reserve_extent(progress.batch.iter().map(|f| f.bytes.len() as u64));
+    for (frame, &offset) in progress.batch.iter().zip(&plan.offsets) {
+        writer.write_at(offset, &frame.bytes)?;
+        progress.receipt.write_calls += 1;
+        progress.receipt.bytes_written += frame.bytes.len() as u64;
+        progress.records.push(ChunkRecord {
+            offset,
+            stored_bytes: frame.bytes.len() as u64,
+            logical_elems: frame.logical_elems,
+        });
+    }
+    progress.batch.clear();
+    Ok(())
+}
+
+/// Batch-submission write API: compress every field's chunks on a
+/// rank-local pool of `workers` threads and issue the collective writes
+/// in field order, **overlapped** — while field `f`'s frames are inside
+/// the collective commit (and peers may still be compressing), the pool
+/// is already compressing fields `f+1, f+2, …` into the bounded
+/// reassembly window. `workers <= 1` degrades to the serial reference
+/// path with identical output bytes and identical collective sequence.
+///
+/// Frames stream to storage as they drain: each batch of `max(workers,
+/// 2)` frames lands in one pre-reserved extent and only its small
+/// [`ChunkRecord`]s are kept until the field's collective commit, so
+/// memory in flight is bounded by the batch plus the reassembly window
+/// regardless of how many chunks a field stages.
+///
+/// Every rank must pass the same field list (names, `chunk_elems`,
+/// modes). The collective contract on errors: a rank whose compression
+/// fails keeps participating in the remaining fields' collectives with an
+/// abort vote, so peers fail together instead of deadlocking; the typed
+/// error surfaces on every rank.
+pub fn write_field_parallel(
+    comm: &Communicator,
+    writer: &H5Writer,
+    jobs: &[FieldWriteJob],
+    workers: usize,
+) -> H5Result<Vec<CollectiveReceipt>> {
+    // Flatten to (field, chunk) items so the pool load-balances across
+    // fields regardless of how many chunks each one stages.
+    let items: Vec<(usize, usize)> = jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(f, j)| (0..j.chunks.len()).map(move |c| (f, c)))
+        .collect();
+
+    let batch_size = workers.max(2);
+    let mut receipts = Vec::with_capacity(jobs.len());
+    // `written` = number of fields whose collective has *occurred*
+    // (successfully or as a joint abort); the error path below must keep
+    // the remaining fields' collectives running to stay in lockstep.
+    let mut written = 0usize;
+    let mut progress = FieldProgress::new();
+
+    let pool_result: Result<(), H5Error> = rankpar::pool::for_each_ordered(
+        &items,
+        workers,
+        // Double buffer: one batch in the writer's hands, one compressing.
+        (2 * workers).max(2),
+        FieldEncodeScratch::default,
+        |state, _i, &(f, c)| {
+            let job = &jobs[f];
+            writer.count_filter_call();
+            let t0 = Instant::now();
+            let (data, logical_elems) =
+                staged_chunk(&job.chunks[c], job.chunk_elems, job.mode, &mut state.pad)?;
+            let mut bytes = Vec::new();
+            job.filter
+                .encode_with_scratch(data, &mut state.scratch, &mut bytes)?;
+            Ok(EncodedFrame {
+                bytes,
+                logical_elems,
+                encode_seconds: t0.elapsed().as_secs_f64(),
+            })
+        },
+        |_i, frame| {
+            // Frames arrive in submission order, so this frame belongs to
+            // the first unwritten field that has chunks; commit any
+            // zero-chunk fields ahead of it first so `progress` never
+            // mixes fields.
+            while let Some(job) = jobs.get(written) {
+                if !job.chunks.is_empty() {
+                    break;
+                }
+                written += 1;
+                receipts.push(collective_finalize(
+                    comm,
+                    writer,
+                    &job.name,
+                    Vec::new(),
+                    job.chunk_elems,
+                    &job.filter,
+                    job.mode,
+                    None,
+                    FieldProgress::new().receipt,
+                )?);
+            }
+            let job = &jobs[written];
+            progress.receipt.filter_calls += 1;
+            progress.receipt.encode_seconds += frame.encode_seconds;
+            progress.batch.push(frame);
+            // Stream batches to storage so resident frames stay bounded
+            // by the batch, not the field's chunk count.
+            if progress.batch.len() >= batch_size {
+                flush_field_frames(writer, &mut progress)?;
+            }
+            if progress.chunks_done() == job.chunks.len() {
+                flush_field_frames(writer, &mut progress)?;
+                let done = std::mem::replace(&mut progress, FieldProgress::new());
+                written += 1; // the collective happens now, success or not
+                receipts.push(collective_finalize(
+                    comm,
+                    writer,
+                    &job.name,
+                    done.records,
+                    job.chunk_elems,
+                    &job.filter,
+                    job.mode,
+                    None,
+                    done.receipt,
+                )?);
+            }
+            Ok(())
+        },
+    );
+
+    let mut failure = pool_result.err();
+    if failure.is_none() {
+        // Trailing zero-chunk fields (or an entirely chunk-less level).
+        while written < jobs.len() && jobs[written].chunks.is_empty() {
+            let job = &jobs[written];
+            written += 1;
+            match collective_finalize(
+                comm,
+                writer,
+                &job.name,
+                Vec::new(),
+                job.chunk_elems,
+                &job.filter,
+                job.mode,
+                None,
+                FieldProgress::new().receipt,
+            ) {
+                Ok(r) => receipts.push(r),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(e) = failure {
+        // Stay in lockstep: peers will run every remaining field's
+        // collective, so this rank must too — with an abort vote.
+        for job in &jobs[written..] {
+            let _ = collective_write_frames(
+                comm,
+                writer,
+                &job.name,
+                None,
+                job.chunk_elems,
+                &job.filter,
+                job.mode,
+            );
+        }
+        return Err(e);
+    }
+    debug_assert_eq!(written, jobs.len());
+    Ok(receipts)
+}
+
 /// Write one snapshot with the full AMRIC pipeline. Returns the per-rank
 /// cost report. The blocking factor `bf` must match the hierarchy's fine
 /// grids (it drives unit sizes via [`unit_edge_for_level`]).
@@ -210,6 +481,12 @@ pub fn write_amric(
             let t0 = Instant::now();
             let units = plan_units(level, finer, unit, rank, cfg.remove_redundancy);
             prep_s += t0.elapsed().as_secs_f64();
+            // Pass 1 — stage every field and pre-compute the write
+            // metadata (global bound + global chunk size) in one
+            // deterministic collective sequence. With the metadata known
+            // up front, pass 2 can overlap compression with the writes
+            // (the paper's one-pass write).
+            let mut jobs = Vec::with_capacity(nfields);
             for f in 0..nfields {
                 // Stage field-major (§3.3 Solution 1): this rank's units of
                 // one field, concatenated.
@@ -252,17 +529,20 @@ pub fn write_amric(
                 } else {
                     vec![ChunkData::full(staged)]
                 };
-                let receipt = collective_write(
-                    &comm,
-                    &writer,
-                    &field_dataset(l, f),
-                    &chunks,
-                    chunk_elems.max(1),
-                    &filter,
+                jobs.push(FieldWriteJob {
+                    name: field_dataset(l, f),
+                    chunks,
+                    chunk_elems: chunk_elems.max(1),
+                    filter,
                     mode,
-                )
+                });
+            }
+            // Pass 2 — compress on the rank-local pool, write in field
+            // order; serial when the config says so.
+            let receipts = write_field_parallel(&comm, &writer, &jobs, cfg.parallelism.workers())
                 .expect("collective write failed");
-                fold_receipt(&mut ledger, &receipt);
+            for receipt in &receipts {
+                fold_receipt(&mut ledger, receipt);
             }
         }
         if rank == 0 {
@@ -393,6 +673,139 @@ mod tests {
             ..filter
         };
         assert!(zero.encode(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn parallel_write_is_byte_identical_to_serial() {
+        // The tentpole invariant at the writer level: every dataset's
+        // stored chunk bytes match between the serial path and the
+        // overlapped pool path, for both codec families.
+        let h = small_nyx();
+        for (tag, cfg) in [
+            ("lr", AmricConfig::lr(1e-3)),
+            ("interp", AmricConfig::interp(1e-3)),
+        ] {
+            let p_serial = tmp(&format!("pareq-serial-{tag}"));
+            let p_par = tmp(&format!("pareq-par-{tag}"));
+            let rs = write_amric(&p_serial, &h, &cfg, 8).unwrap();
+            let rp = write_amric(&p_par, &h, &cfg.with_workers(4), 8).unwrap();
+            assert_eq!(rs.stored_bytes, rp.stored_bytes, "{tag}");
+            let a = H5Reader::open(&p_serial).unwrap();
+            let b = H5Reader::open(&p_par).unwrap();
+            assert_eq!(a.dataset_names(), b.dataset_names(), "{tag}");
+            for name in a.dataset_names() {
+                let (ma, mb) = (a.meta(name).unwrap(), b.meta(name).unwrap());
+                assert_eq!(ma.chunks.len(), mb.chunks.len(), "{tag}/{name}");
+                for i in 0..ma.chunks.len() {
+                    assert_eq!(
+                        a.read_chunk_raw(name, i).unwrap(),
+                        b.read_chunk_raw(name, i).unwrap(),
+                        "{tag}/{name} chunk {i} bytes differ"
+                    );
+                }
+            }
+            std::fs::remove_file(&p_serial).ok();
+            std::fs::remove_file(&p_par).ok();
+        }
+    }
+
+    #[test]
+    fn field_jobs_with_leading_and_trailing_empty_fields() {
+        // Zero-chunk fields before, between, and after chunked fields
+        // must all register (the flush logic has to ride them along).
+        let path = tmp("empty-fields");
+        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let w = Arc::clone(&writer);
+        let filter = AmricFieldFilter {
+            cfg: AmricConfig::lr(1e-3),
+            unit_edge: 4,
+            abs_eb: 1e-3,
+        };
+        let receipts = rankpar::run_ranks(2, move |comm| {
+            let mk = |f: usize, chunks: Vec<ChunkData>| FieldWriteJob {
+                name: format!("f{f}"),
+                chunks,
+                chunk_elems: 128,
+                filter,
+                mode: FilterMode::SizeAware,
+            };
+            let data: Vec<f64> = (0..128).map(|i| (i as f64 * 0.03).sin()).collect();
+            let jobs = vec![
+                mk(0, Vec::new()),
+                mk(1, vec![ChunkData::full(data.clone())]),
+                mk(2, Vec::new()),
+                mk(3, vec![ChunkData::full(data)]),
+                mk(4, Vec::new()),
+            ];
+            write_field_parallel(&comm, &w, &jobs, 3).unwrap()
+        });
+        for r in &receipts {
+            assert_eq!(r.len(), 5);
+        }
+        writer.finish().unwrap();
+        let rd = H5Reader::open(&path).unwrap();
+        assert_eq!(rd.dataset_names(), vec!["f0", "f1", "f2", "f3", "f4"]);
+        assert_eq!(rd.meta("f0").unwrap().chunks.len(), 0);
+        assert_eq!(rd.meta("f1").unwrap().chunks.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_chunk_field_streams_batches_and_matches_serial() {
+        // A field staging many chunks per rank: frames must stream to
+        // storage in batches (bounded memory) and still produce the same
+        // stored chunk bytes, in rank-major chunk order, as workers=1.
+        let filter = AmricFieldFilter {
+            cfg: AmricConfig::lr(1e-3),
+            unit_edge: 4,
+            abs_eb: 1e-3,
+        };
+        let chunk = |rank: usize, c: usize| {
+            ChunkData::full(
+                (0..128)
+                    .map(|i| ((rank * 2048 + c * 128 + i) as f64 * 0.011).sin())
+                    .collect(),
+            )
+        };
+        let write = |path: &std::path::Path, workers: usize| {
+            let writer = Arc::new(H5Writer::create(path).unwrap());
+            let w = Arc::clone(&writer);
+            let receipts = rankpar::run_ranks(2, move |comm| {
+                let jobs = vec![FieldWriteJob {
+                    name: "many".into(),
+                    chunks: (0..11).map(|c| chunk(comm.rank(), c)).collect(),
+                    chunk_elems: 128,
+                    filter,
+                    mode: FilterMode::SizeAware,
+                }];
+                write_field_parallel(&comm, &w, &jobs, workers).unwrap()
+            });
+            writer.finish().unwrap();
+            receipts
+        };
+        let p1 = tmp("many-serial");
+        let p4 = tmp("many-par");
+        let r1 = write(&p1, 1);
+        let r4 = write(&p4, 4);
+        for (rs, rp) in r1.iter().zip(&r4) {
+            assert_eq!(rs[0].filter_calls, 11);
+            assert_eq!(rp[0].filter_calls, 11);
+            assert_eq!(rs[0].bytes_written, rp[0].bytes_written);
+        }
+        let (a, b) = (H5Reader::open(&p1).unwrap(), H5Reader::open(&p4).unwrap());
+        let (ma, mb) = (a.meta("many").unwrap(), b.meta("many").unwrap());
+        assert_eq!(ma.chunks.len(), 22);
+        assert_eq!(mb.chunks.len(), 22);
+        for i in 0..22 {
+            assert_eq!(
+                a.read_chunk_raw("many", i).unwrap(),
+                b.read_chunk_raw("many", i).unwrap(),
+                "chunk {i}"
+            );
+            assert_eq!(ma.chunks[i].logical_elems, mb.chunks[i].logical_elems);
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p4).ok();
     }
 
     #[test]

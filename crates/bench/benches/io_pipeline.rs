@@ -3,7 +3,7 @@
 //! one per paper table row style (small Nyx run).
 
 use amric::prelude::*;
-use amric_bench::{scratch, table1_runs};
+use amric_bench::{default_workers, scratch, table1_runs};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_writers(c: &mut Criterion) {
@@ -50,6 +50,36 @@ fn bench_writers(c: &mut Criterion) {
                 &path,
                 &h,
                 &AmricConfig::interp(spec.amric_rel_eb),
+                spec.blocking_factor,
+            )
+            .unwrap();
+            std::fs::remove_file(&path).ok();
+        })
+    });
+    // Parallel axis: the overlapped write path on the harness-default
+    // worker count (≥ 2 so the pool engages even on small CI runners).
+    // Byte-identical output, different wall-clock — the overlap win.
+    let workers = default_workers().max(2);
+    g.bench_function("amric_lr_parallel", |b| {
+        b.iter(|| {
+            let path = scratch("bench-amric-lr-par");
+            write_amric(
+                &path,
+                &h,
+                &AmricConfig::lr(spec.amric_rel_eb).with_workers(workers),
+                spec.blocking_factor,
+            )
+            .unwrap();
+            std::fs::remove_file(&path).ok();
+        })
+    });
+    g.bench_function("amric_interp_parallel", |b| {
+        b.iter(|| {
+            let path = scratch("bench-amric-interp-par");
+            write_amric(
+                &path,
+                &h,
+                &AmricConfig::interp(spec.amric_rel_eb).with_workers(workers),
                 spec.blocking_factor,
             )
             .unwrap();

@@ -5,10 +5,10 @@
 //! the coarse/fine boundary vs far from it, at matched error bounds.
 
 use amr_mesh::prelude::*;
-use amric::config::{AmricConfig, MergePolicy};
+use amric::config::MergePolicy;
 use amric::pipeline::{compress_field_units, decompress_field_units};
 use amric::preprocess::{extract_units, plan_units};
-use amric_bench::{print_table, section3_nyx};
+use amric_bench::{amric_lr, print_table, section3_nyx};
 
 fn main() {
     let h = section3_nyx(64);
@@ -32,7 +32,7 @@ fn main() {
         ("Original SZ_L/R", MergePolicy::LinearMerge, false),
         ("AMRIC SZ_L/R", MergePolicy::SharedEncoding, true),
     ] {
-        let cfg = AmricConfig::lr(rel_eb)
+        let cfg = amric_lr(rel_eb)
             .with_merge(merge)
             .with_adaptive_block_size(adaptive);
         let stream = compress_field_units(&units, &cfg, 8);

@@ -5,7 +5,7 @@
 
 use amric::prelude::*;
 use amric::reader::{read_amric_hierarchy, read_baseline_hierarchy};
-use amric_bench::{print_table, scratch, table1_runs};
+use amric_bench::{amric_lr, print_table, scratch, table1_runs};
 use std::io::Write;
 
 fn dump_slice(path: &str, orig: &amr_mesh::MultiFab, recon: &amr_mesh::MultiFab, field: usize) {
@@ -63,7 +63,7 @@ fn main() {
         write_amric(
             &path,
             &h,
-            &AmricConfig::lr(spec.amric_rel_eb),
+            &amric_lr(spec.amric_rel_eb),
             spec.blocking_factor,
         )
         .unwrap();

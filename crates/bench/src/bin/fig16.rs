@@ -3,11 +3,10 @@
 //! Run1_Z10 Nyx export used in the paper (see README.md substitutions).
 
 use amr_mesh::IntVect;
-use amric::config::AmricConfig;
 use amric::pipeline::{compress_field_units, decompress_field_units, resolve_abs_eb};
 use amric::preprocess::{extract_units, plan_units};
 use amric::tac::{tac_compress, tac_decompress};
-use amric_bench::{f1, f2, print_table, rd_bounds, section3_nyx};
+use amric_bench::{amric_lr, f1, f2, print_table, rd_bounds, section3_nyx};
 use sz_codec::prelude::*;
 
 fn main() {
@@ -34,7 +33,7 @@ fn main() {
             .collect();
         let tac_stats = ErrorStats::compare(&orig, &tac_rec);
         // AMRIC (optimized SZ_L/R).
-        let cfg = AmricConfig::lr(rel_eb);
+        let cfg = amric_lr(rel_eb);
         let am_stream = compress_field_units(&units, &cfg, 16);
         let am_back = decompress_field_units(&am_stream).expect("amric decode");
         let am_rec: Vec<f64> = am_back

@@ -3,9 +3,10 @@
 //! (dense) levels of the §3 Nyx study.
 
 use amr_apps::level_stats;
-use amric::config::AmricConfig;
 use amric::pipeline::{compress_field_units, decompress_field_units};
-use amric_bench::{f1, f2, level_units, print_table, rate_point, rd_bounds, section3_nyx};
+use amric_bench::{
+    amric_interp, f1, f2, level_units, print_table, rate_point, rd_bounds, section3_nyx,
+};
 
 fn main() {
     let h = section3_nyx(64);
@@ -23,7 +24,7 @@ fn main() {
         let mut rows = Vec::new();
         for rel_eb in rd_bounds() {
             let point = |cluster: bool| {
-                let cfg = AmricConfig::interp(rel_eb).with_cluster_arrangement(cluster);
+                let cfg = amric_interp(rel_eb).with_cluster_arrangement(cluster);
                 rate_point(
                     &units,
                     |u| compress_field_units(u, &cfg, unit as usize),

@@ -4,9 +4,9 @@
 //! (CR, mean/max error, and error concentration at unit-block boundaries)
 //! and dumps a mid-plane error slice as CSV for plotting.
 
-use amric::config::{AmricConfig, MergePolicy};
+use amric::config::MergePolicy;
 use amric::pipeline::{compress_field_units, decompress_field_units};
-use amric_bench::{level_units, print_table, section3_nyx};
+use amric_bench::{amric_lr, level_units, print_table, section3_nyx};
 use std::io::Write;
 
 /// Mean absolute error, split into unit-boundary cells (any local
@@ -77,7 +77,7 @@ fn main() {
         ("LinearMerge", MergePolicy::LinearMerge),
         ("Unit SLE", MergePolicy::SharedEncoding),
     ] {
-        let cfg = AmricConfig::lr(rel_eb)
+        let cfg = amric_lr(rel_eb)
             .with_merge(merge)
             .with_adaptive_block_size(false);
         let stream = compress_field_units(&units, &cfg, 16);

@@ -3,9 +3,11 @@
 //! and 1-D compression — on the fine (unit 16) and coarse (unit 8) levels
 //! of the §3 Nyx study.
 
-use amric::config::{AmricConfig, MergePolicy};
+use amric::config::MergePolicy;
 use amric::pipeline::{compress_field_units, decompress_field_units, resolve_abs_eb};
-use amric_bench::{f1, f2, level_units, print_table, rate_point, rd_bounds, section3_nyx};
+use amric_bench::{
+    amric_lr, f1, f2, level_units, print_table, rate_point, rd_bounds, section3_nyx,
+};
 use sz_codec::prelude::*;
 
 /// AMReX-style 1-D compression of the units: flatten, cut into
@@ -35,7 +37,7 @@ fn main() {
         let mut rows = Vec::new();
         for rel_eb in rd_bounds() {
             let point = |merge: MergePolicy, adaptive: bool| {
-                let cfg = AmricConfig::lr(rel_eb)
+                let cfg = amric_lr(rel_eb)
                     .with_merge(merge)
                     .with_adaptive_block_size(adaptive);
                 rate_point(

@@ -3,9 +3,8 @@
 //! = 2 triggers the degenerate-residue problem). Numeric counterpart of
 //! the paper's error-slice visualization, plus a CSV slice dump.
 
-use amric::config::AmricConfig;
 use amric::pipeline::{compress_field_units, decompress_field_units};
-use amric_bench::{level_units, print_table, section3_nyx};
+use amric_bench::{amric_lr, level_units, print_table, section3_nyx};
 use std::io::Write;
 use sz_codec::prelude::*;
 
@@ -16,7 +15,7 @@ fn main() {
     let rel_eb = 4e-3;
     let mut rows = Vec::new();
     for (label, adaptive) in [("SLE (6³)", false), ("Adp-4 (4³)", true)] {
-        let cfg = AmricConfig::lr(rel_eb).with_adaptive_block_size(adaptive);
+        let cfg = amric_lr(rel_eb).with_adaptive_block_size(adaptive);
         let stream = compress_field_units(&units, &cfg, 8);
         let recon = decompress_field_units(&stream).expect("decode");
         let orig: Vec<f64> = units

@@ -1,0 +1,172 @@
+//! Overlap study: serial vs parallel end-to-end in-situ write on the
+//! Table-1 Nyx_1 run, sweeping the rank-local worker count. Prints the
+//! wall-clock table and emits `BENCH_io_pipeline.json` (serial and
+//! parallel series) for the trajectory tracker.
+//!
+//! The parallel path is byte-identical to serial (the determinism suite
+//! enforces it); this binary verifies the stored sizes agree on every
+//! run, then reports only wall-clock differences. On single-core hosts
+//! expect parity; the overlap win appears with real cores.
+
+use amric::prelude::*;
+use amric_bench::{default_workers, print_table, scratch, secs, table1_runs};
+use std::io::Write;
+use std::time::Instant;
+
+/// One measured series point.
+struct Point {
+    method: &'static str,
+    workers: usize,
+    ms_per_iter: f64,
+    stored_bytes: u64,
+}
+
+fn measure(
+    h: &amr_mesh::hierarchy::AmrHierarchy,
+    method: &'static str,
+    cfg: &AmricConfig,
+    bf: i64,
+    workers: usize,
+    iters: usize,
+) -> Point {
+    let cfg = cfg.with_workers(workers);
+    // Warm-up write (page cache, allocator) excluded from timing.
+    let warm = scratch(&format!("fig-overlap-warm-{method}-{workers}"));
+    let report = write_amric(&warm, h, &cfg, bf).expect("write");
+    let stored_bytes = report.stored_bytes;
+    std::fs::remove_file(&warm).ok();
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let path = scratch(&format!("fig-overlap-{method}-{workers}-{i}"));
+        let r = write_amric(&path, h, &cfg, bf).expect("write");
+        assert_eq!(
+            r.stored_bytes, stored_bytes,
+            "{method} workers={workers}: stored size varied across runs"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    Point {
+        method,
+        workers,
+        ms_per_iter: t0.elapsed().as_secs_f64() * 1000.0 / iters as f64,
+        stored_bytes,
+    }
+}
+
+fn main() {
+    let spec = table1_runs()
+        .into_iter()
+        .find(|s| s.name == "Nyx_1")
+        .expect("Nyx_1");
+    let h = spec.build(0.0);
+    let iters: usize = std::env::var("AMRIC_OVERLAP_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let max_workers = default_workers().max(4);
+    let mut sweep: Vec<usize> = vec![1, 2, 4];
+    if !sweep.contains(&max_workers) {
+        sweep.push(max_workers);
+    }
+
+    let mut points = Vec::new();
+    for &w in &sweep {
+        points.push(measure(
+            &h,
+            "amric_lr",
+            &AmricConfig::lr(spec.amric_rel_eb),
+            spec.blocking_factor,
+            w,
+            iters,
+        ));
+        points.push(measure(
+            &h,
+            "amric_interp",
+            &AmricConfig::interp(spec.amric_rel_eb),
+            spec.blocking_factor,
+            w,
+            iters,
+        ));
+    }
+
+    // Byte-identity across the sweep: same method ⇒ same stored size.
+    for m in ["amric_lr", "amric_interp"] {
+        let sizes: Vec<u64> = points
+            .iter()
+            .filter(|p| p.method == m)
+            .map(|p| p.stored_bytes)
+            .collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "{m}: stored bytes changed with worker count: {sizes:?}"
+        );
+    }
+
+    let serial_ms = |m: &str| {
+        points
+            .iter()
+            .find(|p| p.method == m && p.workers == 1)
+            .map(|p| p.ms_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.method.to_string(),
+                p.workers.to_string(),
+                secs(p.ms_per_iter / 1000.0),
+                format!("{:.2}x", serial_ms(p.method) / p.ms_per_iter),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Overlapped write path (Nyx_1, {} iters/point, {} cores available)",
+            iters,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        ),
+        &["method", "workers", "s/iter", "speedup vs serial"],
+        &rows,
+    );
+
+    // Trajectory file: hand-rolled JSON (no serde in-tree).
+    let mut json = String::from("{\n  \"bench\": \"io_pipeline\",\n  \"run\": \"Nyx_1\",\n");
+    json.push_str(&format!(
+        "  \"cores\": {},\n  \"iters_per_point\": {iters},\n  \"series\": [\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    for (i, p) in points.iter().enumerate() {
+        let mode = if p.workers == 1 { "serial" } else { "parallel" };
+        json.push_str(&format!(
+            "    {{\"method\": \"{}\", \"mode\": \"{mode}\", \"workers\": {}, \"ms_per_iter\": {:.3}, \"stored_bytes\": {}}}{}\n",
+            p.method,
+            p.workers,
+            p.ms_per_iter,
+            p.stored_bytes,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let speedup = |m: &str| {
+        let best = points
+            .iter()
+            .filter(|p| p.method == m && p.workers > 1)
+            .map(|p| serial_ms(m) / p.ms_per_iter)
+            .fold(f64::NAN, f64::max);
+        best
+    };
+    json.push_str(&format!(
+        "  \"best_parallel_speedup\": {{\"amric_lr\": {:.3}, \"amric_interp\": {:.3}}}\n}}\n",
+        speedup("amric_lr"),
+        speedup("amric_interp")
+    ));
+    let out = std::env::var("AMRIC_BENCH_OUT").unwrap_or_else(|_| "BENCH_io_pipeline.json".into());
+    let mut f = std::fs::File::create(&out).expect("create trajectory file");
+    f.write_all(json.as_bytes()).expect("write trajectory file");
+    println!("\nwrote {out}");
+}

@@ -158,6 +158,39 @@ impl RunSpec {
     }
 }
 
+/// Rank-local compression workers the harness defaults to: the
+/// `AMRIC_WORKERS` env var when set (workers=1 forces the serial
+/// reference path), otherwise every available core. Parallelism never
+/// changes compressed bytes — only wall-clock — so results stay
+/// comparable across machines.
+pub fn default_workers() -> usize {
+    std::env::var("AMRIC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// AMRIC(SZ_L/R) configuration with the harness-default write
+/// parallelism — what every figure/table binary should build instead of
+/// hardcoding the single-threaded preset, so writer-driven experiments
+/// pick up one consistent default. Note the `parallelism` field is read
+/// only by the in-situ writer (`write_amric` and friends); the offline
+/// unit-compression studies (`compress_field_units`) are single-stream
+/// and ignore it.
+pub fn amric_lr(rel_eb: f64) -> AmricConfig {
+    AmricConfig::lr(rel_eb).with_workers(default_workers())
+}
+
+/// AMRIC(SZ_Interp) configuration with the harness-default write
+/// parallelism (see [`amric_lr`] for which paths read it).
+pub fn amric_interp(rel_eb: f64) -> AmricConfig {
+    AmricConfig::interp(rel_eb).with_workers(default_workers())
+}
+
 /// A temp path under the OS temp dir, unique per (process, tag). The tag
 /// is sanitized (method labels contain '/' and parentheses).
 pub fn scratch(tag: &str) -> std::path::PathBuf {
@@ -310,10 +343,11 @@ pub fn evaluate_run(spec: &RunSpec, params: &rankpar::PfsParams) -> Vec<MethodRe
         });
         std::fs::remove_file(&path).ok();
     }
-    // AMRIC variants.
+    // AMRIC variants (harness-default parallelism; bytes are identical
+    // to serial, so CR/PSNR stay machine-independent).
     for (label, cfg) in [
-        ("AMRIC(SZ_L/R)", AmricConfig::lr(spec.amric_rel_eb)),
-        ("AMRIC(SZ_Interp)", AmricConfig::interp(spec.amric_rel_eb)),
+        ("AMRIC(SZ_L/R)", amric_lr(spec.amric_rel_eb)),
+        ("AMRIC(SZ_Interp)", amric_interp(spec.amric_rel_eb)),
     ] {
         let path = scratch(&format!("{}-{label}", spec.name));
         let report = write_amric(&path, &h, &cfg, spec.blocking_factor).expect("amric write");

@@ -11,7 +11,7 @@
 use crate::dataset::{ChunkRecord, DatasetMeta};
 use crate::error::{H5Error, H5Result};
 use crate::file::{encode_chunk, ChunkData, H5Writer};
-use crate::filter::{ChunkFilter, FilterMode};
+use crate::filter::{encode_frame, ChunkFilter, EncodedFrame, FilterMode};
 use rankpar::Communicator;
 
 /// Per-rank accounting of one collective write, in PFS-model units.
@@ -81,10 +81,44 @@ pub fn collective_write(
         });
     }
 
-    // Collective agreement before the records gather: a rank whose encode
-    // failed must not abandon its peers inside a barrier (the communicator
-    // has no timeout), so every rank first learns whether all succeeded
-    // and the whole collective fails together.
+    collective_finalize(
+        comm,
+        writer,
+        name,
+        my_records,
+        chunk_elems,
+        filter,
+        mode,
+        failure,
+        receipt,
+    )
+}
+
+/// The shared tail of every collective write: agree on success, gather
+/// chunk records in rank order, register the dataset on rank 0.
+///
+/// Public so callers that stream their frames to storage incrementally
+/// (the overlapped field writer) can commit the dataset once per rank
+/// from the records alone. Every rank must call this exactly once per
+/// dataset, in the same order; `failure: Some(_)` is the abort vote —
+/// the write never registers and every rank returns `Err`.
+///
+/// The agreement runs before the records gather so a rank whose encode
+/// failed must not abandon its peers inside a barrier (the communicator
+/// has no timeout): every rank first learns whether all succeeded and the
+/// whole collective fails together.
+#[allow(clippy::too_many_arguments)]
+pub fn collective_finalize(
+    comm: &Communicator,
+    writer: &H5Writer,
+    name: &str,
+    my_records: Vec<ChunkRecord>,
+    chunk_elems: usize,
+    filter: &dyn ChunkFilter,
+    mode: FilterMode,
+    failure: Option<H5Error>,
+    receipt: CollectiveReceipt,
+) -> H5Result<CollectiveReceipt> {
     let all_ok = comm.allgather(failure.is_none());
     if let Some(e) = failure {
         return Err(e);
@@ -95,7 +129,7 @@ pub fn collective_write(
         ));
     }
 
-    // 3. Gather chunk records in rank order; rank 0 registers the dataset.
+    // Gather chunk records in rank order; rank 0 registers the dataset.
     let all_records: Vec<Vec<(u64, u64, u64)>> = comm.allgather(
         my_records
             .iter()
@@ -125,6 +159,165 @@ pub fn collective_write(
     }
     comm.barrier();
     Ok(receipt)
+}
+
+/// Collectively write one dataset from **pre-encoded** frames — the write
+/// stage of the overlapped pipeline, where compression already happened
+/// on the pool workers.
+///
+/// `my_frames: None` signals that this rank failed to produce its frames
+/// (its compression error travels separately); the rank still
+/// participates in every collective step so peers abort in lockstep
+/// instead of deadlocking, and every rank returns `Err`.
+///
+/// Because all frame sizes are known up front, the rank's frames land in
+/// **one contiguous pre-reserved extent** (a single atomic reservation —
+/// the paper's one-pass write against its compress-then-rewrite
+/// two-pass).
+pub fn collective_write_frames(
+    comm: &Communicator,
+    writer: &H5Writer,
+    name: &str,
+    my_frames: Option<Vec<EncodedFrame>>,
+    chunk_elems: usize,
+    filter: &dyn ChunkFilter,
+    mode: FilterMode,
+) -> H5Result<CollectiveReceipt> {
+    let mut receipt = CollectiveReceipt {
+        dataset_creates: 1,
+        ..Default::default()
+    };
+    let mut my_records = Vec::new();
+    let mut failure: Option<H5Error> = None;
+    match &my_frames {
+        Some(frames) => {
+            receipt.filter_calls = frames.len() as u64;
+            receipt.encode_seconds = frames.iter().map(|f| f.encode_seconds).sum();
+            let plan = writer.reserve_extent(frames.iter().map(|f| f.bytes.len() as u64));
+            for (frame, &offset) in frames.iter().zip(&plan.offsets) {
+                if let Err(e) = writer.write_at(offset, &frame.bytes) {
+                    failure = Some(e);
+                    break;
+                }
+                receipt.write_calls += 1;
+                receipt.bytes_written += frame.bytes.len() as u64;
+                my_records.push(ChunkRecord {
+                    offset,
+                    stored_bytes: frame.bytes.len() as u64,
+                    logical_elems: frame.logical_elems,
+                });
+            }
+        }
+        None => {
+            failure = Some(H5Error::Format(
+                "collective write aborted: this rank failed to encode its frames".into(),
+            ));
+        }
+    }
+    collective_finalize(
+        comm,
+        writer,
+        name,
+        my_records,
+        chunk_elems,
+        filter,
+        mode,
+        failure,
+        receipt,
+    )
+}
+
+/// Collectively write one dataset with the chunk compression running on a
+/// rank-local worker pool, overlapped with the writes: while batch `k`'s
+/// frames stream to storage (one pre-reserved extent per batch), the
+/// workers are already compressing batch `k + 1`. The reassembly window
+/// (2 batches) is the double buffer — and the backpressure bound on
+/// frames held in memory.
+///
+/// Output is byte-identical to [`collective_write`]: frames are encoded
+/// per chunk with the same filter and assembled in submission order.
+/// With `workers <= 1` this *is* [`collective_write`].
+#[allow(clippy::too_many_arguments)]
+pub fn collective_write_pipelined(
+    comm: &Communicator,
+    writer: &H5Writer,
+    name: &str,
+    my_chunks: &[ChunkData],
+    chunk_elems: usize,
+    filter: &dyn ChunkFilter,
+    mode: FilterMode,
+    workers: usize,
+) -> H5Result<CollectiveReceipt> {
+    if workers <= 1 {
+        return collective_write(comm, writer, name, my_chunks, chunk_elems, filter, mode);
+    }
+    let mut receipt = CollectiveReceipt {
+        dataset_creates: 1,
+        ..Default::default()
+    };
+    let mut my_records: Vec<ChunkRecord> = Vec::new();
+    let batch_size = workers.max(2);
+    let mut batch: Vec<EncodedFrame> = Vec::with_capacity(batch_size);
+
+    fn flush_batch(
+        writer: &H5Writer,
+        batch: &mut Vec<EncodedFrame>,
+        receipt: &mut CollectiveReceipt,
+        records: &mut Vec<ChunkRecord>,
+    ) -> H5Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let plan = writer.reserve_extent(batch.iter().map(|f| f.bytes.len() as u64));
+        for (frame, &offset) in batch.iter().zip(&plan.offsets) {
+            writer.write_at(offset, &frame.bytes)?;
+            receipt.write_calls += 1;
+            receipt.bytes_written += frame.bytes.len() as u64;
+            records.push(ChunkRecord {
+                offset,
+                stored_bytes: frame.bytes.len() as u64,
+                logical_elems: frame.logical_elems,
+            });
+        }
+        batch.clear();
+        Ok(())
+    }
+
+    let pool_result: Result<(), H5Error> = rankpar::pool::for_each_ordered(
+        my_chunks,
+        workers,
+        2 * batch_size,
+        Vec::new, // per-worker padding buffer
+        |pad: &mut Vec<f64>, _i, chunk| {
+            writer.count_filter_call();
+            encode_frame(chunk, chunk_elems, filter, mode, pad)
+        },
+        |_i, frame| {
+            receipt.filter_calls += 1;
+            receipt.encode_seconds += frame.encode_seconds;
+            batch.push(frame);
+            if batch.len() >= batch_size {
+                flush_batch(writer, &mut batch, &mut receipt, &mut my_records)
+            } else {
+                Ok(())
+            }
+        },
+    );
+    let failure = match pool_result {
+        Ok(()) => flush_batch(writer, &mut batch, &mut receipt, &mut my_records).err(),
+        Err(e) => Some(e),
+    };
+    collective_finalize(
+        comm,
+        writer,
+        name,
+        my_records,
+        chunk_elems,
+        filter,
+        mode,
+        failure,
+        receipt,
+    )
 }
 
 #[cfg(test)]
@@ -237,6 +430,158 @@ mod tests {
                 64,
                 &NoFilter,
                 FilterMode::Standard,
+            )
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert!(r.is_err(), "rank {rank} must see the collective failure");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipelined_write_matches_serial_bytes() {
+        // The overlapped path must store byte-identical chunks (offsets
+        // may differ; stored bytes and logical counts may not).
+        let chunk_data: Vec<Vec<f64>> = (0..13)
+            .map(|c| {
+                (0..192)
+                    .map(|i| ((c * 192 + i) as f64 * 0.013).sin() * (c + 1) as f64)
+                    .collect()
+            })
+            .collect();
+        let chunks: Vec<ChunkData> = chunk_data.into_iter().map(ChunkData::full).collect();
+        let f = SzFilter::one_dimensional(1e-3);
+        let write = |path: &std::path::Path, workers: usize| {
+            let writer = Arc::new(H5Writer::create(path).unwrap());
+            let w = Arc::clone(&writer);
+            let chunks = chunks.clone();
+            run_ranks(2, move |comm| {
+                collective_write_pipelined(
+                    &comm,
+                    &w,
+                    "d",
+                    &chunks,
+                    192,
+                    &f,
+                    FilterMode::SizeAware,
+                    workers,
+                )
+                .unwrap()
+            });
+            writer.finish().unwrap();
+        };
+        let p_serial = tmp("pipe-serial");
+        let p_par = tmp("pipe-par");
+        write(&p_serial, 1);
+        write(&p_par, 4);
+        let rs = H5Reader::open(&p_serial).unwrap();
+        let rp = H5Reader::open(&p_par).unwrap();
+        let (ms, mp) = (rs.meta("d").unwrap(), rp.meta("d").unwrap());
+        assert_eq!(ms.chunks.len(), mp.chunks.len());
+        for i in 0..ms.chunks.len() {
+            assert_eq!(
+                rs.read_chunk_raw("d", i).unwrap(),
+                rp.read_chunk_raw("d", i).unwrap(),
+                "chunk {i} bytes differ between serial and parallel"
+            );
+            assert_eq!(ms.chunks[i].logical_elems, mp.chunks[i].logical_elems);
+        }
+        assert_eq!(rs.read_dataset("d").unwrap(), rp.read_dataset("d").unwrap());
+        std::fs::remove_file(&p_serial).ok();
+        std::fs::remove_file(&p_par).ok();
+    }
+
+    #[test]
+    fn frames_path_writes_preencoded_chunks() {
+        let path = tmp("frames");
+        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let w = Arc::clone(&writer);
+        let receipts = run_ranks(2, move |comm| {
+            let rank = comm.rank();
+            let data: Vec<f64> = (0..64).map(|i| (rank * 100 + i) as f64).collect();
+            let f = NoFilter;
+            let frame = crate::filter::encode_frame(
+                &ChunkData::full(data),
+                64,
+                &f,
+                FilterMode::SizeAware,
+                &mut Vec::new(),
+            )
+            .unwrap();
+            collective_write_frames(
+                &comm,
+                &w,
+                "d",
+                Some(vec![frame]),
+                64,
+                &f,
+                FilterMode::SizeAware,
+            )
+            .unwrap()
+        });
+        writer.finish().unwrap();
+        for r in &receipts {
+            assert_eq!(r.filter_calls, 1);
+            assert_eq!(r.write_calls, 1);
+        }
+        let r = H5Reader::open(&path).unwrap();
+        let all = r.read_dataset("d").unwrap();
+        assert_eq!(all.len(), 128);
+        assert_eq!(all[64], 100.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn frames_path_none_aborts_all_ranks_without_deadlock() {
+        let path = tmp("frames-abort");
+        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let w = Arc::clone(&writer);
+        let results = run_ranks(3, move |comm| {
+            let frames = if comm.rank() == 1 {
+                None // this rank's compression "failed"
+            } else {
+                let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+                Some(vec![crate::filter::encode_frame(
+                    &ChunkData::full(data),
+                    16,
+                    &NoFilter,
+                    FilterMode::SizeAware,
+                    &mut Vec::new(),
+                )
+                .unwrap()])
+            };
+            collective_write_frames(&comm, &w, "d", frames, 16, &NoFilter, FilterMode::SizeAware)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert!(r.is_err(), "rank {rank} must see the abort");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipelined_failing_chunk_aborts_collective() {
+        // One rank's mid-batch chunk exceeds the chunk size: the pool must
+        // drain, and every rank must return Err.
+        let path = tmp("pipe-abort");
+        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let w = Arc::clone(&writer);
+        let results = run_ranks(2, move |comm| {
+            let mut chunks: Vec<ChunkData> = (0..8)
+                .map(|c| ChunkData::full((0..32).map(|i| (c * 32 + i) as f64).collect()))
+                .collect();
+            if comm.rank() == 1 {
+                // 64 > chunk size 32, injected mid-batch.
+                chunks[4] = ChunkData::full((0..64).map(|i| i as f64).collect());
+            }
+            collective_write_pipelined(
+                &comm,
+                &w,
+                "d",
+                &chunks,
+                32,
+                &NoFilter,
+                FilterMode::Standard,
+                4,
             )
         });
         for (rank, r) in results.iter().enumerate() {

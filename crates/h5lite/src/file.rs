@@ -88,6 +88,29 @@ impl H5Writer {
         self.cursor.fetch_add(bytes, Ordering::Relaxed)
     }
 
+    /// Reserve one contiguous extent for a batch of frames with known
+    /// sizes (the one-pass write of AMRIC §3.3: sizes are known before
+    /// any byte lands, so the whole batch costs a single atomic
+    /// reservation and lands contiguously). Returns the per-frame
+    /// absolute offsets.
+    pub fn reserve_extent(&self, sizes: impl IntoIterator<Item = u64>) -> crate::ExtentPlan {
+        let mut offsets = Vec::new();
+        let mut total = 0u64;
+        for s in sizes {
+            offsets.push(total);
+            total += s;
+        }
+        let base = self.reserve(total);
+        for o in &mut offsets {
+            *o += base;
+        }
+        crate::ExtentPlan {
+            base,
+            offsets,
+            total_bytes: total,
+        }
+    }
+
     /// Write raw bytes at a reserved offset.
     pub fn write_at(&self, offset: u64, bytes: &[u8]) -> H5Result<()> {
         self.file.write_all_at(bytes, offset)?;
@@ -229,37 +252,10 @@ pub(crate) fn encode_chunk(
     pad: &mut Vec<f64>,
     out: &mut Vec<u8>,
 ) -> H5Result<u64> {
-    if chunk.data.len() > chunk_elems {
-        return Err(H5Error::Format(format!(
-            "chunk holds {} elems, exceeds chunk size {chunk_elems}",
-            chunk.data.len()
-        )));
-    }
-    if chunk.logical > chunk.data.len() {
-        return Err(H5Error::Format(format!(
-            "chunk logical length {} exceeds its {} elems",
-            chunk.logical,
-            chunk.data.len()
-        )));
-    }
     out.clear();
-    match mode {
-        FilterMode::Standard => {
-            if chunk.data.len() == chunk_elems {
-                filter.encode_into(&chunk.data, out)?;
-            } else {
-                pad.clear();
-                pad.extend_from_slice(&chunk.data);
-                pad.resize(chunk_elems, 0.0);
-                filter.encode_into(pad, out)?;
-            }
-            Ok(chunk_elems as u64)
-        }
-        FilterMode::SizeAware => {
-            filter.encode_into(&chunk.data[..chunk.logical], out)?;
-            Ok(chunk.logical as u64)
-        }
-    }
+    let (data, logical) = crate::filter::staged_chunk(chunk, chunk_elems, mode, pad)?;
+    filter.encode_into(data, out)?;
+    Ok(logical)
 }
 
 /// Reader over a finished h5lite file.

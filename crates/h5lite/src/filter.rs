@@ -12,6 +12,7 @@
 //!   logical element count as metadata for decompression.
 
 use crate::error::{H5Error, H5Result};
+use crate::file::ChunkData;
 use sz_codec::prelude::*;
 use sz_codec::ErrorBound;
 
@@ -71,6 +72,80 @@ pub trait ChunkFilter: Send + Sync {
     }
     /// Decode to exactly `n_elems` values.
     fn decode(&self, bytes: &[u8], n_elems: usize) -> H5Result<Vec<f64>>;
+}
+
+/// One chunk's encoded bytes plus the metadata the collective write path
+/// records for it — the unit of work the parallel compression engine
+/// hands from workers to the ordered reassembly stage.
+#[derive(Clone, Debug)]
+pub struct EncodedFrame {
+    /// Filter output for this chunk.
+    pub bytes: Vec<u8>,
+    /// Meaningful element count the frame decodes to (chunk size in
+    /// standard mode, the actual data size in size-aware mode).
+    pub logical_elems: u64,
+    /// Seconds spent inside the filter encode for this frame.
+    pub encode_seconds: f64,
+}
+
+/// Resolve which values of `chunk` the filter may see under `mode`, and
+/// the logical element count to record. Standard mode zero-pads short
+/// chunks to `chunk_elems` (into the reusable `pad` buffer); size-aware
+/// mode exposes only the logical prefix. Shared by the serial encode path
+/// and the parallel frame encoders so mode semantics cannot drift.
+pub fn staged_chunk<'a>(
+    chunk: &'a ChunkData,
+    chunk_elems: usize,
+    mode: FilterMode,
+    pad: &'a mut Vec<f64>,
+) -> H5Result<(&'a [f64], u64)> {
+    if chunk.data.len() > chunk_elems {
+        return Err(H5Error::Format(format!(
+            "chunk holds {} elems, exceeds chunk size {chunk_elems}",
+            chunk.data.len()
+        )));
+    }
+    if chunk.logical > chunk.data.len() {
+        return Err(H5Error::Format(format!(
+            "chunk logical length {} exceeds its {} elems",
+            chunk.logical,
+            chunk.data.len()
+        )));
+    }
+    match mode {
+        FilterMode::Standard => {
+            if chunk.data.len() == chunk_elems {
+                Ok((&chunk.data, chunk_elems as u64))
+            } else {
+                pad.clear();
+                pad.extend_from_slice(&chunk.data);
+                pad.resize(chunk_elems, 0.0);
+                Ok((pad, chunk_elems as u64))
+            }
+        }
+        FilterMode::SizeAware => Ok((&chunk.data[..chunk.logical], chunk.logical as u64)),
+    }
+}
+
+/// Encode one chunk into an owned [`EncodedFrame`] — the job body of the
+/// chunk-level parallel write pipeline. `pad` is the worker's reusable
+/// padding buffer.
+pub fn encode_frame(
+    chunk: &ChunkData,
+    chunk_elems: usize,
+    filter: &dyn ChunkFilter,
+    mode: FilterMode,
+    pad: &mut Vec<f64>,
+) -> H5Result<EncodedFrame> {
+    let t0 = std::time::Instant::now();
+    let (data, logical_elems) = staged_chunk(chunk, chunk_elems, mode, pad)?;
+    let mut bytes = Vec::new();
+    filter.encode_into(data, &mut bytes)?;
+    Ok(EncodedFrame {
+        bytes,
+        logical_elems,
+        encode_seconds: t0.elapsed().as_secs_f64(),
+    })
 }
 
 /// Identity filter: raw little-endian f64 bytes.

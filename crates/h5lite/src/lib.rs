@@ -32,16 +32,21 @@ pub mod error;
 pub mod file;
 pub mod filter;
 
-pub use dataset::{ChunkRecord, DatasetMeta};
+pub use dataset::{ChunkRecord, DatasetMeta, ExtentPlan};
 pub use error::{H5Error, H5Result};
 pub use file::{ChunkData, H5Reader, H5Writer, WriteStats};
-pub use filter::{ChunkFilter, FilterMode, NoFilter, SzFilter};
+pub use filter::{ChunkFilter, EncodedFrame, FilterMode, NoFilter, SzFilter};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::collective::{collective_write, CollectiveReceipt};
-    pub use crate::dataset::{ChunkRecord, DatasetMeta};
+    pub use crate::collective::{
+        collective_finalize, collective_write, collective_write_frames, collective_write_pipelined,
+        CollectiveReceipt,
+    };
+    pub use crate::dataset::{ChunkRecord, DatasetMeta, ExtentPlan};
     pub use crate::error::{H5Error, H5Result};
     pub use crate::file::{ChunkData, H5Reader, H5Writer, WriteStats};
-    pub use crate::filter::{ChunkFilter, FilterMode, NoFilter, SzFilter};
+    pub use crate::filter::{
+        encode_frame, staged_chunk, ChunkFilter, EncodedFrame, FilterMode, NoFilter, SzFilter,
+    };
 }
