@@ -1,0 +1,273 @@
+//! Sharded, byte-bounded LRU cache of decompressed chunks.
+//!
+//! Decoding a chunk costs a full SZ decompression; analysis workloads
+//! (pan a region of interest, step through neighboring slices) hit the
+//! same chunks over and over. The cache sits between the query planner
+//! and the codecs so repeated or overlapping queries served from one
+//! process pay the decode once.
+//!
+//! Design:
+//!
+//! * **Sharded** — keys hash onto independently-locked shards, so
+//!   prefetch workers inserting different chunks never contend on one
+//!   lock.
+//! * **Byte-bounded** — the budget is split evenly across shards; an
+//!   insert evicts that shard's least-recently-used entries until the
+//!   newcomer fits. The newest entry of a shard is never evicted by its
+//!   own insert, so a single chunk larger than a shard's budget still
+//!   caches (and is first out on the next insert).
+//! * **Shared values** — entries are `Arc`ed unit-block vectors: eviction
+//!   never invalidates data a query is still assembling from.
+//! * **Counted** — hits, misses, insertions, and evictions are tracked
+//!   for the stats surface ([`CacheStats`]).
+
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use sz_codec::Buffer3;
+
+/// Cache key: `(level, field, chunk position)` of a field dataset's
+/// chunk (chunk position = writing rank in AMRIC plotfiles).
+pub type ChunkKey = (usize, usize, usize);
+
+/// A cached decoded chunk: the unit blocks of one rank's chunk, in plan
+/// order.
+pub type CachedChunk = Arc<Vec<Buffer3>>;
+
+/// Snapshot of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a decode.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: u64,
+    /// Configured budget in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: CachedChunk,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<ChunkKey, Entry>,
+    bytes: u64,
+}
+
+/// The sharded LRU itself. All methods take `&self`; the cache is shared
+/// by the prefetch workers.
+pub struct ChunkCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: u64,
+    capacity: u64,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Shard count: enough to keep a handful of prefetch workers off each
+/// other's locks without fragmenting small budgets.
+const SHARDS: usize = 8;
+
+/// Approximate resident size of a decoded chunk (unit payloads dominate;
+/// the accounting ignores per-`Buffer3` header overhead).
+pub fn chunk_bytes(units: &[Buffer3]) -> u64 {
+    units.iter().map(|u| u.dims().len() as u64 * 8).sum()
+}
+
+impl ChunkCache {
+    /// Cache bounded by `max_bytes` of decoded data (split evenly across
+    /// the shards).
+    pub fn new(max_bytes: u64) -> Self {
+        ChunkCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: max_bytes / SHARDS as u64,
+            capacity: max_bytes,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &ChunkKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look a chunk up, refreshing its recency on a hit.
+    pub fn get(&self, key: &ChunkKey) -> Option<CachedChunk> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(key).lock();
+        match shard.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a decoded chunk, evicting the shard's least-recently-used
+    /// entries until it fits (the newcomer itself is never evicted by its
+    /// own insert). Re-inserting an existing key refreshes it.
+    pub fn insert(&self, key: ChunkKey, value: CachedChunk) {
+        let bytes = chunk_bytes(&value);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(&key).lock();
+        if let Some(old) = shard.entries.remove(&key) {
+            shard.bytes -= old.bytes;
+        }
+        while shard.bytes + bytes > self.shard_capacity && !shard.entries.is_empty() {
+            let victim = *shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+                .expect("non-empty shard");
+            let evicted = shard.entries.remove(&victim).expect("victim present");
+            shard.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.bytes += bytes;
+        shard.entries.insert(
+            key,
+            Entry {
+                value,
+                bytes,
+                last_used: stamp,
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.shards.iter().map(|s| s.lock().bytes).sum(),
+            capacity_bytes: self.capacity,
+        }
+    }
+
+    /// Drop every entry (counters survive).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock();
+            s.entries.clear();
+            s.bytes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sz_codec::Dims3;
+
+    fn chunk(cells: usize, tag: f64) -> CachedChunk {
+        Arc::new(vec![Buffer3::from_vec(
+            Dims3::new(cells, 1, 1),
+            vec![tag; cells],
+        )])
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = ChunkCache::new(1 << 20);
+        assert!(c.get(&(0, 0, 0)).is_none());
+        c.insert((0, 0, 0), chunk(16, 1.0));
+        let v = c.get(&(0, 0, 0)).expect("hit");
+        assert_eq!(v[0].data()[0], 1.0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.resident_bytes, 16 * 8);
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        // One shard's budget holds two 64-cell chunks; pin every key to
+        // the same shard by brute-force search.
+        let c = ChunkCache::new((64 * 8 * 2) * SHARDS as u64);
+        let shard_of = |key: &ChunkKey| {
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            (h.finish() as usize) % SHARDS
+        };
+        let keys: Vec<ChunkKey> = (0..1000usize)
+            .map(|i| (i, 0, 0))
+            .filter(|k| shard_of(k) == 0)
+            .take(3)
+            .collect();
+        assert_eq!(keys.len(), 3);
+        c.insert(keys[0], chunk(64, 0.0));
+        c.insert(keys[1], chunk(64, 1.0));
+        // Touch keys[0] so keys[1] is the LRU when keys[2] arrives.
+        assert!(c.get(&keys[0]).is_some());
+        c.insert(keys[2], chunk(64, 2.0));
+        assert!(c.get(&keys[0]).is_some(), "recently used entry survives");
+        assert!(c.get(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(c.get(&keys[2]).is_some(), "newcomer resident");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_still_caches() {
+        let c = ChunkCache::new(64); // 8 bytes per shard
+        c.insert((0, 0, 0), chunk(100, 3.0));
+        assert!(c.get(&(0, 0, 0)).is_some());
+        // The next insert into the same shard evicts it.
+        let s = c.stats();
+        assert_eq!(s.insertions, 1);
+        assert!(s.resident_bytes > 64);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let c = ChunkCache::new(1 << 20);
+        c.insert((1, 2, 3), chunk(8, 0.5));
+        assert!(c.get(&(1, 2, 3)).is_some());
+        c.clear();
+        assert!(c.get(&(1, 2, 3)).is_none());
+        let s = c.stats();
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.hits, 1);
+    }
+}

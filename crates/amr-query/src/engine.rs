@@ -1,0 +1,576 @@
+//! [`QueryEngine`]: answer spatial/level queries against an AMRIC
+//! plotfile by touching only the chunks that intersect the query.
+//!
+//! # How a query resolves
+//!
+//! 1. **Plan** — the engine reconstructs every rank's unit decomposition
+//!    from the plotfile metadata ([`amric::reader::PlotfileMeta`]), the
+//!    same way the writer's pre-process planned it. The persistent chunk
+//!    index (chunk → codec id + extent bounding box) prunes whole chunks
+//!    by rectangle intersection; the unit plan then gives the exact cell
+//!    layout inside each surviving chunk. Legacy files without an index
+//!    fall back to a scan: codec ids are sniffed from the stored chunk
+//!    envelopes and extents re-derived from the unit plans.
+//! 2. **Fetch** — needed chunks are looked up in the sharded
+//!    decompressed-chunk cache; misses fan out over a `rankpar` worker
+//!    pool (read raw bytes into per-worker scratch, decompress through
+//!    the self-describing stream) with ordered reassembly, so cold reads
+//!    scale with cores like the write path does.
+//! 3. **Assemble** — decoded unit blocks intersecting the query region
+//!    are copied into the result buffer. Cells no unit covers (outside
+//!    every grid, or removed as fine-covered redundancy at write time)
+//!    stay zero — exactly what a full [`amric::reader::read_amric_hierarchy`]
+//!    decode leaves there, so partial and full reads are bitwise
+//!    interchangeable (the equivalence suite enforces it).
+
+use crate::cache::{CacheStats, CachedChunk, ChunkCache, ChunkKey};
+use crate::error::{QueryError, QueryResult};
+use amr_mesh::prelude::*;
+use amric::pipeline::decompress_field_units;
+use amric::preprocess::{plan_bounding_box, UnitRef};
+use amric::reader::{read_plotfile_meta, PlotfileMeta};
+use amric::writer::field_dataset;
+use h5lite::index::ChunkIndexEntry;
+use h5lite::prelude::*;
+use std::sync::Arc;
+use sz_codec::{Buffer3, Dims3};
+
+/// A rectangular region of interest in index space (alias of the mesh
+/// crate's inclusive [`IntBox`]).
+pub type Box3 = IntBox;
+
+/// Which AMR levels a query covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LevelSelect {
+    /// Every level in the file.
+    All,
+    /// One level.
+    Level(usize),
+    /// An inclusive level range `lo..=hi`.
+    Range(usize, usize),
+    /// Only the finest level.
+    Finest,
+}
+
+impl LevelSelect {
+    /// Resolve to concrete level numbers, validating against the file.
+    pub fn resolve(self, num_levels: usize) -> QueryResult<Vec<usize>> {
+        let check = |l: usize| {
+            if l < num_levels {
+                Ok(l)
+            } else {
+                Err(QueryError::BadQuery(format!(
+                    "level {l} out of range (file has {num_levels} levels)"
+                )))
+            }
+        };
+        Ok(match self {
+            LevelSelect::All => (0..num_levels).collect(),
+            LevelSelect::Level(l) => vec![check(l)?],
+            LevelSelect::Range(lo, hi) => {
+                if lo > hi {
+                    return Err(QueryError::BadQuery(format!(
+                        "level range {lo}..={hi} is empty"
+                    )));
+                }
+                (check(lo)?..=check(hi)?).collect()
+            }
+            LevelSelect::Finest => vec![num_levels
+                .checked_sub(1)
+                .ok_or_else(|| QueryError::BadQuery("file has no levels".into()))?],
+        })
+    }
+}
+
+/// One level's slice of a query result.
+#[derive(Clone, Debug)]
+pub struct LevelRegion {
+    /// Which level the data came from.
+    pub level: usize,
+    /// The queried region in the level's own index space (the ROI refined
+    /// to the level and clipped to its domain).
+    pub region: IntBox,
+    /// Values over `region` in Fortran order. Cells no unit covers are
+    /// zero (same convention as the full decode).
+    pub data: Buffer3,
+}
+
+impl LevelRegion {
+    /// Value at a point given in the level's index space (`None` outside
+    /// the region).
+    pub fn value_at(&self, p: &IntVect) -> Option<f64> {
+        if !self.region.contains(p) {
+            return None;
+        }
+        let d = p.get(0) - self.region.lo.get(0);
+        let e = p.get(1) - self.region.lo.get(1);
+        let g = p.get(2) - self.region.lo.get(2);
+        Some(self.data.get(d as usize, e as usize, g as usize))
+    }
+}
+
+/// Result of a region-of-interest query: one [`LevelRegion`] per selected
+/// level that intersects the ROI, coarsest first.
+#[derive(Clone, Debug)]
+pub struct RegionView {
+    /// Queried field (component index).
+    pub field: usize,
+    /// Queried field name.
+    pub field_name: String,
+    /// Per-level slices.
+    pub levels: Vec<LevelRegion>,
+}
+
+impl RegionView {
+    /// The slice for one level, if it intersected the ROI.
+    pub fn level(&self, level: usize) -> Option<&LevelRegion> {
+        self.levels.iter().find(|l| l.level == level)
+    }
+}
+
+/// Result of a point sample: the value at the finest level whose valid
+/// (non-redundant) data covers the point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointSample {
+    /// Level that answered.
+    pub level: usize,
+    /// The sampled cell in that level's index space.
+    pub cell: IntVect,
+    /// The decoded value.
+    pub value: f64,
+}
+
+/// Per-level planning state: the reconstructed unit plans and the chunk
+/// extents used for pruning.
+struct LevelPlan {
+    /// `[rank] -> units`, in chunk layout order.
+    plans: Vec<Vec<UnitRef>>,
+    /// One pruning entry per chunk (persisted index, or re-derived for
+    /// legacy files).
+    extents: Vec<ChunkIndexEntry>,
+}
+
+/// Default cache budget: 256 MiB of decoded chunks.
+const DEFAULT_CACHE_BYTES: u64 = 256 << 20;
+
+/// Random-access reader over one AMRIC plotfile.
+pub struct QueryEngine {
+    reader: H5Reader,
+    meta: PlotfileMeta,
+    levels: Vec<LevelPlan>,
+    /// Whether the file carried a persistent chunk index (false = legacy
+    /// fallback scan).
+    indexed: bool,
+    cache: ChunkCache,
+    workers: usize,
+}
+
+impl QueryEngine {
+    /// Open a plotfile and build the query plans from its metadata. No
+    /// field data is read or decoded here.
+    pub fn open(path: impl AsRef<std::path::Path>) -> QueryResult<Self> {
+        let reader = H5Reader::open(path)?;
+        let meta = read_plotfile_meta(&reader)?;
+        if meta.bf <= 0 {
+            return Err(QueryError::BadQuery(
+                "not an AMRIC plotfile (no blocking factor recorded; \
+                 baseline/no-compression files have no unit layout to query)"
+                    .into(),
+            ));
+        }
+        if meta.num_levels() == 0 {
+            return Err(QueryError::Inconsistent(
+                "plotfile header records zero AMR levels".into(),
+            ));
+        }
+        let mut levels = Vec::with_capacity(meta.num_levels());
+        let mut indexed = true;
+        for l in 0..meta.num_levels() {
+            let plans: Vec<Vec<UnitRef>> = (0..meta.nranks).map(|r| meta.unit_plan(l, r)).collect();
+            // All fields of a level share one layout; dataset 0 speaks for
+            // the level. Chunk count must be 0 (nothing kept) or nranks.
+            let name = field_dataset(l, 0);
+            let dmeta = reader.meta(&name).map_err(|e| match e {
+                H5Error::NotFound(n) => {
+                    QueryError::BadQuery(format!("not an AMRIC plotfile (missing dataset {n})"))
+                }
+                other => QueryError::H5(other),
+            })?;
+            let nchunks = dmeta.chunks.len();
+            if nchunks != 0 && nchunks != meta.nranks {
+                return Err(QueryError::Inconsistent(format!(
+                    "{name}: {nchunks} chunks for {} ranks",
+                    meta.nranks
+                )));
+            }
+            let extents = match reader.chunk_index(&name)? {
+                Some(idx) => idx.entries.clone(),
+                None => {
+                    // Legacy file: sniff codec ids from the stored chunk
+                    // envelopes, re-derive extents from the unit plans.
+                    indexed = false;
+                    let scanned = reader.scan_chunk_index(&name)?;
+                    scanned
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, e)| ChunkIndexEntry {
+                            codec_id: e.codec_id,
+                            extent: plan_bounding_box(&plans[rank]),
+                        })
+                        .collect()
+                }
+            };
+            levels.push(LevelPlan { plans, extents });
+        }
+        Ok(QueryEngine {
+            reader,
+            meta,
+            levels,
+            indexed,
+            cache: ChunkCache::new(DEFAULT_CACHE_BYTES),
+            workers: 1,
+        })
+    }
+
+    /// Set the prefetch worker count (`n <= 1` fetches serially). Decoded
+    /// results are bitwise-identical for every worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Replace the decompressed-chunk cache with an empty one bounded by
+    /// `max_bytes`.
+    pub fn with_cache_bytes(mut self, max_bytes: u64) -> Self {
+        self.cache = ChunkCache::new(max_bytes);
+        self
+    }
+
+    /// The plotfile's structural metadata.
+    pub fn meta(&self) -> &PlotfileMeta {
+        &self.meta
+    }
+
+    /// Did the file carry a persistent chunk index (`false` = answered
+    /// through the legacy fallback scan)?
+    pub fn has_persistent_index(&self) -> bool {
+        self.indexed
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached chunks (for cold-read measurements).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
+    }
+
+    /// Component index of a named field.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.meta.field_names.iter().position(|n| n == name)
+    }
+
+    fn check_field(&self, field: usize) -> QueryResult<()> {
+        if field < self.meta.field_names.len() {
+            Ok(())
+        } else {
+            Err(QueryError::BadQuery(format!(
+                "field {field} out of range (file has {} fields)",
+                self.meta.field_names.len()
+            )))
+        }
+    }
+
+    /// Answer a region-of-interest query. `roi` is given in **level-0
+    /// (coarsest) index space** and is refined to each selected level;
+    /// levels whose refined ROI misses their domain are omitted from the
+    /// result. Only chunks whose indexed extent intersects the refined
+    /// ROI are read and decoded.
+    pub fn roi(&self, field: usize, roi: Box3, select: LevelSelect) -> QueryResult<RegionView> {
+        self.check_field(field)?;
+        let selected = select.resolve(self.meta.num_levels())?;
+        // Refine + clip per level, then plan the minimal chunk set across
+        // all levels so one prefetch fan-out covers the whole query.
+        let mut regions: Vec<(usize, IntBox)> = Vec::new();
+        for &l in &selected {
+            let refined = roi.refined(self.meta.refine_factor(l));
+            if let Some(clipped) = refined.intersection(&self.meta.levels[l].domain) {
+                regions.push((l, clipped));
+            }
+        }
+        let mut requests: Vec<ChunkKey> = Vec::new();
+        for &(l, region) in &regions {
+            for rank in self.chunks_for_region(l, &region) {
+                requests.push((l, field, rank));
+            }
+        }
+        let fetched = self.fetch(&requests)?;
+        let mut levels = Vec::with_capacity(regions.len());
+        for &(l, region) in &regions {
+            let sz = region.size();
+            let mut out = Buffer3::zeros(Dims3::new(
+                sz.get(0) as usize,
+                sz.get(1) as usize,
+                sz.get(2) as usize,
+            ));
+            for (key, units) in requests.iter().zip(&fetched) {
+                if key.0 != l {
+                    continue;
+                }
+                self.paste_units(&self.levels[l].plans[key.2], units, &region, &mut out)?;
+            }
+            levels.push(LevelRegion {
+                level: l,
+                region,
+                data: out,
+            });
+        }
+        Ok(RegionView {
+            field,
+            field_name: self.meta.field_names[field].clone(),
+            levels,
+        })
+    }
+
+    /// Extract one rectangular region at one specific level (`region` in
+    /// that level's index space, clipped to its domain).
+    pub fn level_region(
+        &self,
+        field: usize,
+        level: usize,
+        region: Box3,
+    ) -> QueryResult<LevelRegion> {
+        self.check_field(field)?;
+        if level >= self.meta.num_levels() {
+            return Err(QueryError::BadQuery(format!(
+                "level {level} out of range (file has {} levels)",
+                self.meta.num_levels()
+            )));
+        }
+        let clipped = region
+            .intersection(&self.meta.levels[level].domain)
+            .ok_or_else(|| {
+                QueryError::BadQuery(format!(
+                    "region {region:?} misses level {level}'s domain {:?}",
+                    self.meta.levels[level].domain
+                ))
+            })?;
+        let requests: Vec<ChunkKey> = self
+            .chunks_for_region(level, &clipped)
+            .into_iter()
+            .map(|rank| (level, field, rank))
+            .collect();
+        let fetched = self.fetch(&requests)?;
+        let sz = clipped.size();
+        let mut out = Buffer3::zeros(Dims3::new(
+            sz.get(0) as usize,
+            sz.get(1) as usize,
+            sz.get(2) as usize,
+        ));
+        for (key, units) in requests.iter().zip(&fetched) {
+            self.paste_units(&self.levels[level].plans[key.2], units, &clipped, &mut out)?;
+        }
+        Ok(LevelRegion {
+            level,
+            region: clipped,
+            data: out,
+        })
+    }
+
+    /// Full-domain plane slice at one level: `axis` (0 = x, 1 = y,
+    /// 2 = z) pinned to `coord` in the level's index space.
+    pub fn plane_slice(
+        &self,
+        field: usize,
+        level: usize,
+        axis: usize,
+        coord: i64,
+    ) -> QueryResult<LevelRegion> {
+        if axis >= 3 {
+            return Err(QueryError::BadQuery(format!("axis {axis} out of range")));
+        }
+        if level >= self.meta.num_levels() {
+            return Err(QueryError::BadQuery(format!(
+                "level {level} out of range (file has {} levels)",
+                self.meta.num_levels()
+            )));
+        }
+        let domain = self.meta.levels[level].domain;
+        if coord < domain.lo.get(axis) || coord > domain.hi.get(axis) {
+            return Err(QueryError::BadQuery(format!(
+                "plane {coord} outside level {level}'s domain along axis {axis}"
+            )));
+        }
+        let mut lo = domain.lo;
+        let mut hi = domain.hi;
+        lo.0[axis] = coord;
+        hi.0[axis] = coord;
+        self.level_region(field, level, IntBox::new(lo, hi))
+    }
+
+    /// Sample the value at a cell given in **finest-level index space**,
+    /// answered by the finest level whose valid (non-redundant) data
+    /// covers the cell. `Ok(None)` when no level holds the cell.
+    pub fn point_sample(&self, field: usize, p: IntVect) -> QueryResult<Option<PointSample>> {
+        self.check_field(field)?;
+        let n = self.meta.num_levels();
+        let finest_factor = self.meta.refine_factor(n - 1);
+        for l in (0..n).rev() {
+            let down = finest_factor / self.meta.refine_factor(l);
+            let cell = p.coarsened(down);
+            if !self.meta.levels[l].domain.contains(&cell) {
+                continue;
+            }
+            let lp = &self.levels[l];
+            let probe = [cell.get(0), cell.get(1), cell.get(2)];
+            for (rank, plan) in lp.plans.iter().enumerate() {
+                if !lp
+                    .extents
+                    .get(rank)
+                    .map(|e| e.intersects(probe, probe))
+                    .unwrap_or(false)
+                {
+                    continue;
+                }
+                if let Some(ui) = plan.iter().position(|u| u.region.contains(&cell)) {
+                    let units = self
+                        .fetch(std::slice::from_ref(&(l, field, rank)))?
+                        .pop()
+                        .expect("one request, one chunk");
+                    let u = &plan[ui];
+                    let buf = &units[ui];
+                    let d = (cell.get(0) - u.region.lo.get(0)) as usize;
+                    let e = (cell.get(1) - u.region.lo.get(1)) as usize;
+                    let g = (cell.get(2) - u.region.lo.get(2)) as usize;
+                    return Ok(Some(PointSample {
+                        level: l,
+                        cell,
+                        value: buf.get(d, e, g),
+                    }));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Chunk positions (= ranks) of a level whose indexed extent
+    /// intersects `region`, refined by an exact unit-plan check.
+    fn chunks_for_region(&self, level: usize, region: &IntBox) -> Vec<usize> {
+        let lp = &self.levels[level];
+        let lo = [region.lo.get(0), region.lo.get(1), region.lo.get(2)];
+        let hi = [region.hi.get(0), region.hi.get(1), region.hi.get(2)];
+        (0..lp.extents.len())
+            .filter(|&rank| lp.extents[rank].intersects(lo, hi))
+            .filter(|&rank| lp.plans[rank].iter().any(|u| u.region.intersects(region)))
+            .collect()
+    }
+
+    /// Fetch the requested chunks, serving from the cache and decoding
+    /// misses on the worker pool (ordered reassembly; per-worker byte
+    /// scratch). Returns decoded chunks aligned with `requests`.
+    fn fetch(&self, requests: &[ChunkKey]) -> QueryResult<Vec<CachedChunk>> {
+        let mut out: Vec<Option<CachedChunk>> = Vec::with_capacity(requests.len());
+        let mut missing: Vec<(usize, ChunkKey)> = Vec::new();
+        for (i, key) in requests.iter().enumerate() {
+            match self.cache.get(key) {
+                Some(v) => out.push(Some(v)),
+                None => {
+                    out.push(None);
+                    missing.push((i, *key));
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let mut decoded: Vec<(usize, CachedChunk)> = Vec::with_capacity(missing.len());
+            let pool_result: Result<(), QueryError> = rankpar::pool::for_each_ordered(
+                &missing,
+                self.workers.min(missing.len()),
+                (2 * self.workers).max(2),
+                Vec::new, // per-worker raw-byte scratch
+                |buf: &mut Vec<u8>, _j, &(slot, (level, field, rank))| {
+                    let name = field_dataset(level, field);
+                    self.reader.read_chunk_raw_into(&name, rank, buf)?;
+                    let units = decompress_field_units(buf)?;
+                    self.validate_chunk(level, rank, &units)?;
+                    Ok((slot, Arc::new(units)))
+                },
+                |_j, (slot, value): (usize, CachedChunk)| {
+                    decoded.push((slot, value));
+                    Ok(())
+                },
+            );
+            pool_result?;
+            for (slot, value) in decoded {
+                let key = requests[slot];
+                self.cache.insert(key, Arc::clone(&value));
+                out[slot] = Some(value);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("every request resolved"))
+            .collect())
+    }
+
+    /// A decoded chunk must match the reconstructed plan exactly — unit
+    /// count and per-unit shapes — or the file contradicts itself.
+    fn validate_chunk(&self, level: usize, rank: usize, units: &[Buffer3]) -> QueryResult<()> {
+        let plan = &self.levels[level].plans[rank];
+        if units.len() != plan.len() {
+            return Err(QueryError::Inconsistent(format!(
+                "level {level} rank {rank}: chunk decoded {} units, plan expects {}",
+                units.len(),
+                plan.len()
+            )));
+        }
+        for (u, b) in plan.iter().zip(units) {
+            let sz = u.region.size();
+            let want = Dims3::new(sz.get(0) as usize, sz.get(1) as usize, sz.get(2) as usize);
+            if b.dims() != want {
+                return Err(QueryError::Inconsistent(format!(
+                    "level {level} rank {rank}: unit at {:?} decoded {:?}, expected {want:?}",
+                    u.region,
+                    b.dims()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy every unit's overlap with `region` into `out` (x-runs, same
+    /// traversal as the full decode's scatter).
+    fn paste_units(
+        &self,
+        plan: &[UnitRef],
+        units: &[Buffer3],
+        region: &IntBox,
+        out: &mut Buffer3,
+    ) -> QueryResult<()> {
+        let out_dims = out.dims();
+        for (u, buf) in plan.iter().zip(units) {
+            let Some(overlap) = u.region.intersection(region) else {
+                continue;
+            };
+            let run = overlap.size().get(0) as usize;
+            for z in overlap.lo.get(2)..=overlap.hi.get(2) {
+                for y in overlap.lo.get(1)..=overlap.hi.get(1) {
+                    let src = buf.dims().idx(
+                        (overlap.lo.get(0) - u.region.lo.get(0)) as usize,
+                        (y - u.region.lo.get(1)) as usize,
+                        (z - u.region.lo.get(2)) as usize,
+                    );
+                    let dst = out_dims.idx(
+                        (overlap.lo.get(0) - region.lo.get(0)) as usize,
+                        (y - region.lo.get(1)) as usize,
+                        (z - region.lo.get(2)) as usize,
+                    );
+                    out.data_mut()[dst..dst + run].copy_from_slice(&buf.data()[src..src + run]);
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -4,6 +4,7 @@
 //! amric_inspect <file.h5l>              # dataset table + totals
 //! amric_inspect <file.h5l> --chunks     # per-chunk detail
 //! amric_inspect <file.h5l> --header     # decoded AMR header/box metadata
+//! amric_inspect <file.h5l> --index      # chunk index + per-level ratios
 //! ```
 
 use h5lite::prelude::*;
@@ -78,6 +79,94 @@ fn print_datasets(r: &H5Reader, chunks: bool) {
     );
 }
 
+fn codec_name(id: u32) -> String {
+    if id == CODEC_RAW {
+        return "raw".into();
+    }
+    u16::try_from(id)
+        .ok()
+        .and_then(sz_codec::codec::CodecId::from_u16)
+        .map(|c| c.name().to_string())
+        .unwrap_or_else(|| format!("#{id}"))
+}
+
+/// Dump every dataset's chunk index (persistent when the writer stored
+/// one, otherwise the legacy fallback scan) plus a per-level compression
+/// summary.
+fn print_index(r: &H5Reader) {
+    println!(
+        "{:<28} {:>5} {:>10} {:>10} {:>10} {:>12} {:>7}  extent",
+        "dataset", "chunk", "offset", "stored", "logical", "codec", "source"
+    );
+    for name in r.dataset_names() {
+        let m = r.meta(name).expect("listed dataset");
+        let (index, source) = match r.chunk_index(name) {
+            Ok(Some(idx)) => (idx.clone(), "index"),
+            _ => match r.scan_chunk_index(name) {
+                Ok(idx) => (idx, "scan"),
+                Err(e) => {
+                    println!("{name:<28} <unreadable: {e}>");
+                    continue;
+                }
+            },
+        };
+        for (i, (rec, e)) in m.chunks.iter().zip(&index.entries).enumerate() {
+            let extent = match e.extent {
+                Some((lo, hi)) => format!(
+                    "[{},{},{}]..[{},{},{}]",
+                    lo[0], lo[1], lo[2], hi[0], hi[1], hi[2]
+                ),
+                None => "-".into(),
+            };
+            println!(
+                "{:<28} {:>5} {:>10} {:>10} {:>10} {:>12} {:>7}  {}",
+                if i == 0 { name } else { "" },
+                i,
+                rec.offset,
+                rec.stored_bytes,
+                rec.logical_elems,
+                codec_name(e.codec_id),
+                source,
+                extent
+            );
+        }
+    }
+    // Per-level compression ratios over the field datasets.
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>12} {:>6}",
+        "level", "datasets", "logical", "stored", "CR"
+    );
+    let mut level = 0usize;
+    loop {
+        let prefix = format!("level_{level}/");
+        let members: Vec<_> = r
+            .dataset_names()
+            .into_iter()
+            .filter(|n| n.starts_with(&prefix))
+            .collect();
+        if members.is_empty() {
+            break;
+        }
+        let logical: u64 = members
+            .iter()
+            .map(|n| r.meta(n).expect("listed").total_elems * 8)
+            .sum();
+        let stored: u64 = members
+            .iter()
+            .map(|n| r.meta(n).expect("listed").stored_bytes())
+            .sum();
+        println!(
+            "{:<8} {:>10} {:>12} {:>12} {:>6.1}",
+            level,
+            members.len(),
+            human(logical),
+            human(stored),
+            logical as f64 / stored.max(1) as f64
+        );
+        level += 1;
+    }
+}
+
 fn print_header(path: &str) {
     match amric::reader::read_amric_hierarchy(path) {
         Ok(pf) => {
@@ -120,6 +209,10 @@ fn main() -> ExitCode {
         }
     };
     print_datasets(&r, args.iter().any(|a| a == "--chunks"));
+    if args.iter().any(|a| a == "--index") {
+        println!();
+        print_index(&r);
+    }
     if args.iter().any(|a| a == "--header") {
         println!();
         print_header(path);

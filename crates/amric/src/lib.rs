@@ -78,8 +78,10 @@ pub mod prelude {
         decompress_field_units, resolve_abs_eb, AmricScratch,
     };
     pub use crate::preprocess::{
-        extract_units, plan_units, scatter_units, unit_edge_for_level, UnitRef,
+        extract_units, plan_units, plan_units_layout, scatter_units, unit_edge_for_level, UnitRef,
     };
-    pub use crate::reader::{read_amric_hierarchy, verify_against};
+    pub use crate::reader::{
+        read_amric_hierarchy, read_plotfile_meta, verify_against, LevelLayout, PlotfileMeta,
+    };
     pub use crate::writer::{write_amric, write_field_parallel, FieldWriteJob, WriteReport};
 }

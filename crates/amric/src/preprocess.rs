@@ -49,7 +49,28 @@ pub fn plan_units(
     rank: usize,
     remove_redundancy: bool,
 ) -> Vec<UnitRef> {
-    let ba = level.box_array();
+    plan_units_layout(
+        level.box_array(),
+        level.distribution(),
+        finer,
+        unit,
+        rank,
+        remove_redundancy,
+    )
+}
+
+/// [`plan_units`] over the bare level layout (grids + ownership) instead
+/// of a populated [`MultiFab`]. The query subsystem plans from plotfile
+/// metadata alone this way — reconstructing unit decompositions without
+/// allocating any field data.
+pub fn plan_units_layout(
+    ba: &BoxArray,
+    dm: &DistributionMapping,
+    finer: Option<(&BoxArray, i64)>,
+    unit: i64,
+    rank: usize,
+    remove_redundancy: bool,
+) -> Vec<UnitRef> {
     let valid_per_box: Vec<Vec<IntBox>> = match finer {
         Some((fine_ba, ratio)) if remove_redundancy => coverage(ba, fine_ba, ratio)
             .into_iter()
@@ -58,7 +79,7 @@ pub fn plan_units(
         _ => ba.iter().map(|b| vec![*b]).collect(),
     };
     let mut units = Vec::new();
-    for bi in level.distribution().local_boxes(rank) {
+    for bi in dm.local_boxes(rank) {
         for rect in &valid_per_box[bi] {
             for tile in rect.tiles(unit) {
                 units.push(UnitRef {
@@ -69,6 +90,29 @@ pub fn plan_units(
         }
     }
     units
+}
+
+/// Inclusive index-space corners `(lo, hi)` of a unit plan's bounding
+/// box — the extent format the chunk index persists.
+pub type PlanExtent = ([i64; 3], [i64; 3]);
+
+/// Bounding box of a plan's unit regions as inclusive index-space
+/// corners (`None` for an empty plan). This is the extent the writer
+/// persists in the chunk index and the extent the query engine
+/// re-derives for legacy index-less files — one definition, so the two
+/// can never drift.
+pub fn plan_bounding_box(plan: &[UnitRef]) -> Option<PlanExtent> {
+    let first = plan.first()?;
+    let mut lo = first.region.lo;
+    let mut hi = first.region.hi;
+    for u in &plan[1..] {
+        lo = lo.min(&u.region.lo);
+        hi = hi.max(&u.region.hi);
+    }
+    Some((
+        [lo.get(0), lo.get(1), lo.get(2)],
+        [hi.get(0), hi.get(1), hi.get(2)],
+    ))
 }
 
 /// Extract the field data of the planned units into compressor buffers

@@ -3,7 +3,9 @@
 //! bounds against the original data.
 
 use crate::pipeline::{decompress_field_units, resolve_abs_eb};
-use crate::preprocess::{extract_units, plan_units, scatter_units, unit_edge_for_level, UnitRef};
+use crate::preprocess::{
+    extract_units, plan_units_layout, scatter_units, unit_edge_for_level, UnitRef,
+};
 use crate::writer::field_dataset;
 use amr_mesh::prelude::*;
 use h5lite::prelude::*;
@@ -55,10 +57,115 @@ pub struct Plotfile {
 
 struct Header {
     nlevels: usize,
-    nfields: usize,
     nranks: usize,
     extra: [u64; 2],
     levels: Vec<(i64, i64, i64, usize, i64)>, // nx, ny, nz, nboxes, ratio
+}
+
+/// Grid structure of one plotfile level — everything the read side knows
+/// about a level before touching any field data.
+#[derive(Clone, Debug)]
+pub struct LevelLayout {
+    /// The level's index-space domain.
+    pub domain: IntBox,
+    /// The level's grids.
+    pub boxes: BoxArray,
+    /// Grid → rank ownership recorded at write time.
+    pub owners: DistributionMapping,
+    /// Refinement ratio to the next finer level (0 on the finest).
+    pub ratio_to_finer: i64,
+}
+
+/// Structural metadata of a plotfile: fields, level layouts, and the
+/// write-time settings needed to reconstruct unit plans — parsed from the
+/// `meta/*` datasets alone, without decoding any field payload. This is
+/// the planning substrate of the `amr-query` random-access subsystem;
+/// [`read_amric_hierarchy`] builds on the same reconstruction, so partial
+/// and full reads can never disagree about where data lives.
+#[derive(Clone, Debug)]
+pub struct PlotfileMeta {
+    /// Field names in component order.
+    pub field_names: Vec<String>,
+    /// World size the file was written with (= chunks per field dataset).
+    pub nranks: usize,
+    /// Blocking factor recorded at write time (0 for baseline files).
+    pub bf: i64,
+    /// Whether redundant coarse data was removed at write time.
+    pub remove_redundancy: bool,
+    /// Per-level grid structure, coarsest first.
+    pub levels: Vec<LevelLayout>,
+}
+
+impl PlotfileMeta {
+    /// Number of AMR levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Unit-block edge for a level (the writer's decomposition rule).
+    pub fn unit_edge(&self, level: usize) -> i64 {
+        unit_edge_for_level(self.bf, level, self.levels.len())
+    }
+
+    /// Cumulative refinement factor from level 0 to `level` (level-0
+    /// coordinates × this factor = `level` coordinates).
+    pub fn refine_factor(&self, level: usize) -> i64 {
+        self.levels[..level]
+            .iter()
+            .map(|l| l.ratio_to_finer.max(1))
+            .product()
+    }
+
+    /// Reconstruct one rank's unit plan for a level, exactly as the
+    /// writer decomposed it (fine-over-coarse redundancy removal
+    /// included) — unit positions never ride in the file.
+    pub fn unit_plan(&self, level: usize, rank: usize) -> Vec<UnitRef> {
+        let finer = (level + 1 < self.levels.len()).then(|| {
+            (
+                &self.levels[level + 1].boxes,
+                self.levels[level].ratio_to_finer,
+            )
+        });
+        plan_units_layout(
+            &self.levels[level].boxes,
+            &self.levels[level].owners,
+            finer,
+            self.unit_edge(level),
+            rank,
+            self.remove_redundancy,
+        )
+    }
+
+    /// All unit plans, `[level][rank]` — the layout of every field
+    /// dataset's chunks.
+    pub fn unit_plans(&self) -> Vec<Vec<Vec<UnitRef>>> {
+        (0..self.levels.len())
+            .map(|l| (0..self.nranks).map(|r| self.unit_plan(l, r)).collect())
+            .collect()
+    }
+}
+
+/// Parse a plotfile's structural metadata (header, field names, level
+/// box tables) from an open reader.
+pub fn read_plotfile_meta(r: &H5Reader) -> H5Result<PlotfileMeta> {
+    let (header, field_names) = read_header(r)?;
+    let mut levels = Vec::with_capacity(header.nlevels);
+    for (l, &(nx, ny, nz, nboxes, ratio)) in header.levels.iter().enumerate() {
+        let (boxes, owners) = read_level_layout(r, l, nboxes, header.nranks)?;
+        levels.push(LevelLayout {
+            domain: IntBox::from_extents(nx, ny, nz),
+            boxes,
+            owners,
+            ratio_to_finer: ratio,
+        });
+    }
+    Ok(PlotfileMeta {
+        field_names,
+        nranks: header.nranks,
+        bf: header.extra[0] as i64,
+        remove_redundancy: header.extra[1] == 1,
+        levels,
+    })
 }
 
 fn read_header(r: &H5Reader) -> H5Result<(Header, Vec<String>)> {
@@ -105,7 +212,6 @@ fn read_header(r: &H5Reader) -> H5Result<(Header, Vec<String>)> {
     Ok((
         Header {
             nlevels,
-            nfields,
             nranks,
             extra,
             levels,
@@ -114,13 +220,12 @@ fn read_header(r: &H5Reader) -> H5Result<(Header, Vec<String>)> {
     ))
 }
 
-fn read_level_structure(
+fn read_level_layout(
     r: &H5Reader,
     level: usize,
     nboxes: usize,
     nranks: usize,
-    field_names: &[String],
-) -> H5Result<MultiFab> {
+) -> H5Result<(BoxArray, DistributionMapping)> {
     let raw = r.read_dataset(&format!("meta/level_{level}/boxes"))?;
     if raw.len() != nboxes * 7 {
         return Err(H5Error::Format(format!(
@@ -139,50 +244,28 @@ fn read_level_structure(
         ));
         owners.push(v[6] as usize);
     }
-    let ba = BoxArray::new(boxes);
-    let dm = DistributionMapping::from_owners(owners, nranks);
-    Ok(MultiFab::new(ba, dm, field_names.to_vec()))
+    Ok((
+        BoxArray::new(boxes),
+        DistributionMapping::from_owners(owners, nranks),
+    ))
 }
 
 /// Load an AMRIC plotfile (written by [`crate::writer::write_amric`]).
 pub fn read_amric_hierarchy(path: impl AsRef<std::path::Path>) -> H5Result<Plotfile> {
     let r = H5Reader::open(path)?;
-    let (header, field_names) = read_header(&r)?;
-    let bf = header.extra[0] as i64;
-    let remove_redundancy = header.extra[1] == 1;
-    let mut levels = Vec::with_capacity(header.nlevels);
-    let mut domains = Vec::with_capacity(header.nlevels);
-    for (l, &(nx, ny, nz, nboxes, _)) in header.levels.iter().enumerate() {
-        domains.push(IntBox::from_extents(nx, ny, nz));
-        levels.push(read_level_structure(
-            &r,
-            l,
-            nboxes,
-            header.nranks,
-            &field_names,
-        )?);
-    }
+    let meta = read_plotfile_meta(&r)?;
+    let nfields = meta.field_names.len();
+    let domains: Vec<IntBox> = meta.levels.iter().map(|l| l.domain).collect();
+    let mut levels: Vec<MultiFab> = meta
+        .levels
+        .iter()
+        .map(|l| MultiFab::new(l.boxes.clone(), l.owners.clone(), meta.field_names.clone()))
+        .collect();
     // Reconstruct unit plans exactly as the writer made them.
-    let mut unit_plans = Vec::with_capacity(header.nlevels);
-    for l in 0..header.nlevels {
-        let finer_ba = (l + 1 < header.nlevels).then(|| levels[l + 1].box_array().clone());
-        let unit = unit_edge_for_level(bf, l, header.nlevels);
-        let plans: Vec<Vec<UnitRef>> = (0..header.nranks)
-            .map(|rank| {
-                plan_units(
-                    &levels[l],
-                    finer_ba.as_ref().map(|ba| (ba, header.levels[l].4)),
-                    unit,
-                    rank,
-                    remove_redundancy,
-                )
-            })
-            .collect();
-        unit_plans.push(plans);
-    }
+    let unit_plans = meta.unit_plans();
     // Decode every field of every level and scatter into the fabs.
-    for l in 0..header.nlevels {
-        for f in 0..header.nfields {
+    for l in 0..meta.num_levels() {
+        for f in 0..nfields {
             let data = r.read_dataset_with(&field_dataset(l, f), &AmricDecoder)?;
             let mut offset = 0usize;
             for plan in unit_plans[l].iter() {
@@ -208,11 +291,11 @@ pub fn read_amric_hierarchy(path: impl AsRef<std::path::Path>) -> H5Result<Plotf
         }
     }
     Ok(Plotfile {
-        field_names,
+        field_names: meta.field_names,
         levels,
         domains,
-        bf,
-        remove_redundancy,
+        bf: meta.bf,
+        remove_redundancy: meta.remove_redundancy,
         unit_plans,
     })
 }
@@ -222,19 +305,14 @@ pub fn read_amric_hierarchy(path: impl AsRef<std::path::Path>) -> H5Result<Plotf
 /// [`crate::baseline::write_nocomp`]).
 pub fn read_baseline_hierarchy(path: impl AsRef<std::path::Path>) -> H5Result<Plotfile> {
     let r = H5Reader::open(path)?;
-    let (header, field_names) = read_header(&r)?;
-    let mut levels = Vec::with_capacity(header.nlevels);
-    let mut domains = Vec::with_capacity(header.nlevels);
-    for (l, &(nx, ny, nz, nboxes, _)) in header.levels.iter().enumerate() {
-        domains.push(IntBox::from_extents(nx, ny, nz));
-        levels.push(read_level_structure(
-            &r,
-            l,
-            nboxes,
-            header.nranks,
-            &field_names,
-        )?);
-    }
+    let pmeta = read_plotfile_meta(&r)?;
+    let nfields = pmeta.field_names.len();
+    let domains: Vec<IntBox> = pmeta.levels.iter().map(|l| l.domain).collect();
+    let mut levels: Vec<MultiFab> = pmeta
+        .levels
+        .iter()
+        .map(|l| MultiFab::new(l.boxes.clone(), l.owners.clone(), pmeta.field_names.clone()))
+        .collect();
     for (l, level) in levels.iter_mut().enumerate() {
         let meta = r.meta(&format!("level_{l}/data"))?.clone();
         let chunk_elems = meta.chunk_elems as usize;
@@ -261,7 +339,7 @@ pub fn read_baseline_hierarchy(path: impl AsRef<std::path::Path>) -> H5Result<Pl
             let mut p = 0usize;
             for bi in level.distribution().local_boxes(rank) {
                 let cells = level.box_array().get(bi).num_cells() as usize;
-                let n = cells * header.nfields;
+                let n = cells * nfields;
                 let payload = &seg[p..p + n];
                 level.fab_mut(bi).data_mut().copy_from_slice(payload);
                 p += n;
@@ -270,7 +348,7 @@ pub fn read_baseline_hierarchy(path: impl AsRef<std::path::Path>) -> H5Result<Pl
         }
     }
     Ok(Plotfile {
-        field_names,
+        field_names: pmeta.field_names,
         levels,
         domains,
         bf: 0,

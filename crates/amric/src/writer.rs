@@ -215,8 +215,10 @@ pub(crate) fn write_metadata(writer: &H5Writer, h: &AmrHierarchy, extra: &[u64])
 }
 
 /// Dataset name for one level/field pair (fields addressed by index so
-/// arbitrary names cannot collide with the path syntax).
-pub(crate) fn field_dataset(level: usize, field: usize) -> String {
+/// arbitrary names cannot collide with the path syntax). Public because
+/// the read side — including the `amr-query` planner — addresses chunks
+/// through the same naming.
+pub fn field_dataset(level: usize, field: usize) -> String {
     format!("level_{level}/field_{field}")
 }
 
@@ -469,10 +471,15 @@ pub fn write_amric(
     let num_levels = h.num_levels();
     let nfields = h.field_names().len();
 
-    let per_rank: Vec<(IoLedger, f64)> = run_ranks(nranks, |comm| {
+    type RankOutcome = (IoLedger, f64, Vec<Option<crate::preprocess::PlanExtent>>);
+    let per_rank: Vec<RankOutcome> = run_ranks(nranks, |comm| {
         let rank = comm.rank();
         let mut ledger = IoLedger::default();
         let mut prep_s = 0.0;
+        // Per-level bounding box of this rank's units — the extent the
+        // chunk index persists, collected here so the index costs no
+        // second planning pass.
+        let mut extents = Vec::with_capacity(num_levels);
         for l in 0..num_levels {
             let level = &h.level(l).data;
             let finer =
@@ -480,6 +487,7 @@ pub fn write_amric(
             let unit = unit_edge_for_level(bf, l, num_levels);
             let t0 = Instant::now();
             let units = plan_units(level, finer, unit, rank, cfg.remove_redundancy);
+            extents.push(crate::preprocess::plan_bounding_box(&units));
             prep_s += t0.elapsed().as_secs_f64();
             // Pass 1 — stage every field and pre-compute the write
             // metadata (global bound + global chunk size) in one
@@ -550,11 +558,17 @@ pub fn write_amric(
                 .expect("metadata write failed");
         }
         comm.barrier();
-        (ledger, prep_s)
+        (ledger, prep_s, extents)
     });
 
+    let rank_extents: Vec<&[Option<crate::preprocess::PlanExtent>]> =
+        per_rank.iter().map(|(_, _, e)| e.as_slice()).collect();
+    write_chunk_indexes(&writer, num_levels, nfields, &rank_extents)?;
     writer.finish()?;
-    let (ledgers, prep_seconds): (Vec<IoLedger>, Vec<f64>) = per_rank.into_iter().unzip();
+    let (ledgers, prep_seconds): (Vec<IoLedger>, Vec<f64>) = per_rank
+        .iter()
+        .map(|(ledger, prep, _)| (*ledger, *prep))
+        .unzip();
     let stored = ledgers.iter().map(|l| l.bytes_written).sum();
     Ok(WriteReport {
         nranks,
@@ -563,6 +577,41 @@ pub fn write_amric(
         orig_bytes: h.snapshot_bytes(),
         stored_bytes: stored,
     })
+}
+
+/// Persist the per-dataset chunk index for every field dataset: one entry
+/// per rank chunk carrying the stream's codec id and the bounding box of
+/// the rank's surviving unit blocks on that level (`rank_extents[rank]
+/// [level]`, collected by the rank closures during planning — no second
+/// planning pass). The `amr-query` planner prunes chunks against a
+/// region of interest from these extents without decoding anything;
+/// files written before this index existed are still served through the
+/// reader's fallback scan.
+fn write_chunk_indexes(
+    writer: &H5Writer,
+    num_levels: usize,
+    nfields: usize,
+    rank_extents: &[&[Option<crate::preprocess::PlanExtent>]],
+) -> H5Result<()> {
+    for l in 0..num_levels {
+        // A level where no rank kept any cells registers zero chunks;
+        // otherwise every rank contributed exactly one.
+        let entries: Vec<ChunkIndexEntry> = if rank_extents.iter().all(|e| e[l].is_none()) {
+            Vec::new()
+        } else {
+            rank_extents
+                .iter()
+                .map(|e| ChunkIndexEntry {
+                    codec_id: sz_codec::codec::CodecId::AmricPipeline as u32,
+                    extent: e[l],
+                })
+                .collect()
+        };
+        for f in 0..nfields {
+            writer.set_chunk_index(&field_dataset(l, f), ChunkIndex::new(entries.clone()))?;
+        }
+    }
+    Ok(())
 }
 
 /// Fold a collective receipt into a rank ledger (encode time counts as

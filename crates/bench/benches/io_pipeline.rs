@@ -89,6 +89,61 @@ fn bench_writers(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_read_roi(c: &mut Criterion) {
+    // Read side of the pipeline: ROI queries against a written plotfile —
+    // cold (fresh engine, empty cache), warm (cache hit), and a parallel
+    // cold fetch. Results are bitwise-identical across all three (the
+    // amr-query equivalence suite enforces it); only wall-clock differs.
+    let spec = table1_runs()
+        .into_iter()
+        .find(|s| s.name == "Nyx_1")
+        .expect("Nyx_1");
+    let h = spec.build(0.0);
+    let path = scratch("bench-read-roi");
+    write_amric(
+        &path,
+        &h,
+        &AmricConfig::lr(spec.amric_rel_eb),
+        spec.blocking_factor,
+    )
+    .unwrap();
+    // Half-edge cube in the interior of Nyx_1's 32³ coarse domain.
+    let roi = amr_query::Box3::new(
+        amr_mesh::IntVect::new(8, 8, 8),
+        amr_mesh::IntVect::new(23, 23, 23),
+    );
+    let mut g = c.benchmark_group("io_pipeline/read_roi");
+    g.sample_size(10);
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let engine = amr_query::QueryEngine::open(&path).unwrap();
+            engine.roi(0, roi, amr_query::LevelSelect::All).unwrap()
+        })
+    });
+    let warm_engine = amr_query::QueryEngine::open(&path).unwrap();
+    warm_engine
+        .roi(0, roi, amr_query::LevelSelect::All)
+        .unwrap();
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            warm_engine
+                .roi(0, roi, amr_query::LevelSelect::All)
+                .unwrap()
+        })
+    });
+    let workers = default_workers().max(2);
+    g.bench_function("cold_parallel", |b| {
+        b.iter(|| {
+            let engine = amr_query::QueryEngine::open(&path)
+                .unwrap()
+                .with_workers(workers);
+            engine.roi(0, roi, amr_query::LevelSelect::All).unwrap()
+        })
+    });
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
 fn bench_preprocess(c: &mut Criterion) {
     let spec = table1_runs()
         .into_iter()
@@ -111,6 +166,6 @@ fn bench_preprocess(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_writers, bench_preprocess
+    targets = bench_writers, bench_read_roi, bench_preprocess
 }
 criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Query-path study: cold vs cached vs parallel ROI reads against a
+//! written Nyx_1 plotfile, compared with the full-file decode they
+//! replace. Prints the wall-clock table and emits `BENCH_query.json`
+//! (cold / cached / parallel series) for the trajectory tracker.
+//!
+//! Every query result is bitwise-identical to slicing the full decode
+//! (the amr-query equivalence suite enforces it); this binary verifies
+//! the decoded cell counts agree, then reports only wall-clock
+//! differences. On single-core hosts expect cold ≈ cold-parallel; the
+//! fan-out win appears with real cores.
+
+use amr_mesh::{IntBox, IntVect};
+use amr_query::{LevelSelect, QueryEngine};
+use amric::prelude::*;
+use amric_bench::{default_workers, print_table, scratch, secs, table1_runs};
+use std::io::Write;
+use std::time::Instant;
+
+struct Point {
+    series: &'static str,
+    workers: usize,
+    ms_per_iter: f64,
+    cells: u64,
+}
+
+fn time_iters(iters: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let cells = f(); // warm-up / correctness pass, excluded from timing
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let c = f();
+        assert_eq!(c, cells, "decoded cell count varied across runs");
+    }
+    (t0.elapsed().as_secs_f64() * 1000.0 / iters as f64, cells)
+}
+
+fn main() {
+    let spec = table1_runs()
+        .into_iter()
+        .find(|s| s.name == "Nyx_1")
+        .expect("Nyx_1");
+    let h = spec.build(0.0);
+    let iters: usize = std::env::var("AMRIC_QUERY_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let path = scratch("fig-query");
+    write_amric(
+        &path,
+        &h,
+        &AmricConfig::lr(spec.amric_rel_eb),
+        spec.blocking_factor,
+    )
+    .expect("write");
+
+    // Interior ROI covering half the coarse edge — the "pan a subvolume"
+    // workload the visualization studies report as dominant.
+    let roi = IntBox::new(IntVect::new(8, 8, 8), IntVect::new(23, 23, 23));
+    let view_cells = |engine: &QueryEngine| -> u64 {
+        let view = engine.roi(0, roi, LevelSelect::All).expect("roi");
+        view.levels
+            .iter()
+            .map(|l| l.region.num_cells())
+            .sum::<u64>()
+    };
+
+    let mut points = Vec::new();
+    // Baseline the query replaces: decode the whole plotfile, slice later.
+    let (full_ms, full_cells) = time_iters(iters.clamp(1, 5), || {
+        let pf = amric::reader::read_amric_hierarchy(&path).expect("full decode");
+        pf.levels.iter().map(|l| l.num_cells()).sum()
+    });
+    points.push(Point {
+        series: "full_decode",
+        workers: 1,
+        ms_per_iter: full_ms,
+        cells: full_cells,
+    });
+    // Cold: fresh engine (empty cache) per iteration, serial fetch.
+    let (cold_ms, roi_cells) = time_iters(iters, || {
+        let engine = QueryEngine::open(&path).expect("open");
+        view_cells(&engine)
+    });
+    points.push(Point {
+        series: "roi_cold",
+        workers: 1,
+        ms_per_iter: cold_ms,
+        cells: roi_cells,
+    });
+    // Cached: one engine, repeated query — served from the chunk cache.
+    let warm_engine = QueryEngine::open(&path).expect("open");
+    let (warm_ms, warm_cells) = time_iters(iters, || view_cells(&warm_engine));
+    assert_eq!(warm_cells, roi_cells);
+    assert!(
+        warm_engine.cache_stats().hits > 0,
+        "cached series never hit the cache"
+    );
+    points.push(Point {
+        series: "roi_cached",
+        workers: 1,
+        ms_per_iter: warm_ms,
+        cells: roi_cells,
+    });
+    // Parallel: cold fetch fanned out over the worker pool.
+    let max_workers = default_workers().max(4);
+    let mut sweep = vec![2usize, 4];
+    if !sweep.contains(&max_workers) {
+        sweep.push(max_workers);
+    }
+    for &w in &sweep {
+        let (ms, cells) = time_iters(iters, || {
+            let engine = QueryEngine::open(&path).expect("open").with_workers(w);
+            view_cells(&engine)
+        });
+        assert_eq!(cells, roi_cells);
+        points.push(Point {
+            series: "roi_cold_parallel",
+            workers: w,
+            ms_per_iter: ms,
+            cells,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.series.to_string(),
+                p.workers.to_string(),
+                secs(p.ms_per_iter / 1000.0),
+                p.cells.to_string(),
+                format!("{:.2}x", full_ms / p.ms_per_iter),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Query path (Nyx_1 ROI {roi:?}, {iters} iters/point, {} cores available)",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        ),
+        &[
+            "series",
+            "workers",
+            "s/iter",
+            "cells",
+            "speedup vs full decode",
+        ],
+        &rows,
+    );
+
+    // Trajectory file: hand-rolled JSON (no serde in-tree).
+    let mut json = String::from("{\n  \"bench\": \"query\",\n  \"run\": \"Nyx_1\",\n");
+    json.push_str(&format!(
+        "  \"cores\": {},\n  \"iters_per_point\": {iters},\n  \"series\": [\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"series\": \"{}\", \"workers\": {}, \"ms_per_iter\": {:.3}, \"cells\": {}}}{}\n",
+            p.series,
+            p.workers,
+            p.ms_per_iter,
+            p.cells,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let best_parallel = points
+        .iter()
+        .filter(|p| p.series == "roi_cold_parallel")
+        .map(|p| cold_ms / p.ms_per_iter)
+        .fold(f64::NAN, f64::max);
+    json.push_str(&format!(
+        "  \"speedup_roi_cold_vs_full\": {:.3},\n  \"speedup_cached_vs_cold\": {:.3},\n  \"best_parallel_speedup_vs_cold\": {best_parallel:.3}\n}}\n",
+        full_ms / cold_ms,
+        cold_ms / warm_ms
+    ));
+    let out = std::env::var("AMRIC_BENCH_OUT").unwrap_or_else(|_| "BENCH_query.json".into());
+    let mut f = std::fs::File::create(&out).expect("create trajectory file");
+    f.write_all(json.as_bytes()).expect("write trajectory file");
+    println!("\nwrote {out}");
+    std::fs::remove_file(&path).ok();
+}

@@ -15,6 +15,15 @@ pub enum H5Error {
     Codec(CodecError),
     /// Unknown dataset name.
     NotFound(String),
+    /// A chunk index beyond the dataset's chunk count was requested.
+    ChunkOutOfRange {
+        /// Dataset the request addressed.
+        dataset: String,
+        /// Requested chunk position.
+        index: usize,
+        /// Number of chunks the dataset actually stores.
+        count: usize,
+    },
     /// Dataset created twice.
     Duplicate(String),
     /// No registered filter for the stored filter id.
@@ -28,6 +37,14 @@ impl std::fmt::Display for H5Error {
             H5Error::Format(m) => write!(f, "malformed h5lite file: {m}"),
             H5Error::Codec(e) => write!(f, "chunk filter failed: {e}"),
             H5Error::NotFound(n) => write!(f, "dataset not found: {n}"),
+            H5Error::ChunkOutOfRange {
+                dataset,
+                index,
+                count,
+            } => write!(
+                f,
+                "chunk {index} out of range for dataset {dataset} ({count} chunks)"
+            ),
             H5Error::Duplicate(n) => write!(f, "dataset already exists: {n}"),
             H5Error::UnknownFilter(id) => write!(f, "no filter registered for id {id}"),
         }

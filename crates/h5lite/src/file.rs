@@ -14,6 +14,7 @@
 use crate::dataset::{ChunkRecord, DatasetMeta};
 use crate::error::{H5Error, H5Result};
 use crate::filter::{decoder_for, ChunkFilter, FilterMode};
+use crate::index::{read_index_section, write_index_section, ChunkIndex, ChunkIndexEntry};
 use parking_lot::Mutex;
 use std::fs::File;
 use std::io::Read;
@@ -64,6 +65,7 @@ pub struct H5Writer {
     file: File,
     cursor: AtomicU64,
     directory: Mutex<Vec<DatasetMeta>>,
+    indexes: Mutex<Vec<(String, ChunkIndex)>>,
     finished: AtomicU64,
     stats: Mutex<WriteStats>,
 }
@@ -78,6 +80,7 @@ impl H5Writer {
             file,
             cursor: AtomicU64::new(5),
             directory: Mutex::new(Vec::new()),
+            indexes: Mutex::new(Vec::new()),
             finished: AtomicU64::new(0),
             stats: Mutex::new(WriteStats::default()),
         })
@@ -214,6 +217,39 @@ impl H5Writer {
         })
     }
 
+    /// Attach a chunk index to an already-registered dataset, to be
+    /// persisted by [`H5Writer::finish`]. The entry count must match the
+    /// dataset's chunk count (one entry per stored chunk, in chunk
+    /// order). Files where no dataset registers an index are
+    /// byte-identical to pre-index files.
+    pub fn set_chunk_index(&self, name: &str, index: ChunkIndex) -> H5Result<()> {
+        if self.finished.load(Ordering::SeqCst) == 1 {
+            return Err(H5Error::Format(
+                "cannot register a chunk index after finish(): the directory is already on disk"
+                    .into(),
+            ));
+        }
+        let dir = self.directory.lock();
+        let meta = dir
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| H5Error::NotFound(name.to_string()))?;
+        if meta.chunks.len() != index.entries.len() {
+            return Err(H5Error::Format(format!(
+                "chunk index for {name} holds {} entries, dataset stores {} chunks",
+                index.entries.len(),
+                meta.chunks.len()
+            )));
+        }
+        drop(dir);
+        let mut indexes = self.indexes.lock();
+        if indexes.iter().any(|(n, _)| n == name) {
+            return Err(H5Error::Duplicate(format!("chunk index for {name}")));
+        }
+        indexes.push((name.to_string(), index));
+        Ok(())
+    }
+
     /// Snapshot of the write counters.
     pub fn stats(&self) -> WriteStats {
         *self.stats.lock()
@@ -231,6 +267,12 @@ impl H5Writer {
         w.put_u32(dir.len() as u32);
         for d in dir.iter() {
             d.write_to(&mut w);
+        }
+        // Optional chunk-index section: old readers stop after the dataset
+        // entries, so indexed files stay readable by pre-index tooling.
+        let indexes = self.indexes.lock();
+        if !indexes.is_empty() {
+            write_index_section(&mut w, &indexes);
         }
         w.put_u64(dir_offset);
         w.put_raw(MAGIC_TAIL);
@@ -262,6 +304,11 @@ pub(crate) fn encode_chunk(
 pub struct H5Reader {
     file: File,
     datasets: Vec<DatasetMeta>,
+    /// Parsed chunk indexes, aligned with `datasets` (`None` for datasets
+    /// the writer did not index — all of them in legacy files).
+    indexes: Vec<Option<ChunkIndex>>,
+    /// Directory offset, kept for tooling that rewrites the tail.
+    dir_offset: u64,
 }
 
 impl H5Reader {
@@ -286,7 +333,10 @@ impl H5Reader {
             return Err(H5Error::Format("bad footer magic".into()));
         }
         let dir_offset = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
-        if dir_offset >= len {
+        // The directory must end before the 12-byte footer; an offset
+        // inside the footer would underflow the length below into an
+        // absurd allocation.
+        if dir_offset > len - 12 {
             return Err(H5Error::Format("directory offset out of range".into()));
         }
         let mut dir_bytes = vec![0u8; (len - 12 - dir_offset) as usize];
@@ -297,7 +347,31 @@ impl H5Reader {
         for _ in 0..n {
             datasets.push(DatasetMeta::read_from(&mut r)?);
         }
-        Ok(H5Reader { file, datasets })
+        let mut indexes: Vec<Option<ChunkIndex>> = vec![None; datasets.len()];
+        if let Some(named) = read_index_section(&mut r)? {
+            for (name, idx) in named {
+                let pos = datasets
+                    .iter()
+                    .position(|d| d.name == name)
+                    .ok_or_else(|| {
+                        H5Error::Format(format!("chunk index for unknown dataset {name}"))
+                    })?;
+                if datasets[pos].chunks.len() != idx.entries.len() {
+                    return Err(H5Error::Format(format!(
+                        "chunk index for {name} holds {} entries, dataset stores {} chunks",
+                        idx.entries.len(),
+                        datasets[pos].chunks.len()
+                    )));
+                }
+                indexes[pos] = Some(idx);
+            }
+        }
+        Ok(H5Reader {
+            file,
+            datasets,
+            indexes,
+            dir_offset,
+        })
     }
 
     /// Names of all datasets, in creation order.
@@ -311,6 +385,66 @@ impl H5Reader {
             .iter()
             .find(|d| d.name == name)
             .ok_or_else(|| H5Error::NotFound(name.to_string()))
+    }
+
+    /// The persistent chunk index of a dataset, when the writer stored
+    /// one (`None` for unindexed datasets and all legacy files).
+    pub fn chunk_index(&self, name: &str) -> H5Result<Option<&ChunkIndex>> {
+        let pos = self
+            .datasets
+            .iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| H5Error::NotFound(name.to_string()))?;
+        Ok(self.indexes[pos].as_ref())
+    }
+
+    /// Chunk index of a dataset, falling back to a file scan when the
+    /// writer stored none: each chunk's leading bytes are read and its
+    /// stream envelope sniffed for the codec id
+    /// ([`crate::index::CODEC_RAW`] when the chunk carries no envelope).
+    /// Extents cannot be reconstructed from the container alone and come
+    /// back `None`; format-aware callers (the AMRIC query planner)
+    /// re-derive geometry from their own metadata.
+    pub fn chunk_index_or_scan(&self, name: &str) -> H5Result<ChunkIndex> {
+        if let Some(idx) = self.chunk_index(name)? {
+            return Ok(idx.clone());
+        }
+        self.scan_chunk_index(name)
+    }
+
+    /// The legacy fallback scan behind [`H5Reader::chunk_index_or_scan`],
+    /// exposed for tooling that wants to compare stored and scanned
+    /// views.
+    pub fn scan_chunk_index(&self, name: &str) -> H5Result<ChunkIndex> {
+        let meta = self.meta(name)?;
+        let mut entries = Vec::with_capacity(meta.chunks.len());
+        let mut head = [0u8; 8];
+        for rec in &meta.chunks {
+            let n = (rec.stored_bytes as usize).min(head.len());
+            self.file.read_exact_at(&mut head[..n], rec.offset)?;
+            let codec_id = match sz_codec::codec::read_envelope(&head[..n]) {
+                Ok(env) => env.codec as u32,
+                Err(_) => crate::index::CODEC_RAW,
+            };
+            entries.push(ChunkIndexEntry {
+                codec_id,
+                extent: None,
+            });
+        }
+        Ok(ChunkIndex::new(entries))
+    }
+
+    /// The chunk record for `(name, index)` with a typed out-of-range
+    /// error naming the dataset and the offending index.
+    fn chunk_record(&self, name: &str, index: usize) -> H5Result<&ChunkRecord> {
+        let meta = self.meta(name)?;
+        meta.chunks
+            .get(index)
+            .ok_or_else(|| H5Error::ChunkOutOfRange {
+                dataset: name.to_string(),
+                index,
+                count: meta.chunks.len(),
+            })
     }
 
     /// Read and decode one chunk of a dataset using the registry decoder.
@@ -329,25 +463,27 @@ impl H5Reader {
         index: usize,
         decoder: &dyn crate::filter::ChunkFilter,
     ) -> H5Result<Vec<f64>> {
-        let meta = self.meta(name)?;
-        let rec = meta
-            .chunks
-            .get(index)
-            .ok_or_else(|| H5Error::Format(format!("chunk {index} out of range")))?;
+        let rec = *self.chunk_record(name, index)?;
         let bytes = self.read_chunk_raw(name, index)?;
         decoder.decode(&bytes, rec.logical_elems as usize)
     }
 
     /// Read the stored (encoded) bytes of one chunk without filtering.
     pub fn read_chunk_raw(&self, name: &str, index: usize) -> H5Result<Vec<u8>> {
-        let meta = self.meta(name)?;
-        let rec = meta
-            .chunks
-            .get(index)
-            .ok_or_else(|| H5Error::Format(format!("chunk {index} out of range")))?;
-        let mut buf = vec![0u8; rec.stored_bytes as usize];
-        self.file.read_exact_at(&mut buf, rec.offset)?;
+        let mut buf = Vec::new();
+        self.read_chunk_raw_into(name, index, &mut buf)?;
         Ok(buf)
+    }
+
+    /// Read one chunk's stored bytes into a caller-provided buffer
+    /// (cleared and resized) — the partial-read hot path, where prefetch
+    /// workers reuse one byte buffer per worker across chunks.
+    pub fn read_chunk_raw_into(&self, name: &str, index: usize, buf: &mut Vec<u8>) -> H5Result<()> {
+        let rec = *self.chunk_record(name, index)?;
+        buf.clear();
+        buf.resize(rec.stored_bytes as usize, 0);
+        self.file.read_exact_at(buf, rec.offset)?;
+        Ok(())
     }
 
     /// Read the full logical dataset (chunk concatenation truncated to
@@ -376,6 +512,31 @@ impl H5Reader {
         out.truncate(meta.total_elems as usize);
         Ok(out)
     }
+}
+
+/// Rewrite a file's directory without its chunk-index section, producing
+/// the byte layout pre-index writers emitted. A downgrade tool for
+/// sharing files with old readers — and the honest way to manufacture
+/// legacy files for fallback tests. No-op on files without an index.
+/// Returns the resulting file size.
+pub fn strip_chunk_indexes(path: impl AsRef<Path>) -> H5Result<u64> {
+    let reader = H5Reader::open(&path)?;
+    if reader.indexes.iter().all(|i| i.is_none()) {
+        return Ok(std::fs::metadata(&path)?.len());
+    }
+    let mut w = sz_codec::wire::Writer::new();
+    w.put_u32(reader.datasets.len() as u32);
+    for d in &reader.datasets {
+        d.write_to(&mut w);
+    }
+    w.put_u64(reader.dir_offset);
+    w.put_raw(MAGIC_TAIL);
+    let bytes = w.into_bytes();
+    let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+    file.set_len(reader.dir_offset)?;
+    file.write_all_at(&bytes, reader.dir_offset)?;
+    file.sync_data()?;
+    Ok(reader.dir_offset + bytes.len() as u64)
 }
 
 #[cfg(test)]
@@ -528,11 +689,210 @@ mod tests {
     }
 
     #[test]
+    fn chunk_out_of_range_is_typed() {
+        // Regression: a bad chunk index must surface as the typed
+        // `ChunkOutOfRange` carrying the dataset name and index — on the
+        // registry path, the explicit-decoder path, and the raw path.
+        let path = tmp("chunk-oor");
+        let w = H5Writer::create(&path).unwrap();
+        let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
+        w.write_dataset("d", &data, 256, &NoFilter).unwrap();
+        w.finish().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        for result in [
+            r.read_chunk("d", 2).err(),
+            r.read_chunk_with("d", 7, &NoFilter).err(),
+            r.read_chunk_raw("d", 2).err(),
+        ] {
+            match result.expect("out-of-range must fail") {
+                H5Error::ChunkOutOfRange {
+                    dataset,
+                    index,
+                    count,
+                } => {
+                    assert_eq!(dataset, "d");
+                    assert!(index >= 2);
+                    assert_eq!(count, 2);
+                }
+                other => panic!("expected ChunkOutOfRange, got {other:?}"),
+            }
+        }
+        // In-range chunks still read.
+        assert_eq!(r.read_chunk("d", 1).unwrap().len(), 256);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_index_roundtrip_and_pruning() {
+        let path = tmp("index-rt");
+        let w = H5Writer::create(&path).unwrap();
+        let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
+        w.write_dataset("d", &data, 256, &NoFilter).unwrap();
+        let idx = ChunkIndex::new(vec![
+            ChunkIndexEntry {
+                codec_id: crate::index::CODEC_RAW,
+                extent: Some(([0, 0, 0], [7, 7, 3])),
+            },
+            ChunkIndexEntry {
+                codec_id: crate::index::CODEC_RAW,
+                extent: Some(([0, 0, 4], [7, 7, 7])),
+            },
+        ]);
+        w.set_chunk_index("d", idx.clone()).unwrap();
+        // Wrong entry count and unknown dataset are rejected.
+        assert!(w.set_chunk_index("d2", ChunkIndex::default()).is_err());
+        assert!(matches!(
+            w.set_chunk_index("d", ChunkIndex::default()),
+            Err(H5Error::Format(_)) | Err(H5Error::Duplicate(_))
+        ));
+        w.finish().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        let back = r.chunk_index("d").unwrap().expect("index persisted");
+        assert_eq!(*back, idx);
+        assert_eq!(back.intersecting([0, 0, 0], [7, 7, 2]), vec![0]);
+        assert_eq!(back.intersecting([0, 0, 3], [7, 7, 5]), vec![0, 1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unindexed_files_scan_and_strip_is_noop() {
+        // A file written with no index: chunk_index is None, the fallback
+        // scan reconstructs codec ids from the stored envelopes, and
+        // stripping changes nothing.
+        let path = tmp("index-scan");
+        let w = H5Writer::create(&path).unwrap();
+        let data: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.002).sin()).collect();
+        w.write_dataset("raw", &data, 1024, &NoFilter).unwrap();
+        w.write_dataset("sz", &data, 1024, &SzFilter::one_dimensional(1e-3))
+            .unwrap();
+        w.finish().unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        let r = H5Reader::open(&path).unwrap();
+        assert!(r.chunk_index("raw").unwrap().is_none());
+        let scanned = r.chunk_index_or_scan("sz").unwrap();
+        assert_eq!(scanned.entries.len(), 2);
+        for e in &scanned.entries {
+            assert_eq!(e.codec_id, sz_codec::codec::CodecId::LrSle as u32);
+            assert!(e.extent.is_none());
+        }
+        let raw_scanned = r.scan_chunk_index("raw").unwrap();
+        assert!(raw_scanned
+            .entries
+            .iter()
+            .all(|e| e.codec_id == crate::index::CODEC_RAW));
+        drop(r);
+        assert_eq!(super::strip_chunk_indexes(&path).unwrap(), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn strip_chunk_indexes_produces_legacy_layout() {
+        let indexed = tmp("strip-a");
+        let legacy = tmp("strip-b");
+        let build = |path: &std::path::Path, with_index: bool| {
+            let w = H5Writer::create(path).unwrap();
+            let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.01).cos()).collect();
+            w.write_dataset("d", &data, 256, &NoFilter).unwrap();
+            if with_index {
+                w.set_chunk_index(
+                    "d",
+                    ChunkIndex::new(vec![
+                        ChunkIndexEntry {
+                            codec_id: 1,
+                            extent: None
+                        };
+                        2
+                    ]),
+                )
+                .unwrap();
+            }
+            w.finish().unwrap();
+        };
+        build(&indexed, true);
+        build(&legacy, false);
+        assert_ne!(
+            std::fs::read(&indexed).unwrap(),
+            std::fs::read(&legacy).unwrap()
+        );
+        super::strip_chunk_indexes(&indexed).unwrap();
+        // Stripped bytes == the file a pre-index writer produces.
+        assert_eq!(
+            std::fs::read(&indexed).unwrap(),
+            std::fs::read(&legacy).unwrap()
+        );
+        let r = H5Reader::open(&indexed).unwrap();
+        assert!(r.chunk_index("d").unwrap().is_none());
+        assert_eq!(r.read_dataset("d").unwrap().len(), 512);
+        std::fs::remove_file(&indexed).ok();
+        std::fs::remove_file(&legacy).ok();
+    }
+
+    #[test]
+    fn read_chunk_raw_into_reuses_buffer() {
+        let path = tmp("raw-into");
+        let w = H5Writer::create(&path).unwrap();
+        let data: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        w.write_dataset("d", &data, 128, &NoFilter).unwrap();
+        w.finish().unwrap();
+        let r = H5Reader::open(&path).unwrap();
+        let mut buf = vec![0xAA; 4];
+        for i in 0..3 {
+            r.read_chunk_raw_into("d", i, &mut buf).unwrap();
+            assert_eq!(buf, r.read_chunk_raw("d", i).unwrap(), "chunk {i}");
+        }
+        assert!(matches!(
+            r.read_chunk_raw_into("d", 3, &mut buf),
+            Err(H5Error::ChunkOutOfRange { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn finish_twice_errors() {
         let path = tmp("double-finish");
         let w = H5Writer::create(&path).unwrap();
         w.finish().unwrap();
         assert!(w.finish().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn set_chunk_index_after_finish_errors() {
+        // Regression: the directory is flushed by finish(); a later index
+        // registration must fail loudly instead of silently vanishing.
+        let path = tmp("index-after-finish");
+        let w = H5Writer::create(&path).unwrap();
+        w.write_dataset("d", &[1.0, 2.0], 8, &NoFilter).unwrap();
+        w.finish().unwrap();
+        let idx = ChunkIndex::new(vec![ChunkIndexEntry {
+            codec_id: crate::index::CODEC_RAW,
+            extent: None,
+        }]);
+        assert!(matches!(
+            w.set_chunk_index("d", idx),
+            Err(H5Error::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn footer_overlapping_dir_offset_is_typed_error() {
+        // Regression: a dir_offset pointing inside the 12-byte footer
+        // must not underflow into an absurd allocation.
+        let path = tmp("dir-in-footer");
+        let w = H5Writer::create(&path).unwrap();
+        w.write_dataset("d", &[1.0, 2.0], 8, &NoFilter).unwrap();
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        for bad_offset in [n as u64 - 11, n as u64 - 1] {
+            bytes[n - 12..n - 4].copy_from_slice(&bad_offset.to_le_bytes());
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(H5Reader::open(&path), Err(H5Error::Format(_))),
+                "offset {bad_offset} of {n} must be rejected"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 }

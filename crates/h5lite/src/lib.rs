@@ -31,11 +31,13 @@ pub mod dataset;
 pub mod error;
 pub mod file;
 pub mod filter;
+pub mod index;
 
 pub use dataset::{ChunkRecord, DatasetMeta, ExtentPlan};
 pub use error::{H5Error, H5Result};
-pub use file::{ChunkData, H5Reader, H5Writer, WriteStats};
+pub use file::{strip_chunk_indexes, ChunkData, H5Reader, H5Writer, WriteStats};
 pub use filter::{ChunkFilter, EncodedFrame, FilterMode, NoFilter, SzFilter};
+pub use index::{ChunkIndex, ChunkIndexEntry, CODEC_RAW};
 
 /// Commonly used items.
 pub mod prelude {
@@ -45,8 +47,9 @@ pub mod prelude {
     };
     pub use crate::dataset::{ChunkRecord, DatasetMeta, ExtentPlan};
     pub use crate::error::{H5Error, H5Result};
-    pub use crate::file::{ChunkData, H5Reader, H5Writer, WriteStats};
+    pub use crate::file::{strip_chunk_indexes, ChunkData, H5Reader, H5Writer, WriteStats};
     pub use crate::filter::{
         encode_frame, staged_chunk, ChunkFilter, EncodedFrame, FilterMode, NoFilter, SzFilter,
     };
+    pub use crate::index::{ChunkIndex, ChunkIndexEntry, CODEC_RAW};
 }

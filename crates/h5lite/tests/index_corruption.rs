@@ -1,0 +1,195 @@
+//! Fuzz-lite robustness suite for the persistent chunk-index section
+//! (mirrors the `amric` crate's `corruption.rs` style): every malformed
+//! index must surface as a typed `H5Error` or read as an index-less
+//! legacy file — never a panic, never an absurd allocation.
+
+use h5lite::prelude::*;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("h5lite-idxcorr-{}-{name}", std::process::id()));
+    p
+}
+
+/// Write the same two datasets, with or without chunk indexes.
+fn build(path: &std::path::Path, with_index: bool) {
+    let w = H5Writer::create(path).unwrap();
+    let data: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.003).sin()).collect();
+    w.write_dataset("a/raw", &data, 1024, &NoFilter).unwrap();
+    w.write_dataset("a/sz", &data, 1024, &SzFilter::one_dimensional(1e-3))
+        .unwrap();
+    if with_index {
+        for name in ["a/raw", "a/sz"] {
+            let entries = (0..3)
+                .map(|i| ChunkIndexEntry {
+                    codec_id: if name == "a/raw" { CODEC_RAW } else { 1 },
+                    extent: Some(([0, 0, i * 8], [15, 15, i * 8 + 7])),
+                })
+                .collect();
+            w.set_chunk_index(name, ChunkIndex::new(entries)).unwrap();
+        }
+    }
+    w.finish().unwrap();
+}
+
+/// The byte span of the index section: everything the indexed file has
+/// that the index-less twin does not (both end with the same 12-byte
+/// footer).
+fn section_span(indexed: &[u8], legacy: &[u8]) -> std::ops::Range<usize> {
+    assert!(indexed.len() > legacy.len());
+    let start = legacy.len() - 12;
+    let end = indexed.len() - 12;
+    assert_eq!(&indexed[..start], &legacy[..start], "common prefix differs");
+    assert_eq!(&indexed[end..], &legacy[start..], "footers differ");
+    start..end
+}
+
+/// Open + exercise a possibly-corrupt file: any typed `Err` is fine, a
+/// panic is not; on `Ok` every surfaced index and dataset must still read
+/// without panicking.
+fn exercise(bytes: &[u8]) {
+    let path = tmp("exercise");
+    std::fs::write(&path, bytes).unwrap();
+    if let Ok(r) = H5Reader::open(&path) {
+        for name in r.dataset_names() {
+            let _ = r.chunk_index(name).map(|i| i.cloned());
+            let _ = r.chunk_index_or_scan(name);
+            let _ = r.read_dataset(name);
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn index_section_is_total_over_byte_flips() {
+    let pi = tmp("flip-indexed");
+    let pl = tmp("flip-legacy");
+    build(&pi, true);
+    build(&pl, false);
+    let indexed = std::fs::read(&pi).unwrap();
+    let legacy = std::fs::read(&pl).unwrap();
+    let span = section_span(&indexed, &legacy);
+    for pos in span.clone() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut corrupt = indexed.clone();
+            corrupt[pos] ^= mask;
+            exercise(&corrupt);
+        }
+    }
+    std::fs::remove_file(&pi).ok();
+    std::fs::remove_file(&pl).ok();
+}
+
+#[test]
+fn truncated_index_streams_are_typed_errors() {
+    let pi = tmp("trunc-indexed");
+    let pl = tmp("trunc-legacy");
+    build(&pi, true);
+    build(&pl, false);
+    let indexed = std::fs::read(&pi).unwrap();
+    let legacy = std::fs::read(&pl).unwrap();
+    let span = section_span(&indexed, &legacy);
+    let section_len = span.len();
+    // Splice k bytes out of the tail of the index section, keeping the
+    // footer intact: the index magic survives, its stream is short.
+    // (Cuts that leave fewer than 4 bytes erase the magic itself; those
+    // read as an unknown trailing section — i.e. "no index" — by design.)
+    for k in 1..=section_len - 4 {
+        let mut spliced = Vec::with_capacity(indexed.len() - k);
+        spliced.extend_from_slice(&indexed[..span.end - k]);
+        spliced.extend_from_slice(&indexed[span.end..]);
+        let path = tmp("trunc");
+        std::fs::write(&path, &spliced).unwrap();
+        match H5Reader::open(&path) {
+            Err(H5Error::Format(_)) | Err(H5Error::Codec(_)) => {}
+            Err(other) => panic!("cut {k}: unexpected error class {other:?}"),
+            Ok(_) => panic!("cut {k}: truncated index must not parse"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    // Splicing the whole section out reads as a legacy file.
+    let mut stripped = Vec::new();
+    stripped.extend_from_slice(&indexed[..span.start]);
+    stripped.extend_from_slice(&indexed[span.end..]);
+    let path = tmp("trunc-whole");
+    std::fs::write(&path, &stripped).unwrap();
+    let r = H5Reader::open(&path).expect("index-less layout must open");
+    assert!(r.chunk_index("a/sz").unwrap().is_none());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&pi).ok();
+    std::fs::remove_file(&pl).ok();
+}
+
+#[test]
+fn absurd_index_counts_rejected_without_allocation() {
+    let pl = tmp("absurd-legacy");
+    build(&pl, false);
+    let legacy = std::fs::read(&pl).unwrap();
+    let insert_at = legacy.len() - 12;
+    // Crafted sections claiming counts far beyond the stream's bytes: a
+    // dataset count of u32::MAX and an entry count of u32::MAX. Both must
+    // fail the pre-allocation bounds check, not allocate gigabytes.
+    let magic = 0x5844_4943u32.to_le_bytes();
+    let mut absurd_datasets = magic.to_vec();
+    absurd_datasets.extend_from_slice(&u32::MAX.to_le_bytes());
+    let mut absurd_entries = magic.to_vec();
+    absurd_entries.extend_from_slice(&1u32.to_le_bytes());
+    absurd_entries.extend_from_slice(&2u16.to_le_bytes());
+    absurd_entries.extend_from_slice(b"a/");
+    absurd_entries.extend_from_slice(&u32::MAX.to_le_bytes());
+    for section in [absurd_datasets, absurd_entries] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&legacy[..insert_at]);
+        bytes.extend_from_slice(&section);
+        bytes.extend_from_slice(&legacy[insert_at..]);
+        let path = tmp("absurd");
+        std::fs::write(&path, &bytes).unwrap();
+        match H5Reader::open(&path) {
+            Err(H5Error::Format(_)) | Err(H5Error::Codec(_)) => {}
+            Err(other) => panic!("absurd count: unexpected error class {other:?}"),
+            Ok(_) => panic!("absurd count must be a typed error"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_file(&pl).ok();
+}
+
+#[test]
+fn index_for_unknown_dataset_or_wrong_arity_rejected() {
+    let pl = tmp("arity-legacy");
+    build(&pl, false);
+    let legacy = std::fs::read(&pl).unwrap();
+    let insert_at = legacy.len() - 12;
+    let magic = 0x5844_4943u32.to_le_bytes();
+    // Index naming a dataset the directory does not hold.
+    let mut unknown = magic.to_vec();
+    unknown.extend_from_slice(&1u32.to_le_bytes());
+    unknown.extend_from_slice(&4u16.to_le_bytes());
+    unknown.extend_from_slice(b"ghost");
+    // (name says 4 bytes: "ghos" — remaining "t" feeds the entry count,
+    // which then truncates; either way a typed error.)
+    unknown.extend_from_slice(&0u32.to_le_bytes());
+    // Index with the wrong entry count for a real dataset.
+    let mut arity = magic.to_vec();
+    arity.extend_from_slice(&1u32.to_le_bytes());
+    arity.extend_from_slice(&5u16.to_le_bytes());
+    arity.extend_from_slice(b"a/raw");
+    arity.extend_from_slice(&1u32.to_le_bytes()); // dataset has 3 chunks
+    arity.extend_from_slice(&CODEC_RAW.to_le_bytes());
+    arity.push(0);
+    for section in [unknown, arity] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&legacy[..insert_at]);
+        bytes.extend_from_slice(&section);
+        bytes.extend_from_slice(&legacy[insert_at..]);
+        let path = tmp("arity");
+        std::fs::write(&path, &bytes).unwrap();
+        match H5Reader::open(&path) {
+            Err(H5Error::Format(_)) | Err(H5Error::Codec(_)) => {}
+            Err(other) => panic!("inconsistent index: unexpected error class {other:?}"),
+            Ok(_) => panic!("inconsistent index must be a typed error"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_file(&pl).ok();
+}

@@ -1,21 +1,22 @@
 //! # amric-repro — workspace facade
 //!
 //! Root crate of the AMRIC (Wang et al., SC '23) reproduction. It
-//! re-exports the seven member crates so downstream users can depend on a
+//! re-exports the eight member crates so downstream users can depend on a
 //! single package, and it hosts the cross-crate `tests/` (integration,
 //! property, example-smoke) and the runnable `examples/`.
 //!
 //! Layer map (dependencies point downward):
 //!
 //! ```text
-//! bench ─────────────► amric ───► h5lite ───► rankpar
-//!   │                   │  │                     ▲
-//!   │                   │  └────► amr-apps ──► amr-mesh
-//!   └► paper tables     └──────► sz-codec
+//! bench ──► amr-query ─► amric ───► h5lite ───► rankpar
+//!   │                     │  │                     ▲
+//!   │                     │  └────► amr-apps ──► amr-mesh
+//!   └► paper tables       └──────► sz-codec
 //! ```
 
 pub use amr_apps;
 pub use amr_mesh;
+pub use amr_query;
 pub use amric;
 pub use h5lite;
 pub use rankpar;
@@ -25,6 +26,7 @@ pub use sz_codec;
 pub mod prelude {
     pub use amr_apps::prelude::*;
     pub use amr_mesh::prelude::*;
+    pub use amr_query::prelude::*;
     pub use amric::prelude::*;
     pub use h5lite::prelude::*;
     pub use rankpar::prelude::*;
