@@ -5,7 +5,11 @@
 //! amric_inspect <file.h5l> --chunks     # per-chunk detail
 //! amric_inspect <file.h5l> --header     # decoded AMR header/box metadata
 //! amric_inspect <file.h5l> --index      # chunk index + per-level ratios
+//! amric_inspect <file.h5l> --stats      # query-engine counters after probes
 //! ```
+//!
+//! (Hosted by `amr-query` — `--stats` drives a real `QueryEngine`, which
+//! lives a layer above the `amric` pipeline crate.)
 
 use h5lite::prelude::*;
 use std::process::ExitCode;
@@ -195,10 +199,60 @@ fn print_header(path: &str) {
     }
 }
 
+/// Exercise a representative query workload through an
+/// [`amr_query::QueryEngine`]
+/// and dump the engine/cache counter snapshot — the same atomics the
+/// `amr-serve` stats endpoint reports per open file.
+fn print_stats(path: &str) {
+    use amr_query::prelude::*;
+    let engine = match QueryEngine::open(path) {
+        Ok(e) => e,
+        Err(e) => {
+            println!("query stats unavailable: {e}");
+            return;
+        }
+    };
+    let meta = engine.meta();
+    let domain = meta.levels[0].domain;
+    let center = amr_mesh::IntVect::new(
+        (domain.lo.get(0) + domain.hi.get(0)) / 2,
+        (domain.lo.get(1) + domain.hi.get(1)) / 2,
+        (domain.lo.get(2) + domain.hi.get(2)) / 2,
+    );
+    // Probe workload: a point, a mid-plane, an octant ROI (cold), and
+    // the same ROI again (warm) so hit/miss counters show both paths.
+    engine.point_sample(0, center).ok();
+    engine.plane_slice(0, 0, 2, center.get(2)).ok();
+    let octant = amr_mesh::IntBox::new(domain.lo, center);
+    engine.roi(0, octant, LevelSelect::All).ok();
+    engine.roi(0, octant, LevelSelect::All).ok();
+    let s = engine.stats();
+    println!("query-engine stats after probe workload (point, plane, 2x ROI):");
+    println!(
+        "  queries: {} roi, {} region, {} plane, {} point",
+        s.roi_queries, s.region_queries, s.plane_queries, s.point_queries
+    );
+    println!(
+        "  chunks decoded: {} ({} decoded, {} compressed read)",
+        s.chunks_decoded,
+        human(s.decoded_bytes),
+        human(s.read_bytes)
+    );
+    if let Ok(cost) = engine.roi_cost(0, domain, LevelSelect::All) {
+        println!(
+            "  full-domain ROI estimate: {} chunks, {} decoded",
+            cost.chunks,
+            human(cost.decode_bytes)
+        );
+    }
+    let c = &s.cache;
+    println!("  cache: {} hits / {} misses (rate {:.1}%), {} insertions, {} evictions, resident {} of {}", c.hits, c.misses, c.hit_rate() * 100.0, c.insertions, c.evictions, human(c.resident_bytes), human(c.capacity_bytes));
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: amric_inspect <file.h5l> [--chunks] [--header]");
+        eprintln!("usage: amric_inspect <file.h5l> [--chunks] [--header] [--index] [--stats]");
         return ExitCode::FAILURE;
     };
     let r = match H5Reader::open(path) {
@@ -216,6 +270,10 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--header") {
         println!();
         print_header(path);
+    }
+    if args.iter().any(|a| a == "--stats") {
+        println!();
+        print_stats(path);
     }
     ExitCode::SUCCESS
 }

@@ -1,4 +1,6 @@
-//! Sharded, byte-bounded LRU cache of decompressed chunks.
+//! Sharded, byte-bounded LRU cache of decompressed chunks — usable as a
+//! private per-engine cache or as one **global store shared by every
+//! open plotfile in a process** (the `amr-serve` service tier).
 //!
 //! Decoding a chunk costs a full SZ decompression; analysis workloads
 //! (pan a region of interest, step through neighboring slices) hit the
@@ -6,20 +8,22 @@
 //! and the codecs so repeated or overlapping queries served from one
 //! process pay the decode once.
 //!
-//! Design:
+//! Two layers:
 //!
-//! * **Sharded** — keys hash onto independently-locked shards, so
-//!   prefetch workers inserting different chunks never contend on one
-//!   lock.
-//! * **Byte-bounded** — the budget is split evenly across shards; an
-//!   insert evicts that shard's least-recently-used entries until the
-//!   newcomer fits. The newest entry of a shard is never evicted by its
-//!   own insert, so a single chunk larger than a shard's budget still
-//!   caches (and is first out on the next insert).
-//! * **Shared values** — entries are `Arc`ed unit-block vectors: eviction
+//! * [`ShardedLru<K>`] — the storage engine, generic over the key. Keys
+//!   hash onto independently-locked shards; the byte budget is split
+//!   evenly across shards; an insert evicts that shard's
+//!   least-recently-used entries until the newcomer fits (the newest
+//!   entry of a shard is never evicted by its own insert, so a single
+//!   chunk larger than a shard's budget still caches and is first out on
+//!   the next insert). Values are `Arc`ed unit-block vectors: eviction
 //!   never invalidates data a query is still assembling from.
-//! * **Counted** — hits, misses, insertions, and evictions are tracked
-//!   for the stats surface ([`CacheStats`]).
+//! * [`ChunkCache`] — the engine-facing handle: a key prefix (the
+//!   *file id*) plus its own atomic hit/miss/insert/evict counters over
+//!   a [`ShardedLru`] that may be private ([`ChunkCache::new`]) or
+//!   shared ([`ChunkCache::shared`]). Sharing the store while keeping
+//!   counters on the handle is what gives the service tier per-tenant
+//!   statistics under one global byte budget.
 
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
@@ -29,15 +33,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use sz_codec::Buffer3;
 
-/// Cache key: `(level, field, chunk position)` of a field dataset's
-/// chunk (chunk position = writing rank in AMRIC plotfiles).
+/// Cache key within one plotfile: `(level, field, chunk position)` of a
+/// field dataset's chunk (chunk position = writing rank in AMRIC
+/// plotfiles).
 pub type ChunkKey = (usize, usize, usize);
+
+/// Store-wide key: a [`ChunkKey`] qualified by the owning file's id, so
+/// many open plotfiles can share one byte budget without colliding.
+pub type GlobalChunkKey = (u64, ChunkKey);
+
+/// The store type every [`ChunkCache`] handle points at.
+pub type ChunkStore = ShardedLru<GlobalChunkKey>;
 
 /// A cached decoded chunk: the unit blocks of one rank's chunk, in plan
 /// order.
 pub type CachedChunk = Arc<Vec<Buffer3>>;
 
-/// Snapshot of the cache counters.
+/// Snapshot of a cache handle's counters (hits/misses/insertions/
+/// evictions are the handle's own; resident/capacity describe the
+/// underlying store, which may be shared).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
@@ -48,9 +62,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to respect the byte budget.
     pub evictions: u64,
-    /// Decoded bytes currently resident.
+    /// Decoded bytes currently resident (whole store).
     pub resident_bytes: u64,
-    /// Configured budget in bytes.
+    /// Configured budget in bytes (whole store).
     pub capacity_bytes: u64,
 }
 
@@ -72,16 +86,25 @@ struct Entry {
     last_used: u64,
 }
 
-#[derive(Default)]
-struct Shard {
-    entries: HashMap<ChunkKey, Entry>,
+struct Shard<K> {
+    entries: HashMap<K, Entry>,
     bytes: u64,
 }
 
-/// The sharded LRU itself. All methods take `&self`; the cache is shared
-/// by the prefetch workers.
-pub struct ChunkCache {
-    shards: Vec<Mutex<Shard>>,
+impl<K> Default for Shard<K> {
+    fn default() -> Self {
+        Shard {
+            entries: HashMap::new(),
+            bytes: 0,
+        }
+    }
+}
+
+/// The sharded LRU storage engine. All methods take `&self`; the store
+/// is shared by prefetch workers and, in the service tier, by every open
+/// plotfile's engine.
+pub struct ShardedLru<K> {
+    shards: Vec<Mutex<Shard<K>>>,
     shard_capacity: u64,
     capacity: u64,
     clock: AtomicU64,
@@ -101,11 +124,11 @@ pub fn chunk_bytes(units: &[Buffer3]) -> u64 {
     units.iter().map(|u| u.dims().len() as u64 * 8).sum()
 }
 
-impl ChunkCache {
-    /// Cache bounded by `max_bytes` of decoded data (split evenly across
+impl<K: Hash + Eq + Copy> ShardedLru<K> {
+    /// Store bounded by `max_bytes` of decoded data (split evenly across
     /// the shards).
     pub fn new(max_bytes: u64) -> Self {
-        ChunkCache {
+        ShardedLru {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity: max_bytes / SHARDS as u64,
             capacity: max_bytes,
@@ -117,14 +140,14 @@ impl ChunkCache {
         }
     }
 
-    fn shard_for(&self, key: &ChunkKey) -> &Mutex<Shard> {
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     /// Look a chunk up, refreshing its recency on a hit.
-    pub fn get(&self, key: &ChunkKey) -> Option<CachedChunk> {
+    pub fn get(&self, key: &K) -> Option<CachedChunk> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_for(key).lock();
         match shard.entries.get_mut(key) {
@@ -142,14 +165,16 @@ impl ChunkCache {
 
     /// Insert a decoded chunk, evicting the shard's least-recently-used
     /// entries until it fits (the newcomer itself is never evicted by its
-    /// own insert). Re-inserting an existing key refreshes it.
-    pub fn insert(&self, key: ChunkKey, value: CachedChunk) {
+    /// own insert). Re-inserting an existing key refreshes it. Returns
+    /// the number of entries evicted to make room.
+    pub fn insert(&self, key: K, value: CachedChunk) -> u64 {
         let bytes = chunk_bytes(&value);
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_for(&key).lock();
         if let Some(old) = shard.entries.remove(&key) {
             shard.bytes -= old.bytes;
         }
+        let mut evicted_here = 0u64;
         while shard.bytes + bytes > self.shard_capacity && !shard.entries.is_empty() {
             let victim = *shard
                 .entries
@@ -159,7 +184,7 @@ impl ChunkCache {
                 .expect("non-empty shard");
             let evicted = shard.entries.remove(&victim).expect("victim present");
             shard.bytes -= evicted.bytes;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted_here += 1;
         }
         shard.bytes += bytes;
         shard.entries.insert(
@@ -171,9 +196,28 @@ impl ChunkCache {
             },
         );
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted_here, Ordering::Relaxed);
+        evicted_here
     }
 
-    /// Counter snapshot.
+    /// Drop every entry whose key matches `pred`; returns the count
+    /// removed. The service catalog uses this to invalidate a stale
+    /// file's chunks when a plotfile is reopened under a new generation.
+    pub fn remove_matching(&self, pred: impl Fn(&K) -> bool) -> u64 {
+        let mut removed = 0u64;
+        for s in &self.shards {
+            let mut s = s.lock();
+            let victims: Vec<K> = s.entries.keys().filter(|k| pred(k)).copied().collect();
+            for k in victims {
+                let e = s.entries.remove(&k).expect("listed key present");
+                s.bytes -= e.bytes;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Store-wide counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -185,12 +229,125 @@ impl ChunkCache {
         }
     }
 
+    /// Decoded bytes currently resident across all shards.
+    pub fn resident_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// Configured byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
     /// Drop every entry (counters survive).
     pub fn clear(&self) {
         for s in &self.shards {
             let mut s = s.lock();
             s.entries.clear();
             s.bytes = 0;
+        }
+    }
+}
+
+/// Engine-facing cache handle: a file-id key prefix plus per-handle
+/// counters over a private or shared [`ChunkStore`].
+///
+/// Every [`crate::QueryEngine`] owns one handle. With
+/// [`ChunkCache::new`] the store is private and the behavior is the
+/// classic per-engine cache. With [`ChunkCache::shared`] many engines
+/// point at one store under one global byte budget while each handle
+/// still counts its own hits/misses/insertions/evictions — the
+/// per-tenant statistics the service tier reports.
+pub struct ChunkCache {
+    store: Arc<ChunkStore>,
+    file_id: u64,
+    /// Whether this handle owns the store exclusively (`clear` semantics:
+    /// a private handle clears the whole store, a shared handle drops
+    /// only its own file's entries).
+    private: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ChunkCache {
+    /// Private cache bounded by `max_bytes` of decoded data.
+    pub fn new(max_bytes: u64) -> Self {
+        ChunkCache {
+            store: Arc::new(ShardedLru::new(max_bytes)),
+            file_id: 0,
+            private: true,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Handle into a shared store, qualifying every key with `file_id`.
+    /// Distinct open files (and distinct generations of the same path)
+    /// must use distinct ids; the catalog allocates them.
+    pub fn shared(store: Arc<ChunkStore>, file_id: u64) -> Self {
+        ChunkCache {
+            store,
+            file_id,
+            private: false,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store (shared or private).
+    pub fn store(&self) -> &Arc<ChunkStore> {
+        &self.store
+    }
+
+    /// The file-id prefix this handle qualifies keys with.
+    pub fn file_id(&self) -> u64 {
+        self.file_id
+    }
+
+    /// Look a chunk up, refreshing its recency on a hit.
+    pub fn get(&self, key: &ChunkKey) -> Option<CachedChunk> {
+        let got = self.store.get(&(self.file_id, *key));
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Insert a decoded chunk (evictions it causes are charged to this
+    /// handle).
+    pub fn insert(&self, key: ChunkKey, value: CachedChunk) {
+        let evicted = self.store.insert((self.file_id, key), value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Handle-local counter snapshot over store-wide residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.store.resident_bytes(),
+            capacity_bytes: self.store.capacity_bytes(),
+        }
+    }
+
+    /// Drop cached chunks: the whole store for a private handle, only
+    /// this file's entries for a shared one (counters survive).
+    pub fn clear(&self) {
+        if self.private {
+            self.store.clear();
+        } else {
+            let fid = self.file_id;
+            self.store.remove_matching(|(f, _)| *f == fid);
         }
     }
 }
@@ -223,11 +380,12 @@ mod tests {
     #[test]
     fn lru_eviction_respects_budget() {
         // One shard's budget holds two 64-cell chunks; pin every key to
-        // the same shard by brute-force search.
+        // the same shard by brute-force search (the store hashes the
+        // global `(file_id, key)` tuple; a private handle uses id 0).
         let c = ChunkCache::new((64 * 8 * 2) * SHARDS as u64);
         let shard_of = |key: &ChunkKey| {
             let mut h = DefaultHasher::new();
-            key.hash(&mut h);
+            (0u64, *key).hash(&mut h);
             (h.finish() as usize) % SHARDS
         };
         let keys: Vec<ChunkKey> = (0..1000usize)
@@ -269,5 +427,51 @@ mod tests {
         assert_eq!(s.resident_bytes, 0);
         assert_eq!(s.insertions, 1);
         assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn shared_store_isolates_files_and_counters() {
+        let store: Arc<ChunkStore> = Arc::new(ShardedLru::new(1 << 20));
+        let a = ChunkCache::shared(Arc::clone(&store), 1);
+        let b = ChunkCache::shared(Arc::clone(&store), 2);
+        a.insert((0, 0, 0), chunk(16, 1.0));
+        // Same chunk key, different file id: b must not see a's entry.
+        assert!(b.get(&(0, 0, 0)).is_none());
+        b.insert((0, 0, 0), chunk(16, 2.0));
+        assert_eq!(a.get(&(0, 0, 0)).expect("a's entry")[0].data()[0], 1.0);
+        assert_eq!(b.get(&(0, 0, 0)).expect("b's entry")[0].data()[0], 2.0);
+        // Handle counters are per-tenant; the store aggregates.
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!((sa.hits, sa.misses, sa.insertions), (1, 0, 1));
+        assert_eq!((sb.hits, sb.misses, sb.insertions), (1, 1, 1));
+        let g = store.stats();
+        assert_eq!((g.hits, g.misses, g.insertions), (2, 1, 2));
+        // Both files' bytes count against the one budget.
+        assert_eq!(g.resident_bytes, 2 * 16 * 8);
+    }
+
+    #[test]
+    fn shared_clear_drops_only_own_file() {
+        let store: Arc<ChunkStore> = Arc::new(ShardedLru::new(1 << 20));
+        let a = ChunkCache::shared(Arc::clone(&store), 7);
+        let b = ChunkCache::shared(Arc::clone(&store), 8);
+        a.insert((0, 0, 0), chunk(8, 1.0));
+        b.insert((0, 0, 0), chunk(8, 2.0));
+        a.clear();
+        assert!(a.get(&(0, 0, 0)).is_none(), "a's entries dropped");
+        assert!(b.get(&(0, 0, 0)).is_some(), "b's entries survive");
+        assert_eq!(store.resident_bytes(), 8 * 8);
+    }
+
+    #[test]
+    fn remove_matching_invalidates_a_generation() {
+        let store: Arc<ChunkStore> = Arc::new(ShardedLru::new(1 << 20));
+        let old = ChunkCache::shared(Arc::clone(&store), 3);
+        for r in 0..5 {
+            old.insert((0, 0, r), chunk(8, r as f64));
+        }
+        assert_eq!(store.remove_matching(|(f, _)| *f == 3), 5);
+        assert_eq!(store.resident_bytes(), 0);
+        assert!(old.get(&(0, 0, 0)).is_none());
     }
 }

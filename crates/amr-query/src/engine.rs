@@ -23,7 +23,7 @@
 //!    decode leaves there, so partial and full reads are bitwise
 //!    interchangeable (the equivalence suite enforces it).
 
-use crate::cache::{CacheStats, CachedChunk, ChunkCache, ChunkKey};
+use crate::cache::{chunk_bytes, CacheStats, CachedChunk, ChunkCache, ChunkKey, ChunkStore};
 use crate::error::{QueryError, QueryResult};
 use amr_mesh::prelude::*;
 use amric::pipeline::decompress_field_units;
@@ -32,6 +32,7 @@ use amric::reader::{read_plotfile_meta, PlotfileMeta};
 use amric::writer::field_dataset;
 use h5lite::index::ChunkIndexEntry;
 use h5lite::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use sz_codec::{Buffer3, Dims3};
 
@@ -148,12 +149,69 @@ struct LevelPlan {
     /// One pruning entry per chunk (persisted index, or re-derived for
     /// legacy files).
     extents: Vec<ChunkIndexEntry>,
+    /// `[rank] -> decoded size in bytes` of the rank's chunk (sum of its
+    /// unit volumes × 8), precomputed for cost estimation.
+    chunk_bytes: Vec<u64>,
+}
+
+/// Lock-free snapshot of an engine's lifetime counters (the satellite
+/// stats surface: atomics only, no lock on the read path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// [`QueryEngine::roi`] calls answered (including errors).
+    pub roi_queries: u64,
+    /// [`QueryEngine::level_region`] calls answered.
+    pub region_queries: u64,
+    /// [`QueryEngine::plane_slice`] calls answered.
+    pub plane_queries: u64,
+    /// [`QueryEngine::point_sample`] calls answered.
+    pub point_queries: u64,
+    /// Chunks decoded (cache misses that went to the codecs).
+    pub chunks_decoded: u64,
+    /// Decoded output bytes produced by those decodes.
+    pub decoded_bytes: u64,
+    /// Stored (compressed) bytes read from the container.
+    pub read_bytes: u64,
+    /// The engine's cache-handle counters.
+    pub cache: CacheStats,
+}
+
+/// Atomic counter block behind [`EngineStats`].
+#[derive(Default)]
+struct EngineCounters {
+    roi_queries: AtomicU64,
+    region_queries: AtomicU64,
+    plane_queries: AtomicU64,
+    point_queries: AtomicU64,
+    chunks_decoded: AtomicU64,
+    decoded_bytes: AtomicU64,
+    read_bytes: AtomicU64,
+}
+
+/// Predicted cost of answering a query with a cold cache: every chunk
+/// whose indexed extent intersects the (refined, clipped) query region,
+/// and the decoded bytes those chunks expand to. The service tier's
+/// admission control classifies and bounds requests with this **before**
+/// any byte is read; a warm cache only ever makes the real cost smaller.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Chunks the planner would touch.
+    pub chunks: usize,
+    /// Decoded bytes those chunks expand to.
+    pub decode_bytes: u64,
 }
 
 /// Default cache budget: 256 MiB of decoded chunks.
 const DEFAULT_CACHE_BYTES: u64 = 256 << 20;
 
 /// Random-access reader over one AMRIC plotfile.
+///
+/// All query methods take `&self` (the reader uses positioned reads, the
+/// cache and counters use interior locking/atomics), so one engine is
+/// safely shared across threads for concurrent reads — `QueryEngine` is
+/// `Send + Sync` and the concurrent-readers suite exercises exactly
+/// that. The service tier wraps engines in `Arc` and serves many
+/// connections from each.
 pub struct QueryEngine {
     reader: H5Reader,
     meta: PlotfileMeta,
@@ -163,7 +221,16 @@ pub struct QueryEngine {
     indexed: bool,
     cache: ChunkCache,
     workers: usize,
+    counters: EngineCounters,
 }
+
+// Compile-time guarantee that the engine stays shareable across threads;
+// a field losing `Send + Sync` breaks the service tier, so fail the
+// build, not the server.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>();
+};
 
 impl QueryEngine {
     /// Open a plotfile and build the query plans from its metadata. No
@@ -221,7 +288,15 @@ impl QueryEngine {
                         .collect()
                 }
             };
-            levels.push(LevelPlan { plans, extents });
+            let chunk_bytes = plans
+                .iter()
+                .map(|p| p.iter().map(|u| u.region.num_cells() * 8).sum())
+                .collect();
+            levels.push(LevelPlan {
+                plans,
+                extents,
+                chunk_bytes,
+            });
         }
         Ok(QueryEngine {
             reader,
@@ -230,6 +305,7 @@ impl QueryEngine {
             indexed,
             cache: ChunkCache::new(DEFAULT_CACHE_BYTES),
             workers: 1,
+            counters: EngineCounters::default(),
         })
     }
 
@@ -247,6 +323,16 @@ impl QueryEngine {
         self
     }
 
+    /// Point the engine at a **shared** chunk store under `file_id`: its
+    /// decoded chunks then compete for the store's global byte budget
+    /// with every other engine sharing it, while hit/miss accounting
+    /// stays per-engine. The service catalog allocates one distinct
+    /// `file_id` per open `(path, generation)`.
+    pub fn with_shared_cache(mut self, store: Arc<ChunkStore>, file_id: u64) -> Self {
+        self.cache = ChunkCache::shared(store, file_id);
+        self
+    }
+
     /// The plotfile's structural metadata.
     pub fn meta(&self) -> &PlotfileMeta {
         &self.meta
@@ -261,6 +347,22 @@ impl QueryEngine {
     /// Cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Lifetime counter snapshot (atomic loads only — cheap enough for a
+    /// stats endpoint to poll on every request).
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.counters;
+        EngineStats {
+            roi_queries: c.roi_queries.load(Ordering::Relaxed),
+            region_queries: c.region_queries.load(Ordering::Relaxed),
+            plane_queries: c.plane_queries.load(Ordering::Relaxed),
+            point_queries: c.point_queries.load(Ordering::Relaxed),
+            chunks_decoded: c.chunks_decoded.load(Ordering::Relaxed),
+            decoded_bytes: c.decoded_bytes.load(Ordering::Relaxed),
+            read_bytes: c.read_bytes.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
     }
 
     /// Drop all cached chunks (for cold-read measurements).
@@ -290,17 +392,11 @@ impl QueryEngine {
     /// result. Only chunks whose indexed extent intersects the refined
     /// ROI are read and decoded.
     pub fn roi(&self, field: usize, roi: Box3, select: LevelSelect) -> QueryResult<RegionView> {
+        self.counters.roi_queries.fetch_add(1, Ordering::Relaxed);
         self.check_field(field)?;
-        let selected = select.resolve(self.meta.num_levels())?;
         // Refine + clip per level, then plan the minimal chunk set across
         // all levels so one prefetch fan-out covers the whole query.
-        let mut regions: Vec<(usize, IntBox)> = Vec::new();
-        for &l in &selected {
-            let refined = roi.refined(self.meta.refine_factor(l));
-            if let Some(clipped) = refined.intersection(&self.meta.levels[l].domain) {
-                regions.push((l, clipped));
-            }
-        }
+        let regions = self.roi_regions(roi, select)?;
         let mut requests: Vec<ChunkKey> = Vec::new();
         for &(l, region) in &regions {
             for rank in self.chunks_for_region(l, &region) {
@@ -335,9 +431,113 @@ impl QueryEngine {
         })
     }
 
+    /// The per-level regions an ROI query resolves to: the ROI refined
+    /// to each selected level and clipped to the level's domain (levels
+    /// the refined ROI misses are omitted).
+    fn roi_regions(&self, roi: Box3, select: LevelSelect) -> QueryResult<Vec<(usize, IntBox)>> {
+        let selected = select.resolve(self.meta.num_levels())?;
+        let mut regions: Vec<(usize, IntBox)> = Vec::new();
+        for &l in &selected {
+            let refined = roi.refined(self.meta.refine_factor(l));
+            if let Some(clipped) = refined.intersection(&self.meta.levels[l].domain) {
+                regions.push((l, clipped));
+            }
+        }
+        Ok(regions)
+    }
+
+    /// Cold-cache cost bound of [`QueryEngine::roi`] with the same
+    /// arguments: planning only, no bytes read. Same validation errors as
+    /// the query itself.
+    pub fn roi_cost(&self, field: usize, roi: Box3, select: LevelSelect) -> QueryResult<QueryCost> {
+        self.check_field(field)?;
+        let mut cost = QueryCost::default();
+        for (l, region) in self.roi_regions(roi, select)? {
+            for rank in self.chunks_for_region(l, &region) {
+                cost.chunks += 1;
+                cost.decode_bytes += self.levels[l].chunk_bytes[rank];
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Cold-cache cost bound of [`QueryEngine::level_region`] with the
+    /// same arguments (a region that misses the level's domain costs
+    /// zero rather than erroring — admission control wants a number, the
+    /// query itself still reports the miss).
+    pub fn region_cost(&self, field: usize, level: usize, region: Box3) -> QueryResult<QueryCost> {
+        self.check_field(field)?;
+        if level >= self.meta.num_levels() {
+            return Err(QueryError::BadQuery(format!(
+                "level {level} out of range (file has {} levels)",
+                self.meta.num_levels()
+            )));
+        }
+        let mut cost = QueryCost::default();
+        if let Some(clipped) = region.intersection(&self.meta.levels[level].domain) {
+            for rank in self.chunks_for_region(level, &clipped) {
+                cost.chunks += 1;
+                cost.decode_bytes += self.levels[level].chunk_bytes[rank];
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Decode every chunk an ROI query would touch into the cache
+    /// without assembling a result; returns the number of chunks the
+    /// plan covered. The service tier warms large scans slab by slab
+    /// with this (each slab under the fair gate), then assembles the
+    /// full answer from the warm cache.
+    pub fn prefetch_roi(&self, field: usize, roi: Box3, select: LevelSelect) -> QueryResult<usize> {
+        self.check_field(field)?;
+        let mut requests: Vec<ChunkKey> = Vec::new();
+        for (l, region) in self.roi_regions(roi, select)? {
+            for rank in self.chunks_for_region(l, &region) {
+                requests.push((l, field, rank));
+            }
+        }
+        self.fetch(&requests)?;
+        Ok(requests.len())
+    }
+
+    /// [`QueryEngine::prefetch_roi`] for a single-level region in that
+    /// level's own index space (regions missing the domain are a no-op).
+    pub fn prefetch_region(&self, field: usize, level: usize, region: Box3) -> QueryResult<usize> {
+        self.check_field(field)?;
+        if level >= self.meta.num_levels() {
+            return Err(QueryError::BadQuery(format!(
+                "level {level} out of range (file has {} levels)",
+                self.meta.num_levels()
+            )));
+        }
+        let Some(clipped) = region.intersection(&self.meta.levels[level].domain) else {
+            return Ok(0);
+        };
+        let requests: Vec<ChunkKey> = self
+            .chunks_for_region(level, &clipped)
+            .into_iter()
+            .map(|rank| (level, field, rank))
+            .collect();
+        self.fetch(&requests)?;
+        Ok(requests.len())
+    }
+
     /// Extract one rectangular region at one specific level (`region` in
     /// that level's index space, clipped to its domain).
     pub fn level_region(
+        &self,
+        field: usize,
+        level: usize,
+        region: Box3,
+    ) -> QueryResult<LevelRegion> {
+        self.counters.region_queries.fetch_add(1, Ordering::Relaxed);
+        self.level_region_impl(field, level, region)
+    }
+
+    /// [`QueryEngine::level_region`] without the counter bump, shared
+    /// with [`QueryEngine::plane_slice`] so each public entry point
+    /// counts exactly once.
+    fn level_region_impl(
         &self,
         field: usize,
         level: usize,
@@ -389,6 +589,7 @@ impl QueryEngine {
         axis: usize,
         coord: i64,
     ) -> QueryResult<LevelRegion> {
+        self.counters.plane_queries.fetch_add(1, Ordering::Relaxed);
         if axis >= 3 {
             return Err(QueryError::BadQuery(format!("axis {axis} out of range")));
         }
@@ -408,13 +609,14 @@ impl QueryEngine {
         let mut hi = domain.hi;
         lo.0[axis] = coord;
         hi.0[axis] = coord;
-        self.level_region(field, level, IntBox::new(lo, hi))
+        self.level_region_impl(field, level, IntBox::new(lo, hi))
     }
 
     /// Sample the value at a cell given in **finest-level index space**,
     /// answered by the finest level whose valid (non-redundant) data
     /// covers the cell. `Ok(None)` when no level holds the cell.
     pub fn point_sample(&self, field: usize, p: IntVect) -> QueryResult<Option<PointSample>> {
+        self.counters.point_queries.fetch_add(1, Ordering::Relaxed);
         self.check_field(field)?;
         let n = self.meta.num_levels();
         let finest_factor = self.meta.refine_factor(n - 1);
@@ -493,8 +695,15 @@ impl QueryEngine {
                 |buf: &mut Vec<u8>, _j, &(slot, (level, field, rank))| {
                     let name = field_dataset(level, field);
                     self.reader.read_chunk_raw_into(&name, rank, buf)?;
+                    self.counters
+                        .read_bytes
+                        .fetch_add(buf.len() as u64, Ordering::Relaxed);
                     let units = decompress_field_units(buf)?;
                     self.validate_chunk(level, rank, &units)?;
+                    self.counters.chunks_decoded.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .decoded_bytes
+                        .fetch_add(chunk_bytes(&units), Ordering::Relaxed);
                     Ok((slot, Arc::new(units)))
                 },
                 |_j, (slot, value): (usize, CachedChunk)| {

@@ -48,13 +48,18 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 
-pub use cache::{CacheStats, ChunkCache};
-pub use engine::{Box3, LevelRegion, LevelSelect, PointSample, QueryEngine, RegionView};
+pub use cache::{CacheStats, ChunkCache, ChunkStore, GlobalChunkKey, ShardedLru};
+pub use engine::{
+    Box3, EngineStats, LevelRegion, LevelSelect, PointSample, QueryCost, QueryEngine, RegionView,
+};
 pub use error::{QueryError, QueryResult};
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, ChunkCache};
-    pub use crate::engine::{Box3, LevelRegion, LevelSelect, PointSample, QueryEngine, RegionView};
+    pub use crate::cache::{CacheStats, ChunkCache, ChunkStore, GlobalChunkKey, ShardedLru};
+    pub use crate::engine::{
+        Box3, EngineStats, LevelRegion, LevelSelect, PointSample, QueryCost, QueryEngine,
+        RegionView,
+    };
     pub use crate::error::{QueryError, QueryResult};
 }

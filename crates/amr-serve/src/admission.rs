@@ -1,0 +1,256 @@
+//! Admission control and fair scheduling for the query service.
+//!
+//! The problem: one client panning a huge region of interest can decode
+//! hundreds of megabytes per request, and a naive server would let that
+//! scan monopolize the decode workers while point-sample traffic — the
+//! latency-sensitive workload visualization front-ends generate — waits
+//! behind it. Three mechanisms keep the service fair:
+//!
+//! 1. **Classification** — every query is costed *before any byte is
+//!    read* ([`amr_query::QueryEngine::roi_cost`] /
+//!    [`amr_query::QueryEngine::region_cost`]: planning only). Requests
+//!    whose cold-cache decode estimate stays under
+//!    [`AdmissionConfig::scan_threshold_bytes`] are **interactive** and
+//!    run immediately; the rest are **scans**.
+//! 2. **Per-connection in-flight bound** — a connection's requests are
+//!    served sequentially, so its in-flight decode volume is exactly the
+//!    current request's estimate; an estimate beyond
+//!    [`AdmissionConfig::max_request_bytes`] is rejected with the typed
+//!    `TooLarge` error instead of being allowed to balloon memory.
+//! 3. **Fair scan gate** — scans execute slab by slab (the server
+//!    slices them so each slab decodes roughly
+//!    [`AdmissionConfig::scan_slab_bytes`]), and every slab must hold
+//!    one of [`AdmissionConfig::scan_slots`] gate permits acquired in
+//!    strict FIFO order ([`FairGate`]). Releasing between slabs sends a
+//!    scan to the back of the queue, so N concurrent scans interleave
+//!    round-robin and the decode workers are returned to the pool at
+//!    slab granularity — a point sample never waits behind more than
+//!    `scan_slots` slabs' worth of decoding, which is what bounds its
+//!    tail latency.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Admission-control policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Reject a request whose cold-cache decode estimate exceeds this
+    /// (the per-connection in-flight decode-byte bound; connections are
+    /// served one request at a time).
+    pub max_request_bytes: u64,
+    /// Estimates at or above this are scan-class and go through the
+    /// fair gate; below it they run immediately.
+    pub scan_threshold_bytes: u64,
+    /// Concurrent scan slabs allowed to decode at once.
+    pub scan_slots: usize,
+    /// Target decoded bytes per scan slab (the fairness granularity:
+    /// smaller slabs interleave finer at slightly more overhead).
+    pub scan_slab_bytes: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_request_bytes: 256 << 20,
+            scan_threshold_bytes: 4 << 20,
+            scan_slots: 1,
+            scan_slab_bytes: 2 << 20,
+        }
+    }
+}
+
+/// How a request is scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestClass {
+    /// Small: runs immediately, never queued.
+    Interactive,
+    /// Large: sliced into slabs, each slab holding the fair gate.
+    Scan,
+}
+
+impl AdmissionConfig {
+    /// Classify a request by its cold-cache decode estimate.
+    pub fn classify(&self, decode_bytes: u64) -> RequestClass {
+        if decode_bytes >= self.scan_threshold_bytes {
+            RequestClass::Scan
+        } else {
+            RequestClass::Interactive
+        }
+    }
+
+    /// Number of slabs a scan of `decode_bytes` is sliced into (≥ 1).
+    pub fn slab_count(&self, decode_bytes: u64) -> u64 {
+        decode_bytes.div_ceil(self.scan_slab_bytes.max(1)).max(1)
+    }
+}
+
+struct GateState {
+    available: usize,
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// A FIFO-fair counting semaphore: permits are granted in strict
+/// arrival order, so a scan that releases its permit between slabs goes
+/// to the back of the line and concurrent scans round-robin.
+pub struct FairGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl FairGate {
+    /// Gate with `slots` permits (≥ 1).
+    pub fn new(slots: usize) -> Self {
+        FairGate {
+            state: Mutex::new(GateState {
+                available: slots.max(1),
+                queue: VecDeque::new(),
+                next_ticket: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Acquire one permit, waiting in FIFO order. The permit is released
+    /// when the returned guard drops.
+    pub fn acquire(&self) -> FairGateGuard<'_> {
+        let mut st = self.state.lock().expect("gate lock");
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        while !(st.queue.front() == Some(&ticket) && st.available > 0) {
+            st = self.cv.wait(st).expect("gate wait");
+        }
+        st.queue.pop_front();
+        st.available -= 1;
+        // Wake the next ticket holder if permits remain.
+        if st.available > 0 {
+            self.cv.notify_all();
+        }
+        FairGateGuard { gate: self }
+    }
+
+    /// Waiters currently queued (stats surface).
+    pub fn queued(&self) -> usize {
+        self.state.lock().expect("gate lock").queue.len()
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().expect("gate lock");
+        st.available += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// RAII permit from [`FairGate::acquire`].
+pub struct FairGateGuard<'a> {
+    gate: &'a FairGate,
+}
+
+impl Drop for FairGateGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn classification_threshold() {
+        let cfg = AdmissionConfig {
+            scan_threshold_bytes: 100,
+            ..AdmissionConfig::default()
+        };
+        assert_eq!(cfg.classify(0), RequestClass::Interactive);
+        assert_eq!(cfg.classify(99), RequestClass::Interactive);
+        assert_eq!(cfg.classify(100), RequestClass::Scan);
+        assert_eq!(cfg.classify(1 << 40), RequestClass::Scan);
+    }
+
+    #[test]
+    fn slab_count_rounds_up() {
+        let cfg = AdmissionConfig {
+            scan_slab_bytes: 10,
+            ..AdmissionConfig::default()
+        };
+        assert_eq!(cfg.slab_count(0), 1);
+        assert_eq!(cfg.slab_count(10), 1);
+        assert_eq!(cfg.slab_count(11), 2);
+        assert_eq!(cfg.slab_count(95), 10);
+    }
+
+    #[test]
+    fn gate_excludes_concurrent_holders() {
+        let gate = Arc::new(FairGate::new(1));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let max_inside = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let gate = Arc::clone(&gate);
+            let inside = Arc::clone(&inside);
+            let max_inside = Arc::clone(&max_inside);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let _g = gate.acquire();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_inside.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(max_inside.load(Ordering::SeqCst), 1, "one permit only");
+    }
+
+    #[test]
+    fn gate_is_fifo_fair() {
+        // Thread A holds the gate; B then C queue up. When A releases,
+        // B must run before C (strict arrival order).
+        let gate = Arc::new(FairGate::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let first = gate.acquire();
+        let spawn_waiter = |name: &'static str| {
+            let gate = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                let _g = gate.acquire();
+                order.lock().unwrap().push(name);
+            })
+        };
+        let b = spawn_waiter("b");
+        while gate.queued() < 1 {
+            std::thread::yield_now();
+        }
+        let c = spawn_waiter("c");
+        while gate.queued() < 2 {
+            std::thread::yield_now();
+        }
+        drop(first);
+        b.join().unwrap();
+        c.join().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn multi_slot_gate_admits_up_to_slots() {
+        let gate = FairGate::new(3);
+        let g1 = gate.acquire();
+        let g2 = gate.acquire();
+        let g3 = gate.acquire();
+        // A fourth acquire would block; verify indirectly via queued()
+        // after releasing one and re-acquiring.
+        drop(g2);
+        let g4 = gate.acquire();
+        drop(g1);
+        drop(g3);
+        drop(g4);
+        assert_eq!(gate.queued(), 0);
+    }
+}

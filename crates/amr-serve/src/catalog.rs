@@ -1,0 +1,196 @@
+//! The plotfile catalog: a pool of open [`QueryEngine`]s keyed by
+//! `(path, generation)`, all sharing one byte-budgeted chunk store.
+//!
+//! * **Generation validation** — every open stats the file; the engine
+//!   is reused only while `(len, mtime)` match what it was opened
+//!   against. A rewritten plotfile (in-situ pipelines overwrite
+//!   snapshots in place) is detected on the next open: the stale
+//!   engine is dropped, its cached chunks are purged from the shared
+//!   store, and a fresh engine under a fresh file id takes its place.
+//! * **Shared budget** — each engine gets a [`amr_query::ChunkCache`]
+//!   handle into the catalog's one [`ChunkStore`], so a single byte
+//!   budget governs every open file while hit/miss accounting stays
+//!   per file (the per-tenant stats the server reports).
+//! * **Idle LRU eviction** — when the open-file bound is exceeded, the
+//!   least-recently-opened engines *not referenced by any connection*
+//!   (`Arc` strong count of 1) are dropped, chunks included. Engines a
+//!   connection still holds are never evicted under it — the bound is
+//!   soft under pathological concurrency and the eviction counter says
+//!   when that happened.
+
+use amr_query::{ChunkStore, QueryEngine, ShardedLru};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity stamp of a file's content as the catalog validates it:
+/// byte length and mtime in nanoseconds since the epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Generation {
+    /// File length in bytes.
+    pub len: u64,
+    /// Modification time, nanoseconds since `UNIX_EPOCH` (0 when the
+    /// filesystem reports none).
+    pub mtime_ns: u64,
+}
+
+impl Generation {
+    /// Stat `path` into a generation stamp.
+    pub fn of(path: &Path) -> std::io::Result<Generation> {
+        let md = std::fs::metadata(path)?;
+        let mtime_ns = md
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Ok(Generation {
+            len: md.len(),
+            mtime_ns,
+        })
+    }
+}
+
+/// One open plotfile: the engine plus the identity it was opened under.
+pub struct CatalogEntry {
+    /// Path as opened.
+    pub path: PathBuf,
+    /// Shared-store key prefix allocated for this open.
+    pub file_id: u64,
+    /// Generation the engine was validated against.
+    pub generation: Generation,
+    /// The shared engine (queries take `&self`; clone the `Arc` freely).
+    pub engine: Arc<QueryEngine>,
+    /// LRU stamp (catalog-internal).
+    last_used: AtomicU64,
+}
+
+/// Catalog counters snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Files currently open.
+    pub open_files: u64,
+    /// Opens that built a new engine.
+    pub opens: u64,
+    /// Opens served by an existing engine.
+    pub open_hits: u64,
+    /// Opens that found a stale generation and invalidated it.
+    pub reopens_stale: u64,
+    /// Idle engines evicted to respect the open-file bound.
+    pub evicted_idle: u64,
+}
+
+/// The engine pool. All methods take `&self`.
+pub struct Catalog {
+    store: Arc<ChunkStore>,
+    entries: Mutex<HashMap<PathBuf, Arc<CatalogEntry>>>,
+    clock: AtomicU64,
+    next_file_id: AtomicU64,
+    max_open: usize,
+    workers: usize,
+    opens: AtomicU64,
+    open_hits: AtomicU64,
+    reopens_stale: AtomicU64,
+    evicted_idle: AtomicU64,
+}
+
+impl Catalog {
+    /// Catalog whose engines share one `cache_bytes` store, keeping at
+    /// most `max_open` idle engines and fetching with `workers` prefetch
+    /// workers per engine.
+    pub fn new(cache_bytes: u64, max_open: usize, workers: usize) -> Self {
+        Catalog {
+            store: Arc::new(ShardedLru::new(cache_bytes)),
+            entries: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            next_file_id: AtomicU64::new(1),
+            max_open: max_open.max(1),
+            workers: workers.max(1),
+            opens: AtomicU64::new(0),
+            open_hits: AtomicU64::new(0),
+            reopens_stale: AtomicU64::new(0),
+            evicted_idle: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared chunk store every engine in the pool uses.
+    pub fn store(&self) -> &Arc<ChunkStore> {
+        &self.store
+    }
+
+    /// Open `path`, reusing the pooled engine while the file's
+    /// generation matches; a stale generation is invalidated (engine
+    /// dropped, cached chunks purged) and reopened fresh.
+    pub fn open(&self, path: &Path) -> Result<Arc<CatalogEntry>, amr_query::QueryError> {
+        let generation = Generation::of(path).map_err(h5lite::H5Error::Io)?;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("catalog lock");
+        if let Some(entry) = entries.get(path) {
+            if entry.generation == generation {
+                entry.last_used.store(stamp, Ordering::Relaxed);
+                self.open_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(entry));
+            }
+            // Same path, different bytes: the snapshot was rewritten.
+            // Purge the stale generation's chunks so the shared budget
+            // never serves bytes from a file that no longer exists.
+            let stale = entries.remove(path).expect("entry just observed");
+            self.store.remove_matching(|(fid, _)| *fid == stale.file_id);
+            self.reopens_stale.fetch_add(1, Ordering::Relaxed);
+        }
+        // Respect the open-file bound before adding a new engine: drop
+        // idle entries (no connection holds them) oldest-first.
+        while entries.len() >= self.max_open {
+            let victim = entries
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(e) == 1)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(p, _)| p.clone());
+            match victim {
+                Some(p) => {
+                    let evicted = entries.remove(&p).expect("victim present");
+                    self.store
+                        .remove_matching(|(fid, _)| *fid == evicted.file_id);
+                    self.evicted_idle.fetch_add(1, Ordering::Relaxed);
+                }
+                // Every entry is in use: exceed the bound rather than
+                // fail the open (soft bound; the stats surface shows it).
+                None => break,
+            }
+        }
+        let file_id = self.next_file_id.fetch_add(1, Ordering::Relaxed);
+        let engine = QueryEngine::open(path)?
+            .with_shared_cache(Arc::clone(&self.store), file_id)
+            .with_workers(self.workers);
+        let entry = Arc::new(CatalogEntry {
+            path: path.to_path_buf(),
+            file_id,
+            generation,
+            engine: Arc::new(engine),
+            last_used: AtomicU64::new(stamp),
+        });
+        entries.insert(path.to_path_buf(), Arc::clone(&entry));
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// Snapshot of every open entry (stats reporting).
+    pub fn entries(&self) -> Vec<Arc<CatalogEntry>> {
+        let entries = self.entries.lock().expect("catalog lock");
+        let mut v: Vec<_> = entries.values().cloned().collect();
+        v.sort_by_key(|e| e.file_id);
+        v
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CatalogStats {
+        CatalogStats {
+            open_files: self.entries.lock().expect("catalog lock").len() as u64,
+            opens: self.opens.load(Ordering::Relaxed),
+            open_hits: self.open_hits.load(Ordering::Relaxed),
+            reopens_stale: self.reopens_stale.load(Ordering::Relaxed),
+            evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
+        }
+    }
+}

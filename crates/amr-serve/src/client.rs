@@ -1,0 +1,219 @@
+//! Blocking client for the amr-serve wire protocol, over TCP or a
+//! Unix-domain socket. One request in flight per connection; open more
+//! clients for concurrency (the server is thread-per-connection).
+
+use crate::protocol::{
+    read_frame, write_frame, OpenInfo, Request, Response, ServeError, ServeResult, StatsReport,
+    WireRegion, WireSelect, DEFAULT_MAX_RESPONSE_FRAME,
+};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+enum ClientStream {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            ClientStream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            ClientStream::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            ClientStream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// A decoded multi-level ROI answer (client-side view of
+/// [`Response::View`]).
+#[derive(Clone, Debug)]
+pub struct RoiView {
+    /// Field index the query resolved to.
+    pub field: u32,
+    /// Field name from the plotfile header.
+    pub field_name: String,
+    /// One region per level that intersected the ROI, coarse to fine.
+    pub levels: Vec<WireRegion>,
+}
+
+/// Blocking protocol client.
+pub struct Client {
+    stream: ClientStream,
+    max_response_frame: u32,
+}
+
+impl Client {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> ServeResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream: ClientStream::Tcp(stream),
+            max_response_frame: DEFAULT_MAX_RESPONSE_FRAME,
+        })
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_uds(path: &Path) -> ServeResult<Client> {
+        Ok(Client {
+            stream: ClientStream::Uds(UnixStream::connect(path)?),
+            max_response_frame: DEFAULT_MAX_RESPONSE_FRAME,
+        })
+    }
+
+    /// Lower (or raise) the largest response frame this client will
+    /// accept before treating the stream as corrupt.
+    pub fn with_max_response_frame(mut self, cap: u32) -> Self {
+        self.max_response_frame = cap;
+        self
+    }
+
+    fn call(&mut self, req: &Request) -> ServeResult<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream, self.max_response_frame)?;
+        match Response::decode(&payload)? {
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    fn unexpected(resp: &Response) -> ServeError {
+        ServeError::Frame(format!("unexpected response variant: {resp:?}"))
+    }
+
+    /// Open a plotfile on the server; the returned handle scopes every
+    /// subsequent query on this connection.
+    pub fn open(&mut self, path: &str) -> ServeResult<OpenInfo> {
+        match self.call(&Request::Open {
+            path: path.to_string(),
+        })? {
+            Response::Opened(info) => Ok(info),
+            resp => Err(Self::unexpected(&resp)),
+        }
+    }
+
+    /// Release a handle.
+    pub fn close_handle(&mut self, handle: u32) -> ServeResult<()> {
+        match self.call(&Request::Close { handle })? {
+            Response::Closed => Ok(()),
+            resp => Err(Self::unexpected(&resp)),
+        }
+    }
+
+    /// Finest-available sample at a level-0 cell; `None` outside the
+    /// domain.
+    pub fn point(
+        &mut self,
+        handle: u32,
+        field: u32,
+        p: [i64; 3],
+    ) -> ServeResult<Option<(u32, [i64; 3], f64)>> {
+        match self.call(&Request::Point { handle, field, p })? {
+            Response::Point(s) => Ok(s),
+            resp => Err(Self::unexpected(&resp)),
+        }
+    }
+
+    /// Axis-aligned plane at `coord` on `level`.
+    pub fn plane(
+        &mut self,
+        handle: u32,
+        field: u32,
+        level: u32,
+        axis: u8,
+        coord: i64,
+    ) -> ServeResult<WireRegion> {
+        match self.call(&Request::Plane {
+            handle,
+            field,
+            level,
+            axis,
+            coord,
+        })? {
+            Response::Region(r) => Ok(r),
+            resp => Err(Self::unexpected(&resp)),
+        }
+    }
+
+    /// Dense box of one level.
+    pub fn region(
+        &mut self,
+        handle: u32,
+        field: u32,
+        level: u32,
+        lo: [i64; 3],
+        hi: [i64; 3],
+    ) -> ServeResult<WireRegion> {
+        match self.call(&Request::Region {
+            handle,
+            field,
+            level,
+            lo,
+            hi,
+        })? {
+            Response::Region(r) => Ok(r),
+            resp => Err(Self::unexpected(&resp)),
+        }
+    }
+
+    /// Multi-level region of interest (`lo`/`hi` in level-0 cells).
+    pub fn roi(
+        &mut self,
+        handle: u32,
+        field: u32,
+        lo: [i64; 3],
+        hi: [i64; 3],
+        select: WireSelect,
+    ) -> ServeResult<RoiView> {
+        match self.call(&Request::Roi {
+            handle,
+            field,
+            lo,
+            hi,
+            select,
+        })? {
+            Response::View {
+                field,
+                field_name,
+                levels,
+            } => Ok(RoiView {
+                field,
+                field_name,
+                levels,
+            }),
+            resp => Err(Self::unexpected(&resp)),
+        }
+    }
+
+    /// Whole-server statistics snapshot.
+    pub fn stats(&mut self) -> ServeResult<StatsReport> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(r) => Ok(r),
+            resp => Err(Self::unexpected(&resp)),
+        }
+    }
+
+    /// Ask the server to stop accepting connections.
+    pub fn shutdown_server(&mut self) -> ServeResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            resp => Err(Self::unexpected(&resp)),
+        }
+    }
+}

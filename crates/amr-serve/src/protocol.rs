@@ -1,0 +1,1104 @@
+//! The `amr-serve` wire protocol: length-prefixed binary frames over any
+//! byte stream (TCP or Unix-domain sockets — the protocol never cares).
+//!
+//! # Framing
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by that many payload bytes. The payload's first byte is the
+//! opcode; the rest is the opcode-specific body encoded with the same
+//! tiny little-endian helpers the compressed-stream headers use
+//! ([`sz_codec::wire`]) — no serde, no heavyweight framework.
+//!
+//! Robustness rules (enforced here, tested in
+//! `tests/protocol_robustness.rs`):
+//!
+//! * A declared length beyond the reader's cap is rejected **before any
+//!   allocation** ([`ServeError::FrameTooLarge`]).
+//! * Payload bytes are read incrementally in bounded steps, so a lying
+//!   length never produces an absurd up-front allocation; a peer that
+//!   disconnects mid-frame surfaces as [`ServeError::Disconnected`].
+//! * Every body decode is bounds-checked through [`sz_codec::wire::Reader`];
+//!   malformed bodies surface as [`ServeError::Frame`], never a panic.
+//! * Array counts are validated against the bytes actually present
+//!   (`check_count`) before any `Vec` reservation.
+//!
+//! Requests are deliberately small (paths and a few coordinates): the
+//! request cap is [`MAX_REQUEST_FRAME`]. Responses carry decoded field
+//! data and use the client's configurable cap
+//! ([`DEFAULT_MAX_RESPONSE_FRAME`]).
+
+use std::io::{Read, Write};
+use sz_codec::wire::{Reader, Writer};
+
+/// Hard cap on request frames (requests are tiny; anything bigger is a
+/// confused or malicious peer).
+pub const MAX_REQUEST_FRAME: u32 = 1 << 20;
+
+/// Default cap a client accepts for one response frame (decoded region
+/// payloads ride in responses, so this is generous).
+pub const DEFAULT_MAX_RESPONSE_FRAME: u32 = 1 << 30;
+
+/// Incremental read step while draining a frame body: bounds transient
+/// allocation growth under lying length prefixes.
+const READ_STEP: usize = 64 << 10;
+
+/// Typed error code carried by [`Response::Error`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame itself was malformed (bad opcode, truncated body).
+    BadFrame = 1,
+    /// The request was well-formed but semantically invalid.
+    BadRequest = 2,
+    /// Unknown open-file handle.
+    BadHandle = 3,
+    /// The plotfile could not be opened.
+    OpenFailed = 4,
+    /// The query was rejected by the engine (bad field/level/region).
+    BadQuery = 5,
+    /// The plotfile contradicts its own metadata.
+    Inconsistent = 6,
+    /// A chunk failed to decode.
+    Codec = 7,
+    /// Filesystem/network error while answering.
+    Io = 8,
+    /// Admission control: the request's estimated decode bytes exceed
+    /// the per-connection in-flight bound.
+    TooLarge = 9,
+    /// The server is shutting down.
+    Shutdown = 10,
+    /// Anything else.
+    Internal = 11,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::BadHandle,
+            4 => ErrorCode::OpenFailed,
+            5 => ErrorCode::BadQuery,
+            6 => ErrorCode::Inconsistent,
+            7 => ErrorCode::Codec,
+            8 => ErrorCode::Io,
+            9 => ErrorCode::TooLarge,
+            10 => ErrorCode::Shutdown,
+            11 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Anything that can go wrong speaking the protocol.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+    /// The peer closed the stream (at a frame boundary or mid-frame).
+    Disconnected,
+    /// Malformed frame or body.
+    Frame(String),
+    /// A declared frame length beyond the configured cap.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u32,
+        /// The reader's cap.
+        cap: u32,
+    },
+    /// The server answered with a typed error frame (client side).
+    Remote {
+        /// Typed error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+            ServeError::Disconnected => write!(f, "peer disconnected"),
+            ServeError::Frame(m) => write!(f, "malformed frame: {m}"),
+            ServeError::FrameTooLarge { len, cap } => {
+                write!(f, "frame of {len} bytes exceeds cap of {cap}")
+            }
+            ServeError::Remote { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::Disconnected
+        } else {
+            ServeError::Io(e)
+        }
+    }
+}
+
+impl From<sz_codec::CodecError> for ServeError {
+    fn from(e: sz_codec::CodecError) -> Self {
+        ServeError::Frame(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type ServeResult<T> = Result<T, ServeError>;
+
+/// Which AMR levels a wire query covers (mirror of
+/// [`amr_query::LevelSelect`], kept separate so the wire format never
+/// drifts silently with the library enum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireSelect {
+    /// Every level.
+    All,
+    /// One level.
+    Level(u32),
+    /// Inclusive range.
+    Range(u32, u32),
+    /// Finest level only.
+    Finest,
+}
+
+impl WireSelect {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WireSelect::All => w.put_u8(0),
+            WireSelect::Level(l) => {
+                w.put_u8(1);
+                w.put_u32(*l);
+            }
+            WireSelect::Range(lo, hi) => {
+                w.put_u8(2);
+                w.put_u32(*lo);
+                w.put_u32(*hi);
+            }
+            WireSelect::Finest => w.put_u8(3),
+        }
+    }
+
+    fn decode(r: &mut Reader) -> ServeResult<WireSelect> {
+        Ok(match r.get_u8()? {
+            0 => WireSelect::All,
+            1 => WireSelect::Level(r.get_u32()?),
+            2 => WireSelect::Range(r.get_u32()?, r.get_u32()?),
+            3 => WireSelect::Finest,
+            t => return Err(ServeError::Frame(format!("unknown level-select tag {t}"))),
+        })
+    }
+}
+
+impl From<WireSelect> for amr_query::LevelSelect {
+    fn from(s: WireSelect) -> Self {
+        match s {
+            WireSelect::All => amr_query::LevelSelect::All,
+            WireSelect::Level(l) => amr_query::LevelSelect::Level(l as usize),
+            WireSelect::Range(lo, hi) => amr_query::LevelSelect::Range(lo as usize, hi as usize),
+            WireSelect::Finest => amr_query::LevelSelect::Finest,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open (or re-validate) a plotfile through the server's catalog.
+    Open {
+        /// Path as the server resolves it.
+        path: String,
+    },
+    /// Release one open-file handle.
+    Close {
+        /// Handle from [`Response::Opened`].
+        handle: u32,
+    },
+    /// Sample one cell (finest covering level wins).
+    Point {
+        /// Open-file handle.
+        handle: u32,
+        /// Field component.
+        field: u32,
+        /// Cell in finest-level index space.
+        p: [i64; 3],
+    },
+    /// Full-domain plane slice at one level.
+    Plane {
+        /// Open-file handle.
+        handle: u32,
+        /// Field component.
+        field: u32,
+        /// Level the plane cuts.
+        level: u32,
+        /// Axis pinned (0 = x, 1 = y, 2 = z).
+        axis: u8,
+        /// Pinned coordinate in the level's index space.
+        coord: i64,
+    },
+    /// Region-of-interest query over selected levels (ROI in level-0
+    /// coordinates, refined per level).
+    Roi {
+        /// Open-file handle.
+        handle: u32,
+        /// Field component.
+        field: u32,
+        /// Inclusive ROI lower corner.
+        lo: [i64; 3],
+        /// Inclusive ROI upper corner.
+        hi: [i64; 3],
+        /// Level selection.
+        select: WireSelect,
+    },
+    /// One rectangular region at one level (region in that level's own
+    /// index space).
+    Region {
+        /// Open-file handle.
+        handle: u32,
+        /// Field component.
+        field: u32,
+        /// Level queried.
+        level: u32,
+        /// Inclusive lower corner.
+        lo: [i64; 3],
+        /// Inclusive upper corner.
+        hi: [i64; 3],
+    },
+    /// Server/cache/catalog statistics snapshot.
+    Stats,
+    /// Ask the server to stop accepting connections.
+    Shutdown,
+}
+
+const OP_OPEN: u8 = 0x01;
+const OP_CLOSE: u8 = 0x02;
+const OP_POINT: u8 = 0x03;
+const OP_PLANE: u8 = 0x04;
+const OP_ROI: u8 = 0x05;
+const OP_REGION: u8 = 0x06;
+const OP_STATS: u8 = 0x07;
+const OP_SHUTDOWN: u8 = 0x08;
+
+const OP_OPENED: u8 = 0x81;
+const OP_CLOSED: u8 = 0x82;
+const OP_POINT_RESULT: u8 = 0x83;
+const OP_REGION_RESULT: u8 = 0x84;
+const OP_VIEW_RESULT: u8 = 0x85;
+const OP_STATS_RESULT: u8 = 0x86;
+const OP_SHUTDOWN_ACK: u8 = 0x87;
+const OP_ERROR: u8 = 0xFF;
+
+fn put_vect(w: &mut Writer, v: &[i64; 3]) {
+    for c in v {
+        w.put_u64(*c as u64);
+    }
+}
+
+fn get_vect(r: &mut Reader) -> ServeResult<[i64; 3]> {
+    Ok([
+        r.get_u64()? as i64,
+        r.get_u64()? as i64,
+        r.get_u64()? as i64,
+    ])
+}
+
+fn put_string(w: &mut Writer, s: &str) {
+    w.put_block(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader) -> ServeResult<String> {
+    let b = r.get_block()?;
+    String::from_utf8(b.to_vec()).map_err(|_| ServeError::Frame("non-UTF-8 string".into()))
+}
+
+impl Request {
+    /// Encode into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Open { path } => {
+                w.put_u8(OP_OPEN);
+                put_string(&mut w, path);
+            }
+            Request::Close { handle } => {
+                w.put_u8(OP_CLOSE);
+                w.put_u32(*handle);
+            }
+            Request::Point { handle, field, p } => {
+                w.put_u8(OP_POINT);
+                w.put_u32(*handle);
+                w.put_u32(*field);
+                put_vect(&mut w, p);
+            }
+            Request::Plane {
+                handle,
+                field,
+                level,
+                axis,
+                coord,
+            } => {
+                w.put_u8(OP_PLANE);
+                w.put_u32(*handle);
+                w.put_u32(*field);
+                w.put_u32(*level);
+                w.put_u8(*axis);
+                w.put_u64(*coord as u64);
+            }
+            Request::Roi {
+                handle,
+                field,
+                lo,
+                hi,
+                select,
+            } => {
+                w.put_u8(OP_ROI);
+                w.put_u32(*handle);
+                w.put_u32(*field);
+                put_vect(&mut w, lo);
+                put_vect(&mut w, hi);
+                select.encode(&mut w);
+            }
+            Request::Region {
+                handle,
+                field,
+                level,
+                lo,
+                hi,
+            } => {
+                w.put_u8(OP_REGION);
+                w.put_u32(*handle);
+                w.put_u32(*field);
+                w.put_u32(*level);
+                put_vect(&mut w, lo);
+                put_vect(&mut w, hi);
+            }
+            Request::Stats => w.put_u8(OP_STATS),
+            Request::Shutdown => w.put_u8(OP_SHUTDOWN),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> ServeResult<Request> {
+        let mut r = Reader::new(payload);
+        let op = r.get_u8()?;
+        let req = match op {
+            OP_OPEN => Request::Open {
+                path: get_string(&mut r)?,
+            },
+            OP_CLOSE => Request::Close {
+                handle: r.get_u32()?,
+            },
+            OP_POINT => Request::Point {
+                handle: r.get_u32()?,
+                field: r.get_u32()?,
+                p: get_vect(&mut r)?,
+            },
+            OP_PLANE => Request::Plane {
+                handle: r.get_u32()?,
+                field: r.get_u32()?,
+                level: r.get_u32()?,
+                axis: r.get_u8()?,
+                coord: r.get_u64()? as i64,
+            },
+            OP_ROI => Request::Roi {
+                handle: r.get_u32()?,
+                field: r.get_u32()?,
+                lo: get_vect(&mut r)?,
+                hi: get_vect(&mut r)?,
+                select: WireSelect::decode(&mut r)?,
+            },
+            OP_REGION => Request::Region {
+                handle: r.get_u32()?,
+                field: r.get_u32()?,
+                level: r.get_u32()?,
+                lo: get_vect(&mut r)?,
+                hi: get_vect(&mut r)?,
+            },
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => {
+                return Err(ServeError::Frame(format!(
+                    "unknown request opcode {other:#x}"
+                )))
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(ServeError::Frame(format!(
+                "{} trailing bytes after request body",
+                r.remaining()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+/// One level's slice of a region/ROI response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRegion {
+    /// Level the data came from.
+    pub level: u32,
+    /// Inclusive lower corner in the level's index space.
+    pub lo: [i64; 3],
+    /// Inclusive upper corner.
+    pub hi: [i64; 3],
+    /// Values in Fortran order over `lo..=hi`.
+    pub data: Vec<f64>,
+}
+
+impl WireRegion {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.level);
+        put_vect(w, &self.lo);
+        put_vect(w, &self.hi);
+        w.put_u64(self.data.len() as u64);
+        for v in &self.data {
+            w.put_f64(*v);
+        }
+    }
+
+    fn decode(r: &mut Reader) -> ServeResult<WireRegion> {
+        let level = r.get_u32()?;
+        let lo = get_vect(r)?;
+        let hi = get_vect(r)?;
+        let n = r.get_u64()? as usize;
+        // Validate the count against bytes actually present before any
+        // reservation (a lying count must not allocate).
+        let n = r.check_count(n, 8)?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.get_f64()?);
+        }
+        Ok(WireRegion {
+            level,
+            lo,
+            hi,
+            data,
+        })
+    }
+}
+
+/// Summary returned by a successful open.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenInfo {
+    /// Connection-local handle for subsequent queries.
+    pub handle: u32,
+    /// Process-wide id of this `(path, generation)` in the shared cache.
+    pub file_id: u64,
+    /// Generation stamp `(len_bytes, mtime_ns)` the catalog validated.
+    pub generation: (u64, u64),
+    /// Number of AMR levels.
+    pub levels: u32,
+    /// Field names in component order.
+    pub fields: Vec<String>,
+    /// Whether the file carries a persistent chunk index.
+    pub indexed: bool,
+}
+
+/// One file's row in a stats report: identity, the per-tenant cache
+/// counters of its handle into the shared store, and its engine
+/// counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FileStats {
+    /// Path the catalog opened.
+    pub path: String,
+    /// Shared-cache file id.
+    pub file_id: u64,
+    /// Generation stamp `(len_bytes, mtime_ns)`.
+    pub generation: (u64, u64),
+    /// This file's cache hits.
+    pub cache_hits: u64,
+    /// This file's cache misses.
+    pub cache_misses: u64,
+    /// This file's cache insertions.
+    pub cache_insertions: u64,
+    /// Evictions charged to this file's inserts.
+    pub cache_evictions: u64,
+    /// ROI queries answered.
+    pub roi_queries: u64,
+    /// Level-region queries answered.
+    pub region_queries: u64,
+    /// Plane queries answered.
+    pub plane_queries: u64,
+    /// Point queries answered.
+    pub point_queries: u64,
+    /// Chunks decoded.
+    pub chunks_decoded: u64,
+    /// Decoded bytes produced.
+    pub decoded_bytes: u64,
+    /// Stored bytes read.
+    pub read_bytes: u64,
+}
+
+/// Whole-server statistics snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsReport {
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Requests answered (including error answers).
+    pub requests: u64,
+    /// Requests answered with an error frame.
+    pub errors: u64,
+    /// Interactive-class queries admitted.
+    pub interactive_queries: u64,
+    /// Scan-class queries admitted.
+    pub scan_queries: u64,
+    /// Slabs large scans were sliced into (each slab holds the scan gate
+    /// once; more slabs = finer interleaving).
+    pub scan_slabs: u64,
+    /// Requests rejected because their decode estimate exceeded the
+    /// per-connection bound.
+    pub rejected_too_large: u64,
+    /// Payload bytes written in responses.
+    pub response_bytes: u64,
+    /// Global shared-store hits.
+    pub cache_hits: u64,
+    /// Global shared-store misses.
+    pub cache_misses: u64,
+    /// Global shared-store insertions.
+    pub cache_insertions: u64,
+    /// Global shared-store evictions.
+    pub cache_evictions: u64,
+    /// Decoded bytes resident in the shared store.
+    pub cache_resident_bytes: u64,
+    /// The shared store's byte budget.
+    pub cache_capacity_bytes: u64,
+    /// Plotfiles currently open in the catalog.
+    pub open_files: u64,
+    /// Catalog opens that built a new engine.
+    pub catalog_opens: u64,
+    /// Catalog opens answered by an existing engine.
+    pub catalog_open_hits: u64,
+    /// Reopens that found a stale generation and invalidated it.
+    pub catalog_reopens_stale: u64,
+    /// Idle engines evicted to respect the open-file bound.
+    pub catalog_evicted_idle: u64,
+    /// Per-file rows.
+    pub files: Vec<FileStats>,
+}
+
+impl StatsReport {
+    fn encode(&self, w: &mut Writer) {
+        for v in [
+            self.connections_total,
+            self.connections_active,
+            self.requests,
+            self.errors,
+            self.interactive_queries,
+            self.scan_queries,
+            self.scan_slabs,
+            self.rejected_too_large,
+            self.response_bytes,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+            self.cache_evictions,
+            self.cache_resident_bytes,
+            self.cache_capacity_bytes,
+            self.open_files,
+            self.catalog_opens,
+            self.catalog_open_hits,
+            self.catalog_reopens_stale,
+            self.catalog_evicted_idle,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u32(self.files.len() as u32);
+        for f in &self.files {
+            put_string(w, &f.path);
+            w.put_u64(f.file_id);
+            w.put_u64(f.generation.0);
+            w.put_u64(f.generation.1);
+            for v in [
+                f.cache_hits,
+                f.cache_misses,
+                f.cache_insertions,
+                f.cache_evictions,
+                f.roi_queries,
+                f.region_queries,
+                f.plane_queries,
+                f.point_queries,
+                f.chunks_decoded,
+                f.decoded_bytes,
+                f.read_bytes,
+            ] {
+                w.put_u64(v);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader) -> ServeResult<StatsReport> {
+        let mut s = StatsReport::default();
+        let fields: [&mut u64; 20] = [
+            &mut s.connections_total,
+            &mut s.connections_active,
+            &mut s.requests,
+            &mut s.errors,
+            &mut s.interactive_queries,
+            &mut s.scan_queries,
+            &mut s.scan_slabs,
+            &mut s.rejected_too_large,
+            &mut s.response_bytes,
+            &mut s.cache_hits,
+            &mut s.cache_misses,
+            &mut s.cache_insertions,
+            &mut s.cache_evictions,
+            &mut s.cache_resident_bytes,
+            &mut s.cache_capacity_bytes,
+            &mut s.open_files,
+            &mut s.catalog_opens,
+            &mut s.catalog_open_hits,
+            &mut s.catalog_reopens_stale,
+            &mut s.catalog_evicted_idle,
+        ];
+        for slot in fields {
+            *slot = r.get_u64()?;
+        }
+        let n = r.get_u32()? as usize;
+        let n = r.check_count(n, 8 * 15)?;
+        let mut files = Vec::with_capacity(n);
+        for _ in 0..n {
+            let path = get_string(r)?;
+            let file_id = r.get_u64()?;
+            let generation = (r.get_u64()?, r.get_u64()?);
+            let mut f = FileStats {
+                path,
+                file_id,
+                generation,
+                ..FileStats::default()
+            };
+            let counters: [&mut u64; 11] = [
+                &mut f.cache_hits,
+                &mut f.cache_misses,
+                &mut f.cache_insertions,
+                &mut f.cache_evictions,
+                &mut f.roi_queries,
+                &mut f.region_queries,
+                &mut f.plane_queries,
+                &mut f.point_queries,
+                &mut f.chunks_decoded,
+                &mut f.decoded_bytes,
+                &mut f.read_bytes,
+            ];
+            for slot in counters {
+                *slot = r.get_u64()?;
+            }
+            files.push(f);
+        }
+        s.files = files;
+        Ok(s)
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Successful open.
+    Opened(OpenInfo),
+    /// Successful close.
+    Closed,
+    /// Point sample: `None` when no level holds the cell.
+    Point(Option<(u32, [i64; 3], f64)>),
+    /// One level region (plane and region queries).
+    Region(WireRegion),
+    /// An ROI view: per-level slices, coarsest first.
+    View {
+        /// Queried field component.
+        field: u32,
+        /// Queried field name.
+        field_name: String,
+        /// Per-level slices.
+        levels: Vec<WireRegion>,
+    },
+    /// Statistics snapshot.
+    Stats(StatsReport),
+    /// Shutdown acknowledged.
+    ShutdownAck,
+    /// Typed failure.
+    Error {
+        /// What class of failure.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode into a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::Opened(info) => {
+                w.put_u8(OP_OPENED);
+                w.put_u32(info.handle);
+                w.put_u64(info.file_id);
+                w.put_u64(info.generation.0);
+                w.put_u64(info.generation.1);
+                w.put_u32(info.levels);
+                w.put_u32(info.fields.len() as u32);
+                for f in &info.fields {
+                    put_string(&mut w, f);
+                }
+                w.put_u8(info.indexed as u8);
+            }
+            Response::Closed => w.put_u8(OP_CLOSED),
+            Response::Point(p) => {
+                w.put_u8(OP_POINT_RESULT);
+                match p {
+                    None => w.put_u8(0),
+                    Some((level, cell, value)) => {
+                        w.put_u8(1);
+                        w.put_u32(*level);
+                        put_vect(&mut w, cell);
+                        w.put_f64(*value);
+                    }
+                }
+            }
+            Response::Region(region) => {
+                w.put_u8(OP_REGION_RESULT);
+                region.encode(&mut w);
+            }
+            Response::View {
+                field,
+                field_name,
+                levels,
+            } => {
+                w.put_u8(OP_VIEW_RESULT);
+                w.put_u32(*field);
+                put_string(&mut w, field_name);
+                w.put_u32(levels.len() as u32);
+                for l in levels {
+                    l.encode(&mut w);
+                }
+            }
+            Response::Stats(report) => {
+                w.put_u8(OP_STATS_RESULT);
+                report.encode(&mut w);
+            }
+            Response::ShutdownAck => w.put_u8(OP_SHUTDOWN_ACK),
+            Response::Error { code, message } => {
+                w.put_u8(OP_ERROR);
+                w.put_u16(*code as u16);
+                put_string(&mut w, message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> ServeResult<Response> {
+        let mut r = Reader::new(payload);
+        let op = r.get_u8()?;
+        let resp = match op {
+            OP_OPENED => {
+                let handle = r.get_u32()?;
+                let file_id = r.get_u64()?;
+                let generation = (r.get_u64()?, r.get_u64()?);
+                let levels = r.get_u32()?;
+                let n = r.get_u32()? as usize;
+                let n = r.check_count(n, 8)?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fields.push(get_string(&mut r)?);
+                }
+                let indexed = r.get_u8()? != 0;
+                Response::Opened(OpenInfo {
+                    handle,
+                    file_id,
+                    generation,
+                    levels,
+                    fields,
+                    indexed,
+                })
+            }
+            OP_CLOSED => Response::Closed,
+            OP_POINT_RESULT => match r.get_u8()? {
+                0 => Response::Point(None),
+                1 => {
+                    let level = r.get_u32()?;
+                    let cell = get_vect(&mut r)?;
+                    let value = r.get_f64()?;
+                    Response::Point(Some((level, cell, value)))
+                }
+                t => return Err(ServeError::Frame(format!("bad point-option tag {t}"))),
+            },
+            OP_REGION_RESULT => Response::Region(WireRegion::decode(&mut r)?),
+            OP_VIEW_RESULT => {
+                let field = r.get_u32()?;
+                let field_name = get_string(&mut r)?;
+                let n = r.get_u32()? as usize;
+                let n = r.check_count(n, 4 + 48 + 8)?;
+                let mut levels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    levels.push(WireRegion::decode(&mut r)?);
+                }
+                Response::View {
+                    field,
+                    field_name,
+                    levels,
+                }
+            }
+            OP_STATS_RESULT => Response::Stats(StatsReport::decode(&mut r)?),
+            OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            OP_ERROR => {
+                let raw = r.get_u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| ServeError::Frame(format!("unknown error code {raw}")))?;
+                Response::Error {
+                    code,
+                    message: get_string(&mut r)?,
+                }
+            }
+            other => {
+                return Err(ServeError::Frame(format!(
+                    "unknown response opcode {other:#x}"
+                )))
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(ServeError::Frame(format!(
+                "{} trailing bytes after response body",
+                r.remaining()
+            )));
+        }
+        Ok(resp)
+    }
+}
+
+/// Write one frame: length prefix + payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> ServeResult<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| ServeError::Frame("payload exceeds u32 framing".into()))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload, enforcing `cap` on the declared length
+/// before allocating and growing the buffer incrementally while bytes
+/// actually arrive (a lying length prefix can therefore never force an
+/// absurd allocation — EOF mid-body is [`ServeError::Disconnected`]).
+pub fn read_frame(r: &mut impl Read, cap: u32) -> ServeResult<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 {
+        return Err(ServeError::Frame("empty frame (no opcode)".into()));
+    }
+    if len > cap {
+        return Err(ServeError::FrameTooLarge { len, cap });
+    }
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(READ_STEP));
+    let mut step = vec![0u8; READ_STEP.min(len)];
+    while payload.len() < len {
+        let want = (len - payload.len()).min(step.len());
+        r.read_exact(&mut step[..want])?;
+        payload.extend_from_slice(&step[..want]);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc).expect("decode"), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let enc = resp.encode();
+        assert_eq!(Response::decode(&enc).expect("decode"), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Open {
+            path: "/data/plt0001.h5l".into(),
+        });
+        roundtrip_request(Request::Close { handle: 7 });
+        roundtrip_request(Request::Point {
+            handle: 1,
+            field: 2,
+            p: [5, -3, 11],
+        });
+        roundtrip_request(Request::Plane {
+            handle: 1,
+            field: 0,
+            level: 1,
+            axis: 2,
+            coord: -4,
+        });
+        for select in [
+            WireSelect::All,
+            WireSelect::Level(2),
+            WireSelect::Range(0, 1),
+            WireSelect::Finest,
+        ] {
+            roundtrip_request(Request::Roi {
+                handle: 3,
+                field: 1,
+                lo: [0, 0, 0],
+                hi: [15, 15, 15],
+                select,
+            });
+        }
+        roundtrip_request(Request::Region {
+            handle: 3,
+            field: 1,
+            level: 1,
+            lo: [-2, 0, 4],
+            hi: [9, 9, 9],
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Opened(OpenInfo {
+            handle: 4,
+            file_id: 19,
+            generation: (12345, 999),
+            levels: 2,
+            fields: vec!["density".into(), "vx".into()],
+            indexed: true,
+        }));
+        roundtrip_response(Response::Closed);
+        roundtrip_response(Response::Point(None));
+        roundtrip_response(Response::Point(Some((1, [8, 9, 10], 3.25))));
+        roundtrip_response(Response::Region(WireRegion {
+            level: 0,
+            lo: [0, 0, 0],
+            hi: [1, 1, 0],
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        }));
+        roundtrip_response(Response::View {
+            field: 0,
+            field_name: "density".into(),
+            levels: vec![
+                WireRegion {
+                    level: 0,
+                    lo: [0, 0, 0],
+                    hi: [0, 0, 0],
+                    data: vec![42.0],
+                },
+                WireRegion {
+                    level: 1,
+                    lo: [0, 0, 0],
+                    hi: [1, 0, 0],
+                    data: vec![1.5, 2.5],
+                },
+            ],
+        });
+        let mut stats = StatsReport {
+            requests: 10,
+            cache_hits: 3,
+            ..StatsReport::default()
+        };
+        stats.files.push(FileStats {
+            path: "/a.h5l".into(),
+            file_id: 2,
+            generation: (100, 200),
+            cache_hits: 1,
+            roi_queries: 4,
+            ..FileStats::default()
+        });
+        roundtrip_response(Response::Stats(stats));
+        roundtrip_response(Response::ShutdownAck);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::BadQuery,
+            message: "field 9 out of range".into(),
+        });
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_stream() {
+        let payload = Request::Stats.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("write");
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = read_frame(&mut cursor, MAX_REQUEST_FRAME).expect("read");
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor, MAX_REQUEST_FRAME) {
+            Err(ServeError::FrameTooLarge { len, cap }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(cap, MAX_REQUEST_FRAME);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lying_length_with_missing_bytes_is_disconnect() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1000u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]); // only 3 of 1000 bytes arrive
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_REQUEST_FRAME),
+            Err(ServeError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn truncated_bodies_are_typed_errors() {
+        for req in [
+            Request::Open {
+                path: "/some/path".into(),
+            },
+            Request::Roi {
+                handle: 1,
+                field: 0,
+                lo: [0, 0, 0],
+                hi: [7, 7, 7],
+                select: WireSelect::All,
+            },
+        ] {
+            let enc = req.encode();
+            for cut in 1..enc.len() {
+                let err = Request::decode(&enc[..cut]);
+                assert!(err.is_err(), "truncation at {cut} must fail");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = Request::Stats.encode();
+        enc.push(0xAB);
+        assert!(matches!(Request::decode(&enc), Err(ServeError::Frame(_))));
+    }
+
+    #[test]
+    fn absurd_region_count_does_not_allocate() {
+        // A WireRegion whose count field claims 2^60 values but carries
+        // none: decode must fail without reserving.
+        let mut w = Writer::new();
+        w.put_u8(OP_REGION_RESULT);
+        w.put_u32(0);
+        for _ in 0..6 {
+            w.put_u64(0);
+        }
+        w.put_u64(1 << 60); // data count
+        let enc = w.into_bytes();
+        assert!(Response::decode(&enc).is_err());
+    }
+}

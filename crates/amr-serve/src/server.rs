@@ -1,0 +1,626 @@
+//! The service loop: accept connections on TCP and/or Unix-domain
+//! listeners, serve each on its own thread, and answer the wire
+//! protocol against the shared catalog under admission control.
+//!
+//! # Request lifecycle
+//!
+//! 1. A frame is read (bounded by [`MAX_REQUEST_FRAME`]) and decoded;
+//!    malformed bodies get a typed error frame back (the connection
+//!    survives — the frame boundary is intact), while framing-level
+//!    corruption (oversized or short frames) errors and closes the
+//!    connection, since resynchronization is impossible.
+//! 2. Query requests are **costed before any byte is read** via the
+//!    engine's planner, bounded per connection
+//!    ([`AdmissionConfig::max_request_bytes`] → typed `TooLarge`), and
+//!    classified interactive vs scan.
+//! 3. Interactive queries execute immediately. Scans are sliced into
+//!    slabs; each slab decodes under the FIFO [`FairGate`], releasing
+//!    it between slabs so concurrent scans round-robin and point
+//!    samples only ever wait for a slab, not a whole scan. The final
+//!    answer is then assembled from the warm cache.
+//!
+//! Connections are served sequentially (pipelined requests queue in the
+//! socket), so per-connection in-flight decode volume is exactly the
+//! admitted request's estimate.
+
+use crate::admission::{AdmissionConfig, FairGate, RequestClass};
+use crate::catalog::{Catalog, CatalogEntry};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FileStats, OpenInfo, Request, Response, ServeError,
+    ServeResult, StatsReport, WireRegion, MAX_REQUEST_FRAME,
+};
+use amr_query::{Box3, LevelRegion, LevelSelect, QueryEngine, QueryError};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Byte budget of the process-wide shared chunk cache.
+    pub cache_bytes: u64,
+    /// Open-engine pool bound (idle engines beyond it are evicted LRU).
+    pub max_open_files: usize,
+    /// Prefetch workers per engine.
+    pub workers: usize,
+    /// Admission-control policy.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_bytes: 256 << 20,
+            max_open_files: 64,
+            workers: 1,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections_total: AtomicU64,
+    connections_active: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    interactive_queries: AtomicU64,
+    scan_queries: AtomicU64,
+    scan_slabs: AtomicU64,
+    rejected_too_large: AtomicU64,
+    response_bytes: AtomicU64,
+}
+
+/// Shared server state: catalog, fair gate, counters, stop flag.
+pub struct ServeState {
+    cfg: ServeConfig,
+    catalog: Catalog,
+    gate: FairGate,
+    stopping: AtomicBool,
+    counters: Counters,
+}
+
+impl ServeState {
+    /// Build state from a config.
+    pub fn new(cfg: ServeConfig) -> Arc<ServeState> {
+        Arc::new(ServeState {
+            catalog: Catalog::new(cfg.cache_bytes, cfg.max_open_files, cfg.workers),
+            gate: FairGate::new(cfg.admission.scan_slots),
+            stopping: AtomicBool::new(false),
+            counters: Counters::default(),
+            cfg,
+        })
+    }
+
+    /// The engine catalog (tests reach through this for direct-engine
+    /// comparisons).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Has shutdown been requested?
+    pub fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting new connections (existing connections drain on
+    /// their own disconnect).
+    pub fn request_shutdown(&self) {
+        self.stopping.store(true, Ordering::Release);
+    }
+
+    /// Whole-server statistics snapshot.
+    pub fn stats_report(&self) -> StatsReport {
+        let c = &self.counters;
+        let store = self.catalog.store().stats();
+        let cat = self.catalog.stats();
+        let files = self
+            .catalog
+            .entries()
+            .iter()
+            .map(|e| {
+                let es = e.engine.stats();
+                FileStats {
+                    path: e.path.display().to_string(),
+                    file_id: e.file_id,
+                    generation: (e.generation.len, e.generation.mtime_ns),
+                    cache_hits: es.cache.hits,
+                    cache_misses: es.cache.misses,
+                    cache_insertions: es.cache.insertions,
+                    cache_evictions: es.cache.evictions,
+                    roi_queries: es.roi_queries,
+                    region_queries: es.region_queries,
+                    plane_queries: es.plane_queries,
+                    point_queries: es.point_queries,
+                    chunks_decoded: es.chunks_decoded,
+                    decoded_bytes: es.decoded_bytes,
+                    read_bytes: es.read_bytes,
+                }
+            })
+            .collect();
+        StatsReport {
+            connections_total: c.connections_total.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            interactive_queries: c.interactive_queries.load(Ordering::Relaxed),
+            scan_queries: c.scan_queries.load(Ordering::Relaxed),
+            scan_slabs: c.scan_slabs.load(Ordering::Relaxed),
+            rejected_too_large: c.rejected_too_large.load(Ordering::Relaxed),
+            response_bytes: c.response_bytes.load(Ordering::Relaxed),
+            cache_hits: store.hits,
+            cache_misses: store.misses,
+            cache_insertions: store.insertions,
+            cache_evictions: store.evictions,
+            cache_resident_bytes: store.resident_bytes,
+            cache_capacity_bytes: store.capacity_bytes,
+            open_files: cat.open_files,
+            catalog_opens: cat.opens,
+            catalog_open_hits: cat.open_hits,
+            catalog_reopens_stale: cat.reopens_stale,
+            catalog_evicted_idle: cat.evicted_idle,
+            files,
+        }
+    }
+}
+
+/// A running server: accept threads over one shared [`ServeState`].
+pub struct Server {
+    state: Arc<ServeState>,
+    accept_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Server with no listeners yet.
+    pub fn new(cfg: ServeConfig) -> Server {
+        Server {
+            state: ServeState::new(cfg),
+            accept_threads: Vec::new(),
+        }
+    }
+
+    /// The shared state (stats, shutdown, catalog access).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Bind and serve a TCP listener; returns the bound address (use
+    /// port 0 for an ephemeral port in tests).
+    pub fn listen_tcp(&mut self, addr: &str) -> ServeResult<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::clone(&self.state);
+        self.accept_threads.push(std::thread::spawn(move || {
+            accept_loop(state, || match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets are blocking regardless of the
+                    // listener's nonblocking flag.
+                    stream.set_nodelay(true).ok();
+                    Some(Box::new(stream) as Box<dyn Conn>)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            })
+        }));
+        Ok(local)
+    }
+
+    /// Bind and serve a Unix-domain listener at `path` (an existing
+    /// socket file there is removed first).
+    pub fn listen_uds(&mut self, path: &Path) -> ServeResult<()> {
+        std::fs::remove_file(path).ok();
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::clone(&self.state);
+        self.accept_threads.push(std::thread::spawn(move || {
+            accept_loop(state, || match listener.accept() {
+                Ok((stream, _)) => Some(Box::new(stream) as Box<dyn Conn>),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            })
+        }));
+        Ok(())
+    }
+
+    /// Request shutdown and wait for the accept loops to exit (open
+    /// connections drain on their own disconnect).
+    pub fn shutdown_and_join(self) {
+        self.state.request_shutdown();
+        for t in self.accept_threads {
+            t.join().ok();
+        }
+    }
+}
+
+/// Anything a connection runs over.
+trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
+
+/// Poll-accept until shutdown; each connection gets a detached thread.
+fn accept_loop(state: Arc<ServeState>, mut accept: impl FnMut() -> Option<Box<dyn Conn>>) {
+    while !state.stopping() {
+        match accept() {
+            Some(stream) => {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || handle_connection(state, stream));
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Serve one connection until it disconnects or framing breaks.
+fn handle_connection(state: Arc<ServeState>, mut stream: Box<dyn Conn>) {
+    let c = &state.counters;
+    c.connections_total.fetch_add(1, Ordering::Relaxed);
+    c.connections_active.fetch_add(1, Ordering::Relaxed);
+    let mut handles: HashMap<u32, Arc<CatalogEntry>> = HashMap::new();
+    let mut next_handle: u32 = 1;
+    loop {
+        let payload = match read_frame(&mut stream, MAX_REQUEST_FRAME) {
+            Ok(p) => p,
+            Err(ServeError::FrameTooLarge { len, cap }) => {
+                // The unread payload is still in the stream; framing is
+                // lost. Answer once, then close.
+                let resp = Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: format!("request frame of {len} bytes exceeds cap of {cap}"),
+                };
+                send(&state, &mut stream, &resp).ok();
+                break;
+            }
+            Err(ServeError::Frame(m)) => {
+                let resp = Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: m,
+                };
+                send(&state, &mut stream, &resp).ok();
+                break;
+            }
+            // Clean or mid-frame disconnect, transport error: drop the
+            // connection quietly — the catalog and cache are untouched.
+            Err(_) => break,
+        };
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = match Request::decode(&payload) {
+            // A malformed body inside a well-framed payload is
+            // recoverable: answer the typed error, keep the connection.
+            Err(e) => Response::Error {
+                code: ErrorCode::BadFrame,
+                message: e.to_string(),
+            },
+            Ok(req) => handle_request(&state, &mut handles, &mut next_handle, req),
+        };
+        if matches!(resp, Response::Error { .. }) {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if send(&state, &mut stream, &resp).is_err() {
+            break;
+        }
+    }
+    c.connections_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn send(state: &ServeState, stream: &mut Box<dyn Conn>, resp: &Response) -> ServeResult<()> {
+    let payload = resp.encode();
+    state
+        .counters
+        .response_bytes
+        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    write_frame(stream, &payload)
+}
+
+fn query_error_response(e: QueryError) -> Response {
+    let code = match &e {
+        QueryError::BadQuery(_) => ErrorCode::BadQuery,
+        QueryError::Inconsistent(_) => ErrorCode::Inconsistent,
+        QueryError::Codec(_) => ErrorCode::Codec,
+        QueryError::H5(_) => ErrorCode::Io,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn vect(v: &amr_mesh::IntVect) -> [i64; 3] {
+    [v.get(0), v.get(1), v.get(2)]
+}
+
+fn intbox(lo: [i64; 3], hi: [i64; 3]) -> Box3 {
+    Box3::new(
+        amr_mesh::IntVect::new(lo[0], lo[1], lo[2]),
+        amr_mesh::IntVect::new(hi[0], hi[1], hi[2]),
+    )
+}
+
+fn wire_region(lr: &LevelRegion) -> WireRegion {
+    WireRegion {
+        level: lr.level as u32,
+        lo: vect(&lr.region.lo),
+        hi: vect(&lr.region.hi),
+        data: lr.data.data().to_vec(),
+    }
+}
+
+/// Split `b` into `n` contiguous slabs along its longest axis (fewer
+/// when the axis has fewer cells than `n`).
+fn slabs(b: &Box3, n: u64) -> Vec<Box3> {
+    let sz = b.size();
+    let axis = (0..3).max_by_key(|&a| sz.get(a)).expect("three axes");
+    let extent = sz.get(axis).max(1) as u64;
+    let n = n.clamp(1, extent);
+    let per = extent.div_ceil(n) as i64;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut z = b.lo.get(axis);
+    while z <= b.hi.get(axis) {
+        let zh = (z + per - 1).min(b.hi.get(axis));
+        let mut lo = b.lo;
+        let mut hi = b.hi;
+        lo.0[axis] = z;
+        hi.0[axis] = zh;
+        out.push(Box3::new(lo, hi));
+        z = zh + 1;
+    }
+    out
+}
+
+fn handle_request(
+    state: &ServeState,
+    handles: &mut HashMap<u32, Arc<CatalogEntry>>,
+    next_handle: &mut u32,
+    req: Request,
+) -> Response {
+    match req {
+        Request::Open { path } => match state.catalog.open(Path::new(&path)) {
+            Ok(entry) => {
+                let handle = *next_handle;
+                *next_handle += 1;
+                let meta = entry.engine.meta();
+                let info = OpenInfo {
+                    handle,
+                    file_id: entry.file_id,
+                    generation: (entry.generation.len, entry.generation.mtime_ns),
+                    levels: meta.num_levels() as u32,
+                    fields: meta.field_names.clone(),
+                    indexed: entry.engine.has_persistent_index(),
+                };
+                handles.insert(handle, entry);
+                Response::Opened(info)
+            }
+            Err(e) => Response::Error {
+                code: ErrorCode::OpenFailed,
+                message: format!("cannot open {path}: {e}"),
+            },
+        },
+        Request::Close { handle } => {
+            if handles.remove(&handle).is_some() {
+                Response::Closed
+            } else {
+                Response::Error {
+                    code: ErrorCode::BadHandle,
+                    message: format!("unknown handle {handle}"),
+                }
+            }
+        }
+        Request::Stats => Response::Stats(state.stats_report()),
+        Request::Shutdown => {
+            state.request_shutdown();
+            Response::ShutdownAck
+        }
+        Request::Point { handle, field, p } => {
+            let Some(entry) = handles.get(&handle) else {
+                return bad_handle(handle);
+            };
+            // Point samples decode at most one chunk: always interactive.
+            state
+                .counters
+                .interactive_queries
+                .fetch_add(1, Ordering::Relaxed);
+            match entry
+                .engine
+                .point_sample(field as usize, amr_mesh::IntVect::new(p[0], p[1], p[2]))
+            {
+                Ok(None) => Response::Point(None),
+                Ok(Some(s)) => Response::Point(Some((s.level as u32, vect(&s.cell), s.value))),
+                Err(e) => query_error_response(e),
+            }
+        }
+        Request::Plane {
+            handle,
+            field,
+            level,
+            axis,
+            coord,
+        } => {
+            let Some(entry) = handles.get(&handle) else {
+                return bad_handle(handle);
+            };
+            let engine = Arc::clone(&entry.engine);
+            // Cost the plane as the thin region it resolves to; invalid
+            // parameters cost zero and surface their typed error from
+            // the query itself.
+            let cost = plane_cost(&engine, field as usize, level as usize, axis, coord);
+            run_admitted(state, cost, |warm| {
+                if let Some(region) = warm {
+                    engine.prefetch_region(field as usize, level as usize, region)?;
+                    Ok(None)
+                } else {
+                    engine
+                        .plane_slice(field as usize, level as usize, axis as usize, coord)
+                        .map(|lr| Some(Response::Region(wire_region(&lr))))
+                }
+            })
+        }
+        Request::Region {
+            handle,
+            field,
+            level,
+            lo,
+            hi,
+        } => {
+            let Some(entry) = handles.get(&handle) else {
+                return bad_handle(handle);
+            };
+            let engine = Arc::clone(&entry.engine);
+            let region = intbox(lo, hi);
+            let cost = engine
+                .region_cost(field as usize, level as usize, region)
+                .map(|c| (c.decode_bytes, region));
+            run_admitted(state, cost, |warm| {
+                if let Some(slab) = warm {
+                    engine.prefetch_region(field as usize, level as usize, slab)?;
+                    Ok(None)
+                } else {
+                    engine
+                        .level_region(field as usize, level as usize, region)
+                        .map(|lr| Some(Response::Region(wire_region(&lr))))
+                }
+            })
+        }
+        Request::Roi {
+            handle,
+            field,
+            lo,
+            hi,
+            select,
+        } => {
+            let Some(entry) = handles.get(&handle) else {
+                return bad_handle(handle);
+            };
+            let engine = Arc::clone(&entry.engine);
+            let roi = intbox(lo, hi);
+            let sel: LevelSelect = select.into();
+            let cost = engine
+                .roi_cost(field as usize, roi, sel)
+                .map(|c| (c.decode_bytes, roi));
+            run_admitted(state, cost, |warm| {
+                if let Some(slab) = warm {
+                    engine.prefetch_roi(field as usize, slab, sel)?;
+                    Ok(None)
+                } else {
+                    engine.roi(field as usize, roi, sel).map(|view| {
+                        Some(Response::View {
+                            field: view.field as u32,
+                            field_name: view.field_name.clone(),
+                            levels: view.levels.iter().map(wire_region).collect(),
+                        })
+                    })
+                }
+            })
+        }
+    }
+}
+
+fn bad_handle(handle: u32) -> Response {
+    Response::Error {
+        code: ErrorCode::BadHandle,
+        message: format!("unknown handle {handle} (open the file first)"),
+    }
+}
+
+/// Cost a plane request as the thin region it resolves to; anything
+/// invalid costs zero (the query itself reports the typed error).
+fn plane_cost(
+    engine: &QueryEngine,
+    field: usize,
+    level: usize,
+    axis: u8,
+    coord: i64,
+) -> Result<(u64, Box3), QueryError> {
+    let meta = engine.meta();
+    if (axis as usize) < 3 && level < meta.num_levels() {
+        let domain = meta.levels[level].domain;
+        let mut lo = domain.lo;
+        let mut hi = domain.hi;
+        lo.0[axis as usize] = coord;
+        hi.0[axis as usize] = coord;
+        let plane = Box3::new(lo, hi);
+        engine
+            .region_cost(field, level, plane)
+            .map(|c| (c.decode_bytes, plane))
+    } else {
+        // Let the query surface its own BadQuery.
+        Ok((0, Box3::from_extents(1, 1, 1)))
+    }
+}
+
+/// Admission-control wrapper around a query execution:
+///
+/// * `cost` — the request's cold-cache decode estimate and the box to
+///   slice if it turns out to be a scan (planning errors pass through
+///   as typed responses).
+/// * `exec(Some(slab))` — warm the cache for one slab (scan path).
+/// * `exec(None)` — produce the final response.
+///
+/// Interactive requests skip straight to `exec(None)`. Scans hold the
+/// FIFO gate once per slab and release it between slabs so concurrent
+/// scans round-robin and interactive traffic never waits behind more
+/// than a slab.
+fn run_admitted(
+    state: &ServeState,
+    cost: Result<(u64, Box3), QueryError>,
+    mut exec: impl FnMut(Option<Box3>) -> Result<Option<Response>, QueryError>,
+) -> Response {
+    let adm = &state.cfg.admission;
+    let (decode_bytes, sliced) = match cost {
+        Ok(c) => c,
+        Err(e) => return query_error_response(e),
+    };
+    if decode_bytes > adm.max_request_bytes {
+        state
+            .counters
+            .rejected_too_large
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::Error {
+            code: ErrorCode::TooLarge,
+            message: format!(
+                "request would decode {decode_bytes} bytes; per-connection bound is {} \
+                 (split the query into smaller regions)",
+                adm.max_request_bytes
+            ),
+        };
+    }
+    match adm.classify(decode_bytes) {
+        RequestClass::Interactive => {
+            state
+                .counters
+                .interactive_queries
+                .fetch_add(1, Ordering::Relaxed);
+            match exec(None) {
+                Ok(resp) => resp.expect("final pass returns a response"),
+                Err(e) => query_error_response(e),
+            }
+        }
+        RequestClass::Scan => {
+            state.counters.scan_queries.fetch_add(1, Ordering::Relaxed);
+            let slab_boxes = slabs(&sliced, adm.slab_count(decode_bytes));
+            state
+                .counters
+                .scan_slabs
+                .fetch_add(slab_boxes.len() as u64, Ordering::Relaxed);
+            for slab in slab_boxes {
+                let _permit = state.gate.acquire();
+                if let Err(e) = exec(Some(slab)) {
+                    return query_error_response(e);
+                }
+                // Permit drops here: waiting scans (and nothing else —
+                // interactive traffic never queues on the gate) proceed
+                // before our next slab.
+            }
+            // Assemble from the warm cache; chunks evicted meanwhile
+            // are simply re-decoded (correctness never depends on
+            // residency).
+            match exec(None) {
+                Ok(resp) => resp.expect("final pass returns a response"),
+                Err(e) => query_error_response(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Loopback end-to-end: real server, real sockets, concurrent clients,
+//! and every wire answer compared **bitwise** against a direct
+//! `QueryEngine` on the same plotfile. Also covers catalog
+//! stale-generation invalidation, the Unix-socket transport, typed
+//! `TooLarge` rejection, and the stats endpoint.
+
+use amr_apps::prelude::*;
+use amr_mesh::prelude::*;
+use amr_query::prelude::*;
+use amr_serve::prelude::*;
+use amric::config::AmricConfig;
+use amric::writer::write_amric;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("amr-serve-e2e-{}-{name}.h5l", std::process::id()));
+    p
+}
+
+fn write_plotfile(seed: u64, path: &std::path::Path) {
+    let s = NyxScenario::new(seed);
+    let cfg = AmrRunConfig {
+        coarse_dims: (16, 16, 16),
+        max_grid_size: 8,
+        blocking_factor: 8,
+        nranks: 2,
+        num_levels: 2,
+        fine_fraction: 0.05,
+        grid_eff: 0.7,
+    };
+    let h = build_hierarchy(&s, &cfg, 0.0);
+    write_amric(path, &h, &AmricConfig::lr(1e-3), 8).unwrap();
+}
+
+/// Wire region data as bit patterns, keyed by level and box, for exact
+/// comparison with a direct engine answer.
+fn wire_bits(r: &WireRegion) -> (u32, [i64; 3], [i64; 3], Vec<u64>) {
+    (
+        r.level,
+        r.lo,
+        r.hi,
+        r.data.iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+fn direct_bits(lr: &amr_query::LevelRegion) -> (u32, [i64; 3], [i64; 3], Vec<u64>) {
+    let v = |p: &IntVect| [p.get(0), p.get(1), p.get(2)];
+    (
+        lr.level as u32,
+        v(&lr.region.lo),
+        v(&lr.region.hi),
+        lr.data.data().iter().map(|x| x.to_bits()).collect(),
+    )
+}
+
+/// Small-threshold config so the 16^3 test files still exercise the
+/// scan path (slab slicing + fair gate) rather than running everything
+/// interactive.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        cache_bytes: 4 << 20,
+        max_open_files: 8,
+        workers: 2,
+        admission: AdmissionConfig {
+            max_request_bytes: 64 << 20,
+            scan_threshold_bytes: 64 << 10,
+            scan_slots: 1,
+            scan_slab_bytes: 32 << 10,
+        },
+    }
+}
+
+#[test]
+fn concurrent_clients_match_direct_engine_bitwise() {
+    let path_a = tmp("multi-a");
+    let path_b = tmp("multi-b");
+    write_plotfile(91, &path_a);
+    write_plotfile(92, &path_b);
+    let mut server = Server::new(test_config());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+
+    // Direct baselines, one engine per file, independent of the server.
+    let direct_a = QueryEngine::open(&path_a).unwrap();
+    let direct_b = QueryEngine::open(&path_b).unwrap();
+    let rois = [
+        IntBox::new(IntVect::new(4, 4, 4), IntVect::new(11, 11, 11)),
+        IntBox::from_extents(16, 16, 16),
+    ];
+    let expect_roi: Vec<Vec<_>> = [&direct_a, &direct_b]
+        .iter()
+        .flat_map(|e| {
+            rois.iter().map(|roi| {
+                e.roi(0, *roi, LevelSelect::All)
+                    .unwrap()
+                    .levels
+                    .iter()
+                    .map(direct_bits)
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let points: Vec<IntVect> = (0..12)
+        .map(|i| IntVect::new((5 * i) % 16, i % 16, (3 * i) % 16))
+        .collect();
+    let expect_point: Vec<Vec<_>> = [&direct_a, &direct_b]
+        .iter()
+        .map(|e| {
+            points
+                .iter()
+                .map(|p| {
+                    e.point_sample(1, *p)
+                        .unwrap()
+                        .map(|s| (s.level as u32, s.value.to_bits()))
+                })
+                .collect()
+        })
+        .collect();
+    let expect_plane: Vec<_> = [&direct_a, &direct_b]
+        .iter()
+        .map(|e| direct_bits(&e.plane_slice(0, 1, 2, 16).unwrap()))
+        .collect();
+
+    let paths = [path_a.clone(), path_b.clone()];
+    let expect_roi = Arc::new(expect_roi);
+    let expect_point = Arc::new(expect_point);
+    let expect_plane = Arc::new(expect_plane);
+    let mut handles = Vec::new();
+    for t in 0..6usize {
+        let paths = paths.clone();
+        let points = points.to_vec();
+        let rois = rois.to_vec();
+        let (expect_roi, expect_point, expect_plane) = (
+            Arc::clone(&expect_roi),
+            Arc::clone(&expect_point),
+            Arc::clone(&expect_plane),
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(addr).unwrap();
+            // Each client opens both files (catalog shares one engine per
+            // file under the hood).
+            let h: Vec<u32> = paths
+                .iter()
+                .map(|p| client.open(p.to_str().unwrap()).unwrap().handle)
+                .collect();
+            for round in 0..4 {
+                let fi = (t + round) % 2;
+                for (ri, roi) in rois.iter().enumerate() {
+                    let view = client
+                        .roi(
+                            h[fi],
+                            0,
+                            [roi.lo.get(0), roi.lo.get(1), roi.lo.get(2)],
+                            [roi.hi.get(0), roi.hi.get(1), roi.hi.get(2)],
+                            WireSelect::All,
+                        )
+                        .unwrap();
+                    let got: Vec<_> = view.levels.iter().map(wire_bits).collect();
+                    assert_eq!(
+                        got,
+                        expect_roi[fi * 2 + ri],
+                        "client {t} file {fi} roi {ri}"
+                    );
+                }
+                for (pi, p) in points.iter().enumerate() {
+                    let got = client
+                        .point(h[fi], 1, [p.get(0), p.get(1), p.get(2)])
+                        .unwrap()
+                        .map(|(lvl, _, v)| (lvl, v.to_bits()));
+                    assert_eq!(got, expect_point[fi][pi], "client {t} file {fi} point {pi}");
+                }
+                let plane = client.plane(h[fi], 0, 1, 2, 16).unwrap();
+                assert_eq!(wire_bits(&plane), expect_plane[fi], "client {t} file {fi}");
+            }
+            for handle in h {
+                client.close_handle(handle).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Stats reflect the multi-tenant reality: one engine per file, both
+    // interactive and scan traffic, and a shared cache doing real work.
+    let mut client = Client::connect_tcp(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.open_files, 2, "one pooled engine per file");
+    assert_eq!(stats.catalog_opens, 2);
+    assert_eq!(
+        stats.catalog_open_hits, 10,
+        "6 clients x 2 files minus 2 builds"
+    );
+    assert!(stats.interactive_queries > 0, "points must be interactive");
+    assert!(stats.scan_queries > 0, "full-domain ROI must be a scan");
+    assert!(stats.scan_slabs >= stats.scan_queries, "scans are sliced");
+    assert!(stats.cache_hits > 0, "repeat traffic must hit the cache");
+    assert_eq!(stats.files.len(), 2);
+    assert!(stats.files.iter().all(|f| f.chunks_decoded > 0));
+    assert_eq!(stats.rejected_too_large, 0);
+
+    client.shutdown_server().unwrap();
+    server.shutdown_and_join();
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}
+
+#[test]
+fn uds_transport_answers_identically_to_tcp() {
+    let path = tmp("uds");
+    write_plotfile(93, &path);
+    let mut sock = std::env::temp_dir();
+    sock.push(format!("amr-serve-e2e-{}.sock", std::process::id()));
+    let mut server = Server::new(test_config());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    server.listen_uds(&sock).unwrap();
+
+    let mut tcp = Client::connect_tcp(addr).unwrap();
+    let mut uds = Client::connect_uds(&sock).unwrap();
+    let ht = tcp.open(path.to_str().unwrap()).unwrap();
+    let hu = uds.open(path.to_str().unwrap()).unwrap();
+    // Same pooled engine: same file id, same generation, fresh handle.
+    assert_eq!(ht.file_id, hu.file_id);
+    assert_eq!(ht.generation, hu.generation);
+    let a = tcp
+        .roi(ht.handle, 0, [0, 0, 0], [15, 15, 15], WireSelect::All)
+        .unwrap();
+    let b = uds
+        .roi(hu.handle, 0, [0, 0, 0], [15, 15, 15], WireSelect::All)
+        .unwrap();
+    assert_eq!(a.field_name, b.field_name);
+    let bits = |v: &amr_serve::RoiView| v.levels.iter().map(wire_bits).collect::<Vec<_>>();
+    assert_eq!(bits(&a), bits(&b), "transports must not change answers");
+
+    uds.shutdown_server().unwrap();
+    server.shutdown_and_join();
+    std::fs::remove_file(&sock).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn rewritten_plotfile_invalidates_stale_engine() {
+    let path = tmp("stale");
+    write_plotfile(94, &path);
+    let mut server = Server::new(test_config());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+
+    let first = client.open(path.to_str().unwrap()).unwrap();
+    let before = client.point(first.handle, 0, [8, 8, 8]).unwrap().unwrap();
+
+    // In-situ pipelines rewrite snapshots in place: replace the file's
+    // bytes with a different run.
+    write_plotfile(95, &path);
+    let direct = QueryEngine::open(&path).unwrap();
+    let expect = direct
+        .point_sample(0, IntVect::new(8, 8, 8))
+        .unwrap()
+        .unwrap();
+
+    let second = client.open(path.to_str().unwrap()).unwrap();
+    assert_ne!(
+        second.file_id, first.file_id,
+        "stale engine must not be reused"
+    );
+    assert_ne!(second.generation, first.generation);
+    let after = client.point(second.handle, 0, [8, 8, 8]).unwrap().unwrap();
+    assert_eq!(
+        after.2.to_bits(),
+        expect.value.to_bits(),
+        "new bytes served"
+    );
+    assert_ne!(
+        after.2.to_bits(),
+        before.2.to_bits(),
+        "seeds differ by design"
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.catalog_reopens_stale, 1);
+    assert_eq!(stats.open_files, 1, "stale entry replaced, not accumulated");
+
+    // The *old* handle now points at a dropped catalog entry — still
+    // answers (the engine lives while the handle holds it), from the old
+    // bytes' in-memory state or fails the read; either way no panic and
+    // the connection survives.
+    let _ = client.point(first.handle, 0, [8, 8, 8]);
+    assert!(
+        client.stats().is_ok(),
+        "connection must survive stale-handle use"
+    );
+
+    client.shutdown_server().unwrap();
+    server.shutdown_and_join();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn oversized_requests_get_typed_rejection() {
+    let path = tmp("toolarge");
+    write_plotfile(96, &path);
+    let mut cfg = test_config();
+    cfg.admission.max_request_bytes = 16 << 10; // reject almost everything
+    let mut server = Server::new(cfg);
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+    let info = client.open(path.to_str().unwrap()).unwrap();
+    let err = client
+        .roi(info.handle, 0, [0, 0, 0], [15, 15, 15], WireSelect::All)
+        .unwrap_err();
+    match err {
+        ServeError::Remote { code, .. } => assert_eq!(code, ErrorCode::TooLarge),
+        other => panic!("expected typed TooLarge, got {other}"),
+    }
+    // Connection is intact and small queries still pass.
+    assert!(client.point(info.handle, 0, [1, 1, 1]).is_ok());
+    assert_eq!(client.stats().unwrap().rejected_too_large, 1);
+    client.shutdown_server().unwrap();
+    server.shutdown_and_join();
+    std::fs::remove_file(&path).ok();
+}

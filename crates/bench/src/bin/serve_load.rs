@@ -1,0 +1,304 @@
+//! Network load study for the `amr-serve` query service: throughput and
+//! tail latency versus concurrent clients and request mix, against an
+//! in-process loopback server (default) or an external `amr_served`
+//! (`--addr HOST:PORT`). Emits `BENCH_serve.json` for the trajectory
+//! tracker.
+//!
+//! Mixes:
+//! * `points` — 100% point samples (the interactive workload),
+//! * `mixed`  — 90% points / 10% full-domain ROI scans (the contended
+//!   case admission control exists for),
+//! * `scans`  — 100% full-domain ROI scans (bulk throughput).
+//!
+//! Environment knobs: `AMRIC_SERVE_SECS` (measure seconds per config,
+//! default 1.0), `AMRIC_SERVE_CLIENTS` (comma list, default `1,2,4,8`),
+//! `AMRIC_BENCH_OUT` (output path).
+
+use amr_serve::prelude::*;
+use amric::prelude::*;
+use amric_bench::{print_table, scratch, table1_runs};
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct MixResult {
+    clients: usize,
+    mix: &'static str,
+    requests: u64,
+    rps: f64,
+    point_p50_ms: f64,
+    point_p95_ms: f64,
+    point_p99_ms: f64,
+    scan_p95_ms: f64,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+/// One client thread: drive `mix` against both files until the deadline,
+/// returning (point latencies ms, scan latencies ms).
+fn client_loop(
+    addr: SocketAddr,
+    paths: &[String],
+    scan_pct: usize,
+    stop: &AtomicBool,
+    seed: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let handles: Vec<u32> = paths
+        .iter()
+        .map(|p| client.open(p).expect("open").handle)
+        .collect();
+    let (mut points, mut scans) = (Vec::new(), Vec::new());
+    let mut i = seed; // offset per client so request streams differ
+    while !stop.load(Ordering::Relaxed) {
+        let h = handles[i % handles.len()];
+        let t = Instant::now();
+        if i % 100 < scan_pct {
+            client
+                .roi(h, 0, [0, 0, 0], [31, 31, 31], WireSelect::All)
+                .expect("roi");
+            scans.push(t.elapsed().as_secs_f64() * 1000.0);
+        } else {
+            let p = [
+                (7 * i as i64) % 32,
+                (3 * i as i64) % 32,
+                (11 * i as i64) % 32,
+            ];
+            client.point(h, 0, p).expect("point");
+            points.push(t.elapsed().as_secs_f64() * 1000.0);
+        }
+        i += 1;
+    }
+    (points, scans)
+}
+
+fn run_mix(
+    addr: SocketAddr,
+    paths: &[String],
+    clients: usize,
+    mix: &'static str,
+    scan_pct: usize,
+    secs: f64,
+) -> MixResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let paths = paths.to_vec();
+            std::thread::spawn(move || client_loop(addr, &paths, scan_pct, &stop, c * 37))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+    let (mut points, mut scans) = (Vec::new(), Vec::new());
+    for w in workers {
+        let (p, s) = w.join().expect("client thread");
+        points.extend(p);
+        scans.extend(s);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let requests = (points.len() + scans.len()) as u64;
+    points.sort_by(f64::total_cmp);
+    scans.sort_by(f64::total_cmp);
+    MixResult {
+        clients,
+        mix,
+        requests,
+        rps: requests as f64 / elapsed,
+        point_p50_ms: quantile(&points, 0.50),
+        point_p95_ms: quantile(&points, 0.95),
+        point_p99_ms: quantile(&points, 0.99),
+        scan_p95_ms: quantile(&scans, 0.95),
+    }
+}
+
+fn main() {
+    let secs: f64 = std::env::var("AMRIC_SERVE_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let client_counts: Vec<usize> = std::env::var("AMRIC_SERVE_CLIENTS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let external: Option<SocketAddr> = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .map(|a| a.parse().expect("--addr HOST:PORT"));
+
+    // Two distinct snapshots of the Nyx_1 run — the multi-tenant case.
+    let spec = table1_runs()
+        .into_iter()
+        .find(|s| s.name == "Nyx_1")
+        .expect("Nyx_1");
+    let file_a = scratch("serve-load-a");
+    let file_b = scratch("serve-load-b");
+    for (path, t) in [(&file_a, 0.0), (&file_b, 1.0)] {
+        let h = spec.build(t);
+        write_amric(
+            path,
+            &h,
+            &AmricConfig::lr(spec.amric_rel_eb),
+            spec.blocking_factor,
+        )
+        .expect("write plotfile");
+    }
+    let paths: Vec<String> = [&file_a, &file_b]
+        .iter()
+        .map(|p| p.to_str().expect("utf8 path").to_string())
+        .collect();
+
+    // In-process loopback server unless --addr points elsewhere. The
+    // thresholds put full-domain ROIs on the scan path so the bench
+    // exercises admission control, not just the socket loop.
+    let mut local = None;
+    let addr = match external {
+        Some(a) => a,
+        None => {
+            let mut server = Server::new(ServeConfig {
+                cache_bytes: 128 << 20,
+                max_open_files: 16,
+                workers: 2,
+                admission: AdmissionConfig {
+                    max_request_bytes: 1 << 30,
+                    scan_threshold_bytes: 256 << 10,
+                    scan_slab_bytes: 128 << 10,
+                    scan_slots: 1,
+                },
+            });
+            let addr = server.listen_tcp("127.0.0.1:0").expect("bind loopback");
+            local = Some(server);
+            addr
+        }
+    };
+
+    let mixes: [(&'static str, usize); 3] = [("points", 0), ("mixed", 10), ("scans", 100)];
+    let mut results = Vec::new();
+    for &clients in &client_counts {
+        for (mix, scan_pct) in mixes {
+            results.push(run_mix(addr, &paths, clients, mix, scan_pct, secs));
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cell = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{v:.3}")
+        }
+    };
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.clients.to_string(),
+                r.mix.to_string(),
+                r.requests.to_string(),
+                format!("{:.0}", r.rps),
+                cell(r.point_p50_ms),
+                cell(r.point_p95_ms),
+                cell(r.point_p99_ms),
+                cell(r.scan_p95_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("amr-serve load (2 plotfiles, {secs:.1}s/config, {cores} cores)"),
+        &[
+            "clients",
+            "mix",
+            "requests",
+            "req/s",
+            "pt p50 ms",
+            "pt p95 ms",
+            "pt p99 ms",
+            "scan p95 ms",
+        ],
+        &rows,
+    );
+
+    // Fairness headline: interactive p95 with scans stealing 10% of the
+    // mix, relative to the uncontended single-client baseline.
+    let solo = results
+        .iter()
+        .find(|r| r.clients == client_counts[0] && r.mix == "points");
+    let contended = results
+        .iter()
+        .filter(|r| r.mix == "mixed")
+        .max_by_key(|r| r.clients);
+    if let (Some(s), Some(c)) = (solo, contended) {
+        println!(
+            "\nfairness: point p95 {:.3} ms solo -> {:.3} ms with {} mixed clients ({:.2}x)",
+            s.point_p95_ms,
+            c.point_p95_ms,
+            c.clients,
+            c.point_p95_ms / s.point_p95_ms
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n  \"run\": \"Nyx_1 x2 snapshots\",\n");
+    json.push_str(&format!(
+        "  \"cores\": {cores},\n  \"secs_per_config\": {secs:.3},\n  \"transport\": \"{}\",\n  \"configs\": [\n",
+        if external.is_some() { "external-tcp" } else { "loopback-tcp" }
+    ));
+    let fmt = |v: f64| {
+        if v.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{v:.4}")
+        }
+    };
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"mix\": \"{}\", \"requests\": {}, \"rps\": {:.1}, \
+             \"point_p50_ms\": {}, \"point_p95_ms\": {}, \"point_p99_ms\": {}, \"scan_p95_ms\": {}}}{}\n",
+            r.clients,
+            r.mix,
+            r.requests,
+            r.rps,
+            fmt(r.point_p50_ms),
+            fmt(r.point_p95_ms),
+            fmt(r.point_p99_ms),
+            fmt(r.scan_p95_ms),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]");
+    if let (Some(s), Some(c)) = (solo, contended) {
+        json.push_str(&format!(
+            ",\n  \"point_p95_solo_ms\": {},\n  \"point_p95_contended_ms\": {},\n  \"fairness_p95_ratio\": {}\n",
+            fmt(s.point_p95_ms),
+            fmt(c.point_p95_ms),
+            fmt(c.point_p95_ms / s.point_p95_ms)
+        ));
+    } else {
+        json.push('\n');
+    }
+    json.push_str("}\n");
+    let out = std::env::var("AMRIC_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let mut f = std::fs::File::create(&out).expect("create trajectory file");
+    f.write_all(json.as_bytes()).expect("write trajectory file");
+    println!("wrote {out}");
+
+    if let Some(server) = local {
+        server.state().request_shutdown();
+        server.shutdown_and_join();
+    }
+    std::fs::remove_file(&file_a).ok();
+    std::fs::remove_file(&file_b).ok();
+}

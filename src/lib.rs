@@ -8,15 +8,16 @@
 //! Layer map (dependencies point downward):
 //!
 //! ```text
-//! bench ──► amr-query ─► amric ───► h5lite ───► rankpar
-//!   │                     │  │                     ▲
-//!   │                     │  └────► amr-apps ──► amr-mesh
-//!   └► paper tables       └──────► sz-codec
+//! bench ─► amr-serve ─► amr-query ─► amric ───► h5lite ───► rankpar
+//!   │                                 │  │                     ▲
+//!   │                                 │  └────► amr-apps ──► amr-mesh
+//!   └► paper tables                   └──────► sz-codec
 //! ```
 
 pub use amr_apps;
 pub use amr_mesh;
 pub use amr_query;
+pub use amr_serve;
 pub use amric;
 pub use h5lite;
 pub use rankpar;
@@ -27,6 +28,7 @@ pub mod prelude {
     pub use amr_apps::prelude::*;
     pub use amr_mesh::prelude::*;
     pub use amr_query::prelude::*;
+    pub use amr_serve::prelude::*;
     pub use amric::prelude::*;
     pub use h5lite::prelude::*;
     pub use rankpar::prelude::*;
