@@ -2,7 +2,8 @@
 //! `(path, generation)`, all sharing one byte-budgeted chunk store.
 //!
 //! * **Generation validation** — every open stats the file; the engine
-//!   is reused only while `(len, mtime)` match what it was opened
+//!   is reused only while `(len, mtime, content fingerprint)` match
+//!   what it was opened
 //!   against. A rewritten plotfile (in-situ pipelines overwrite
 //!   snapshots in place) is detected on the next open: the stale
 //!   engine is dropped, its cached chunks are purged from the shared
@@ -24,8 +25,19 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Identity stamp of a file's content as the catalog validates it:
-/// byte length and mtime in nanoseconds since the epoch.
+/// Identity stamp of a file's content as the catalog validates it: byte
+/// length, mtime in nanoseconds since the epoch, and a sampled content
+/// fingerprint.
+///
+/// `(len, mtime_ns)` alone misses back-to-back rewrites: an in-situ
+/// pipeline that rewrites a same-length snapshot within the filesystem's
+/// mtime granularity (whole seconds on some filesystems) produces an
+/// identical stamp over different bytes. The fingerprint hashes the head,
+/// tail, and strided interior probes of the file so such rewrites change
+/// the stamp without the catalog reading the whole file on every open.
+/// Changes confined entirely to unsampled interior byte ranges with the
+/// stat stamp also unchanged can still slip through — the probes bound
+/// the open cost, not a cryptographic guarantee.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Generation {
     /// File length in bytes.
@@ -33,10 +45,18 @@ pub struct Generation {
     /// Modification time, nanoseconds since `UNIX_EPOCH` (0 when the
     /// filesystem reports none).
     pub mtime_ns: u64,
+    /// FNV-1a hash over the length and sampled content regions.
+    pub fingerprint: u64,
 }
 
+/// Bytes hashed at each end of the file.
+const FINGERPRINT_EDGE_PROBE: usize = 4096;
+/// Number and size of evenly spaced interior probes.
+const FINGERPRINT_INTERIOR_PROBES: u64 = 8;
+const FINGERPRINT_INTERIOR_PROBE_LEN: usize = 512;
+
 impl Generation {
-    /// Stat `path` into a generation stamp.
+    /// Stat `path` (and sample its content) into a generation stamp.
     pub fn of(path: &Path) -> std::io::Result<Generation> {
         let md = std::fs::metadata(path)?;
         let mtime_ns = md
@@ -48,8 +68,55 @@ impl Generation {
         Ok(Generation {
             len: md.len(),
             mtime_ns,
+            fingerprint: content_fingerprint(path, md.len())?,
         })
     }
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Hash the file's length plus head/tail/interior samples. Small files
+/// (up to both edge probes) are hashed in full. Concurrent rewrites may
+/// shrink the file between stat and read; short reads hash what arrived.
+fn content_fingerprint(path: &Path, len: u64) -> std::io::Result<u64> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a(&mut h, &len.to_le_bytes());
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = vec![0u8; 2 * FINGERPRINT_EDGE_PROBE];
+    let mut probe = |f: &mut std::fs::File, offset: u64, want: usize, h: &mut u64| {
+        if f.seek(SeekFrom::Start(offset)).is_ok() {
+            let mut read = 0;
+            while read < want {
+                match f.read(&mut buf[read..want]) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => read += n,
+                }
+            }
+            fnv1a(h, &buf[..read]);
+        }
+    };
+    if len <= 2 * FINGERPRINT_EDGE_PROBE as u64 {
+        probe(&mut f, 0, len as usize, &mut h);
+        return Ok(h);
+    }
+    probe(&mut f, 0, FINGERPRINT_EDGE_PROBE, &mut h);
+    for i in 0..FINGERPRINT_INTERIOR_PROBES {
+        let offset = (len / (FINGERPRINT_INTERIOR_PROBES + 1)) * (i + 1);
+        probe(&mut f, offset, FINGERPRINT_INTERIOR_PROBE_LEN, &mut h);
+    }
+    probe(
+        &mut f,
+        len - FINGERPRINT_EDGE_PROBE as u64,
+        FINGERPRINT_EDGE_PROBE,
+        &mut h,
+    );
+    Ok(h)
 }
 
 /// One open plotfile: the engine plus the identity it was opened under.

@@ -320,3 +320,56 @@ fn oversized_requests_get_typed_rejection() {
     server.shutdown_and_join();
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn same_stat_rewrite_is_detected_by_fingerprint() {
+    // Back-to-back in-situ rewrite: same length, mtime restored to the
+    // original value (coarse-granularity filesystems produce identical
+    // stamps on their own), different bytes. `(len, mtime_ns)` alone
+    // cannot distinguish the generations — the sampled content
+    // fingerprint must.
+    let path = tmp("fingerprint");
+    write_plotfile(96, &path);
+    let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+    let gen_before = Generation::of(&path).unwrap();
+
+    let catalog = Catalog::new(4 << 20, 4, 1);
+    let first = catalog.open(&path).unwrap();
+
+    // Rewrite: flip bytes inside an interior fingerprint probe window
+    // (offset formula mirrors the sampler), keep the length, restore the
+    // mtime so the stat-visible identity is byte-for-byte unchanged.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let off = (bytes.len() / 9) * 4 + 7;
+    for b in &mut bytes[off..off + 16] {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&path, &bytes).unwrap();
+    std::fs::File::options()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_modified(mtime)
+        .unwrap();
+
+    let gen_after = Generation::of(&path).unwrap();
+    assert_eq!(gen_after.len, gen_before.len, "rewrite preserved length");
+    assert_eq!(
+        gen_after.mtime_ns, gen_before.mtime_ns,
+        "rewrite preserved mtime"
+    );
+    assert_ne!(
+        gen_after.fingerprint, gen_before.fingerprint,
+        "content fingerprint must see the rewrite"
+    );
+
+    // Catalog path: the pooled engine must be invalidated, not reused.
+    // (The patched file may or may not still parse as a plotfile; either
+    // way the stale engine is gone and the counter says why.)
+    if let Ok(second) = catalog.open(&path) {
+        assert_ne!(second.file_id, first.file_id);
+    }
+    assert_eq!(catalog.stats().reopens_stale, 1);
+    assert_eq!(catalog.stats().open_hits, 0);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,201 @@
+//! Golden-stream corpus: small fixed inputs compressed through every
+//! codec family, with the expected stream bytes committed under
+//! `tests/golden/`. Kernel rewrites (vectorization, cache blocking,
+//! fused passes) must keep every stream byte-identical to the scalar
+//! baseline these files were generated from — any diff here is a format
+//! or bitstream break, not a perf regression.
+//!
+//! Regenerate after an *intentional* format change with
+//! `AMRIC_GOLDEN_BLESS=1 cargo test -p amric --test golden_streams`.
+
+use amr_mesh::geom::IntVect;
+use amric::codec::{AmricCodec, BaselineCodec, TacCodec, ZmeshCodec};
+use amric::prelude::*;
+use std::path::PathBuf;
+use sz_codec::codec::Codec;
+use sz_codec::interp::InterpCodec;
+use sz_codec::lr::LrCodec;
+use sz_codec::prelude::*;
+
+/// Deterministic LCG in [-0.5, 0.5).
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// Fixed unit set: `n` blocks of `dims`, a smooth trend plus seeded noise
+/// (exercises both predictors, some outliers, all symbol ranges).
+fn units(n: usize, dims: Dims3, seed: u64) -> Vec<Buffer3> {
+    let mut state = seed;
+    (0..n)
+        .map(|u| {
+            let mut b = Buffer3::zeros(dims);
+            b.fill_with(|i, j, k| {
+                let base = ((i as f64 * 0.37 + u as f64).sin() + (j as f64 * 0.21).cos())
+                    * (1.0 + k as f64 * 0.05);
+                base + lcg(&mut state) * 0.02 + if (i + j + k + u) % 97 == 0 { 3.0 } else { 0.0 }
+            });
+            b
+        })
+        .collect()
+}
+
+fn origins(n: usize) -> Vec<IntVect> {
+    // Scattered (non-contiguous) origins so TAC's Morton grouping and
+    // zMesh's locality ordering both do real work.
+    (0..n)
+        .map(|u| {
+            let u = u as i64;
+            IntVect::new((u * 8) % 24, ((u / 3) * 8) % 16, (u * 16) % 32)
+        })
+        .collect()
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Compare `bytes` against the committed golden file (or rewrite it when
+/// blessing), then prove the stream still round-trips through
+/// `decompress_auto` within the error bound.
+fn check(name: &str, bytes: &[u8], orig: &[Buffer3], abs_eb: f64) {
+    let path = golden_dir().join(format!("{name}.bin"));
+    if std::env::var("AMRIC_GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("mkdir golden");
+        std::fs::write(&path, bytes).expect("write golden");
+    }
+    let expected = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); bless first", path.display()));
+    assert_eq!(
+        expected.len(),
+        bytes.len(),
+        "{name}: stream length changed ({} -> {})",
+        expected.len(),
+        bytes.len()
+    );
+    if expected != bytes {
+        let first_diff = expected
+            .iter()
+            .zip(bytes)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        panic!("{name}: stream bytes diverge from golden at offset {first_diff}");
+    }
+    // Sanity: the pinned stream is decodable and within bound.
+    let back = decompress_auto(bytes).expect("golden stream decodes");
+    assert_eq!(back.len(), orig.len(), "{name}: unit count");
+    for (o, b) in orig.iter().zip(&back) {
+        assert_eq!(o.dims(), b.dims(), "{name}: dims");
+        let s = ErrorStats::compare(o.data(), b.data());
+        assert!(
+            s.max_abs_err <= abs_eb * (1.0 + 1e-9),
+            "{name}: max err {} > {abs_eb}",
+            s.max_abs_err
+        );
+    }
+}
+
+fn compress_with(codec: &dyn Codec, units: &[Buffer3]) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec.compress_into(units, &mut out).expect("compress");
+    out
+}
+
+#[test]
+fn golden_lr_sle() {
+    let u = units(6, Dims3::cube(10), 0xA001);
+    let abs = resolve_abs_eb(&u, 1e-3);
+    let codec = LrCodec::new(LrConfig::new(abs));
+    check("lr_sle", &compress_with(&codec, &u), &u, abs);
+}
+
+#[test]
+fn golden_lr_ragged() {
+    // Mixed shapes: domain-edge blocks exercise the boundary paths of the
+    // Lorenzo and regression kernels.
+    let mut u = units(3, Dims3::cube(8), 0xA002);
+    u.extend(units(1, Dims3::new(8, 8, 3), 0xA003));
+    u.extend(units(1, Dims3::new(5, 7, 8), 0xA004));
+    let abs = resolve_abs_eb(&u, 1e-3);
+    let codec = LrCodec::new(LrConfig::new(abs));
+    check("lr_ragged", &compress_with(&codec, &u), &u, abs);
+}
+
+#[test]
+fn golden_interp() {
+    let u = units(1, Dims3::new(17, 12, 9), 0xB001);
+    let abs = resolve_abs_eb(&u, 1e-3);
+    let codec = InterpCodec::new(InterpConfig::new(abs));
+    check("interp", &compress_with(&codec, &u), &u, abs);
+}
+
+#[test]
+fn golden_interp_multi() {
+    let u = units(3, Dims3::cube(9), 0xB002);
+    let abs = resolve_abs_eb(&u, 1e-3);
+    let codec = InterpCodec::new(InterpConfig::new(abs));
+    check("interp_multi", &compress_with(&codec, &u), &u, abs);
+}
+
+#[test]
+fn golden_pipeline_modes() {
+    // All four AMRIC pipeline stream modes.
+    let u = units(8, Dims3::cube(8), 0xC001);
+    let abs = resolve_abs_eb(&u, 1e-3);
+    let cases: [(&str, AmricConfig); 4] = [
+        ("pipeline_lr_sle", AmricConfig::lr(1e-3)),
+        (
+            "pipeline_lr_lm",
+            AmricConfig::lr(1e-3).with_merge(MergePolicy::LinearMerge),
+        ),
+        ("pipeline_interp_cluster", AmricConfig::interp(1e-3)),
+        (
+            "pipeline_interp_linear",
+            AmricConfig::interp(1e-3).with_cluster_arrangement(false),
+        ),
+    ];
+    for (name, cfg) in cases {
+        let codec = AmricCodec::with_bound(cfg, 8, abs);
+        check(name, &compress_with(&codec, &u), &u, abs);
+    }
+}
+
+#[test]
+fn golden_tac() {
+    let u = units(6, Dims3::cube(8), 0xD001);
+    let abs = resolve_abs_eb(&u, 1e-3);
+    let codec = TacCodec::new(1e-3, origins(6));
+    check("tac", &compress_with(&codec, &u), &u, abs);
+}
+
+#[test]
+fn golden_zmesh() {
+    let u = units(6, Dims3::cube(8), 0xE001);
+    let abs = resolve_abs_eb(&u, 1e-3);
+    let codec = ZmeshCodec::new(1e-3, origins(6));
+    check("zmesh", &compress_with(&codec, &u), &u, abs);
+}
+
+#[test]
+fn golden_amrex_baseline() {
+    let u = units(4, Dims3::cube(8), 0xF001);
+    let abs = resolve_abs_eb(&u, 1e-3);
+    let codec = BaselineCodec::new(BaselineConfig::new(1e-3));
+    check("amrex_baseline", &compress_with(&codec, &u), &u, abs);
+}
+
+#[test]
+fn golden_empty_streams() {
+    // Zero-unit streams are format too.
+    let abs = 1e-3;
+    let lr = LrCodec::new(LrConfig::new(abs));
+    check("lr_empty", &compress_with(&lr, &[]), &[], abs);
+    let interp = InterpCodec::new(InterpConfig::new(abs));
+    check("interp_empty", &compress_with(&interp, &[]), &[], abs);
+    let pipe = AmricCodec::with_bound(AmricConfig::lr(1e-3), 8, abs);
+    check("pipeline_empty", &compress_with(&pipe, &[]), &[], abs);
+}

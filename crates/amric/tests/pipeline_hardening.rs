@@ -1,0 +1,92 @@
+//! Pipeline-level decode hardening: the AMRIC container embeds a raw
+//! SZ_L/R or SZ_Interp sub-stream, so a forged Huffman table deep inside
+//! a pipeline stream must still surface as a typed
+//! [`CodecError::Corrupt`] from `decompress_field_units` — the hardening
+//! of the family decoders has to hold through the outer container too.
+
+use amric::config::AmricConfig;
+use amric::pipeline::{compress_field_units, decompress_field_units};
+use sz_codec::buffer3::{Buffer3, Dims3};
+use sz_codec::codec::{read_envelope, CodecId};
+use sz_codec::error::CodecError;
+use sz_codec::lossless;
+use sz_codec::quantizer::QUANT_RADIUS;
+use sz_codec::wire::Reader;
+
+fn units(n: usize, edge: usize) -> Vec<Buffer3> {
+    (0..n)
+        .map(|u| {
+            let mut b = Buffer3::zeros(Dims3::cube(edge));
+            b.fill_with(|i, j, k| {
+                (i as f64 * 0.3 + u as f64).sin() + 0.02 * j as f64 - 0.01 * k as f64
+            });
+            b
+        })
+        .collect()
+}
+
+/// Byte offset where the embedded SZ sub-stream starts: the first
+/// interior position that parses as an envelope for an SZ family.
+fn inner_stream_offset(bytes: &[u8]) -> usize {
+    for pos in 1..bytes.len().saturating_sub(8) {
+        if let Ok(env) = read_envelope(&bytes[pos..]) {
+            if env.codec == CodecId::LrSle as u16 || env.codec == CodecId::Interp as u16 {
+                return pos;
+            }
+        }
+    }
+    panic!("no embedded SZ stream found");
+}
+
+/// Forge the first data-table symbol of the embedded sub-stream (same
+/// surgery as sz-codec's decode_hardening tests, one container deeper).
+fn forge_inner_lr_table(bytes: &[u8], new_sym: u32) -> Vec<u8> {
+    let split = inner_stream_offset(bytes);
+    let inner = &bytes[split..];
+    let env = read_envelope(inner).unwrap();
+    assert_eq!(
+        env.codec,
+        CodecId::LrSle as u16,
+        "expected an SZ_L/R sub-stream"
+    );
+    let mut payload = lossless::decompress(&inner[env.payload_offset..]).unwrap();
+
+    // Walk the SZ_L/R container to the data Huffman block.
+    let off = {
+        let mut r = Reader::new(&payload);
+        r.get_f64().unwrap(); // error bound
+        r.get_u8().unwrap(); // block size
+        let ndom = r.get_u32().unwrap() as usize;
+        for _ in 0..3 * ndom {
+            r.get_u32().unwrap();
+        }
+        let nsel = r.get_u64().unwrap() as usize;
+        r.get_raw(nsel.div_ceil(8)).unwrap();
+        r.get_block().unwrap(); // coefficient block
+        let ncoef = r.get_u64().unwrap() as usize;
+        r.get_raw(ncoef * 8).unwrap();
+        payload.len() - r.remaining()
+    };
+    // Block layout: [u64 len][u32 n_lens][(u32 sym, u8 len) × n]…
+    payload[off + 12..off + 16].copy_from_slice(&new_sym.to_le_bytes());
+
+    let mut out = bytes[..split + env.payload_offset].to_vec();
+    lossless::compress_into(&payload, &mut out);
+    out
+}
+
+#[test]
+fn pipeline_with_forged_inner_table_is_typed_corrupt() {
+    let us = units(4, 8);
+    let bytes = compress_field_units(&us, &AmricConfig::lr(1e-3), 8);
+    assert!(decompress_field_units(&bytes).is_ok(), "baseline decodes");
+
+    for forged_sym in [0u32, 2 * QUANT_RADIUS as u32 + 4404] {
+        let bad = forge_inner_lr_table(&bytes, forged_sym);
+        match decompress_field_units(&bad) {
+            Err(CodecError::Corrupt { .. }) => {}
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("forged pipeline stream decoded successfully"),
+        }
+    }
+}

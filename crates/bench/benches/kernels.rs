@@ -1,0 +1,157 @@
+//! Criterion benches for the sz-codec hot kernels: the shipped lane
+//! kernels against their `*_reference` twins (the original scalar and
+//! bit-serial forms kept in-tree as equivalence oracles). The
+//! `fig_kernels` bin target runs the same pairs as a fixed-iteration
+//! before/after sweep and emits `BENCH_kernels.json`; this target is the
+//! statistically careful interactive view of the same kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sz_codec::buffer3::{Buffer3, Dims3};
+use sz_codec::huffman::{self, HuffmanCode};
+use sz_codec::kernels;
+use sz_codec::quantizer::Quantizer;
+
+fn smooth_field(n: usize) -> Buffer3 {
+    let mut x = 7u64;
+    let mut b = Buffer3::zeros(Dims3::cube(n));
+    b.fill_with(|i, j, k| {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let noise = (x >> 11) as f64 / (1u64 << 53) as f64;
+        (i as f64 * 0.21).sin() + (j as f64 * 0.17).cos() + 0.05 * k as f64 + 0.01 * noise
+    });
+    b
+}
+
+fn quant_symbols(n: usize) -> Vec<u32> {
+    let mut x = 99u64;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (x >> 33) as u32;
+            let spread = if r.is_multiple_of(97) { 256 } else { 17 };
+            32768 - spread / 2 + r % spread
+        })
+        .collect()
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let n = 64;
+    let field = smooth_field(n);
+    let dims = field.dims();
+    let q = Quantizer::new(1e-3);
+    let (b0, bx, by, bz) = (0.1f64, 0.003f64, 0.002f64, 0.001f64);
+    let mut syms = vec![0u32; n * n * n];
+    let mut recon = vec![0.0f64; n * n * n];
+    let mut g = c.benchmark_group("kernels/quantize");
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+    g.bench_function("per_point_reference", |b| {
+        b.iter(|| {
+            for z in 0..dims.nz {
+                for y in 0..dims.ny {
+                    for x in 0..dims.nx {
+                        let idx = dims.idx(x, y, z);
+                        let pred = ((b0 + bx * x as f64) + by * y as f64) + bz * z as f64;
+                        let (sym, rec) = q.quantize(field.get(x, y, z), pred);
+                        syms[idx] = sym;
+                        recon[idx] = rec;
+                    }
+                }
+            }
+            syms[0]
+        })
+    });
+    g.bench_function("affine_row", |b| {
+        b.iter(|| {
+            let flat = field.data();
+            for z in 0..dims.nz {
+                let hz = bz * z as f64;
+                for y in 0..dims.ny {
+                    let hy = by * y as f64;
+                    let base = dims.idx(0, y, z);
+                    kernels::quantize_affine_row(
+                        &q,
+                        &flat[base..base + dims.nx],
+                        b0,
+                        bx,
+                        hy,
+                        hz,
+                        &mut syms[base..base + dims.nx],
+                        &mut recon[base..base + dims.nx],
+                    );
+                }
+            }
+            syms[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let n = 64;
+    let recon = smooth_field(n);
+    let dims = recon.dims();
+    let ys: Vec<usize> = (3..n - 3).collect();
+    let mut preds = vec![0.0f64; n];
+    let mut g = c.benchmark_group("kernels/predict_cubic");
+    g.throughput(Throughput::Elements((ys.len() * n * n) as u64));
+    g.bench_function("per_point_reference", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..dims.nz {
+                for &y in &ys {
+                    for (x, p) in preds.iter_mut().enumerate() {
+                        let at = |pos: usize| recon.get(x, pos, z);
+                        *p = (-at(y - 3) + 9.0 * at(y - 1) + 9.0 * at(y + 1) - at(y + 3)) / 16.0;
+                    }
+                    acc = acc.wrapping_add(preds[dims.nx - 1].to_bits());
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("row", |b| {
+        b.iter(|| {
+            let flat = recon.data();
+            let mut acc = 0u64;
+            for z in 0..dims.nz {
+                for &y in &ys {
+                    let base = dims.idx(0, y, z);
+                    let rm3 = &flat[base - 3 * dims.nx..base - 2 * dims.nx];
+                    let rm1 = &flat[base - dims.nx..base];
+                    let rp1 = &flat[base + dims.nx..base + 2 * dims.nx];
+                    let rp3 = &flat[base + 3 * dims.nx..base + 4 * dims.nx];
+                    kernels::predict_cubic_row(rm3, rm1, rp1, rp3, &mut preds);
+                    acc = acc.wrapping_add(preds[dims.nx - 1].to_bits());
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let n = 1 << 18;
+    let syms = quant_symbols(n);
+    let freqs = huffman::count_frequencies(&syms);
+    let code = HuffmanCode::from_frequencies(&freqs);
+    let bytes = code.encode(&syms);
+    let mut g = c.benchmark_group("kernels/huffman");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("encode_reference", |b| {
+        b.iter(|| code.encode_reference(&syms))
+    });
+    g.bench_function("encode", |b| b.iter(|| code.encode(&syms)));
+    g.bench_function("decode_reference", |b| {
+        b.iter(|| code.decode_reference(&bytes, n).unwrap())
+    });
+    g.bench_function("decode", |b| b.iter(|| code.decode(&bytes, n).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_predict, bench_huffman);
+criterion_main!(benches);

@@ -1,0 +1,348 @@
+//! Kernel microbenchmarks: before/after series for the data-parallel
+//! sz-codec hot-kernel rework. "Before" runs the `*_reference` twins —
+//! the original scalar/bit-serial code kept in-tree as equivalence
+//! oracles — and "after" runs the shipped kernels. Both sides produce
+//! identical results (asserted here per pair and enforced globally by
+//! the golden-stream suite), so the series measure the same work.
+//!
+//! Emits `BENCH_kernels.json` with a `cores` field so single-core CI
+//! numbers are labelled as such.
+
+use std::io::Write as _;
+use std::time::Instant;
+use sz_codec::buffer3::{Buffer3, Dims3};
+use sz_codec::huffman::{self, HuffmanCode};
+use sz_codec::kernels;
+use sz_codec::quantizer::Quantizer;
+use sz_codec::wire::Writer;
+
+struct Point {
+    kernel: &'static str,
+    variant: &'static str,
+    ms_per_iter: f64,
+    mitems_per_s: f64,
+}
+
+fn time_iters(iters: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let check = f(); // warm-up, excluded from timing
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(f(), check, "non-deterministic kernel result");
+    }
+    t0.elapsed().as_secs_f64() * 1000.0 / iters as f64
+}
+
+fn push_pair(
+    series: &mut Vec<Point>,
+    kernel: &'static str,
+    iters: usize,
+    items: usize,
+    mut before: impl FnMut() -> u64,
+    mut after: impl FnMut() -> u64,
+) {
+    assert_eq!(before(), after(), "{kernel}: before/after disagree");
+    for (variant, ms) in [
+        ("before", time_iters(iters, &mut before)),
+        ("after", time_iters(iters, &mut after)),
+    ] {
+        series.push(Point {
+            kernel,
+            variant,
+            ms_per_iter: ms,
+            mitems_per_s: items as f64 / (ms * 1e-3) / 1e6,
+        });
+    }
+}
+
+fn smooth_field(n: usize) -> Buffer3 {
+    let mut x = 7u64;
+    let mut b = Buffer3::zeros(Dims3::cube(n));
+    b.fill_with(|i, j, k| {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let noise = (x >> 11) as f64 / (1u64 << 53) as f64;
+        (i as f64 * 0.21).sin() + (j as f64 * 0.17).cos() + 0.05 * k as f64 + 0.01 * noise
+    });
+    b
+}
+
+/// Quantization-symbol stream shaped like a real SZ residual stream:
+/// tightly clustered around the zero symbol with occasional excursions.
+fn quant_symbols(n: usize) -> Vec<u32> {
+    let mut x = 99u64;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (x >> 33) as u32;
+            let spread = if r.is_multiple_of(97) { 256 } else { 17 };
+            32768 - spread / 2 + r % spread
+        })
+        .collect()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let iters: usize = std::env::var("AMRIC_KERNEL_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let mut series: Vec<Point> = Vec::new();
+
+    // --- predict: cubic-spline rows (the interp Y/Z pass inner loop).
+    // Before: the per-point indexed-get formulation the compressor used
+    // to run. After: the contiguous row kernel over neighbour slices.
+    {
+        let n = 64;
+        let recon = smooth_field(n);
+        let dims = recon.dims();
+        let ys: Vec<usize> = (3..n - 3).collect(); // cubic-eligible rows
+        let items = ys.len() * n * n;
+        let before = {
+            let (recon, ys) = (&recon, &ys);
+            let mut preds = vec![0.0f64; n];
+            move || {
+                let mut acc = 0u64;
+                for z in 0..dims.nz {
+                    for &y in ys {
+                        for (x, p) in preds.iter_mut().enumerate() {
+                            let at = |pos: usize| recon.get(x, pos, z);
+                            *p =
+                                (-at(y - 3) + 9.0 * at(y - 1) + 9.0 * at(y + 1) - at(y + 3)) / 16.0;
+                        }
+                        acc = acc.wrapping_add(preds[dims.nx - 1].to_bits());
+                    }
+                }
+                acc
+            }
+        };
+        let after = {
+            let (recon, ys) = (&recon, &ys);
+            let mut preds = vec![0.0f64; n];
+            move || {
+                let flat = recon.data();
+                let mut acc = 0u64;
+                for z in 0..dims.nz {
+                    for &y in ys {
+                        let base = dims.idx(0, y, z);
+                        let rm3 = &flat[base - 3 * dims.nx..base - 2 * dims.nx];
+                        let rm1 = &flat[base - dims.nx..base];
+                        let rp1 = &flat[base + dims.nx..base + 2 * dims.nx];
+                        let rp3 = &flat[base + 3 * dims.nx..base + 4 * dims.nx];
+                        kernels::predict_cubic_row(rm3, rm1, rp1, rp3, &mut preds);
+                        acc = acc.wrapping_add(preds[dims.nx - 1].to_bits());
+                    }
+                }
+                acc
+            }
+        };
+        push_pair(&mut series, "predict_cubic", iters, items, before, after);
+    }
+
+    // --- quantize: the regression-family encode loop. Before: the
+    // original per-point formulation — indexed buffer access, the full
+    // affine prediction recomputed at every cell, the branchy quantizer.
+    // After: per-row hoisting of the y/z terms plus the fused
+    // predict+quantize lane kernel. Same expression tree, so the symbol
+    // and reconstruction streams are asserted identical.
+    {
+        let n = 64;
+        let field = smooth_field(n);
+        let dims = field.dims();
+        let items = n * n * n;
+        let (b0, bx, by, bz) = (0.1f64, 0.003f64, 0.002f64, 0.001f64);
+        let q = Quantizer::new(1e-3);
+        let before = {
+            let (field, q) = (&field, &q);
+            let mut syms = vec![0u32; items];
+            let mut recon = vec![0.0f64; items];
+            move || {
+                let mut acc = 0u64;
+                for z in 0..dims.nz {
+                    for y in 0..dims.ny {
+                        for x in 0..dims.nx {
+                            let idx = dims.idx(x, y, z);
+                            let pred = ((b0 + bx * x as f64) + by * y as f64) + bz * z as f64;
+                            let (sym, rec) = q.quantize(field.get(x, y, z), pred);
+                            syms[idx] = sym;
+                            recon[idx] = rec;
+                        }
+                        acc = acc
+                            .wrapping_add(syms[dims.idx(0, y, z)] as u64)
+                            .wrapping_add(recon[dims.idx(dims.nx - 1, y, z)].to_bits());
+                    }
+                }
+                acc
+            }
+        };
+        let after = {
+            let (field, q) = (&field, &q);
+            let mut syms = vec![0u32; items];
+            let mut recon = vec![0.0f64; items];
+            move || {
+                let flat = field.data();
+                let mut acc = 0u64;
+                for z in 0..dims.nz {
+                    let hz = bz * z as f64;
+                    for y in 0..dims.ny {
+                        let hy = by * y as f64;
+                        let base = dims.idx(0, y, z);
+                        let s = &mut syms[base..base + dims.nx];
+                        let r = &mut recon[base..base + dims.nx];
+                        kernels::quantize_affine_row(
+                            q,
+                            &flat[base..base + dims.nx],
+                            b0,
+                            bx,
+                            hy,
+                            hz,
+                            s,
+                            r,
+                        );
+                        acc = acc
+                            .wrapping_add(s[0] as u64)
+                            .wrapping_add(r[dims.nx - 1].to_bits());
+                    }
+                }
+                acc
+            }
+        };
+        push_pair(&mut series, "quantize", iters, items, before, after);
+    }
+
+    // --- huffman encode (per-bit writer vs 64-bit accumulator), decode
+    // (bit-by-bit canonical walk vs table-driven), and the fused entropy
+    // emission the container writer runs.
+    {
+        let n = 1 << 20;
+        let syms = quant_symbols(n);
+        let freqs = huffman::count_frequencies(&syms);
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let bytes = code.encode(&syms);
+        assert_eq!(code.encode_reference(&syms), bytes);
+        push_pair(
+            &mut series,
+            "huffman_encode",
+            iters,
+            n,
+            || {
+                let b = code.encode_reference(&syms);
+                (b.len() as u64).wrapping_add(b[b.len() - 1] as u64)
+            },
+            || {
+                let b = code.encode(&syms);
+                (b.len() as u64).wrapping_add(b[b.len() - 1] as u64)
+            },
+        );
+        push_pair(
+            &mut series,
+            "huffman_decode",
+            iters,
+            n,
+            || {
+                let s = code.decode_reference(&bytes, n).expect("decode");
+                s[s.len() - 1] as u64 + s.len() as u64
+            },
+            || {
+                let s = code.decode(&bytes, n).expect("decode");
+                s[s.len() - 1] as u64 + s.len() as u64
+            },
+        );
+
+        // Fused pass — before: HashMap count, per-bit encode, and an
+        // intermediate buffer copied through put_block; after: histogram
+        // carried in (rebuilt densely here, as quantization maintains it
+        // in-line in the real pipeline) and direct block emission.
+        push_pair(
+            &mut series,
+            "fused_pass",
+            iters,
+            n,
+            || {
+                let mut w = Writer::new();
+                w.put_block(&huffman::encode_with_table_reference(&syms));
+                let b = w.into_bytes();
+                (b.len() as u64).wrapping_add(b[b.len() - 1] as u64)
+            },
+            || {
+                let freqs = huffman::count_frequencies(&syms);
+                let mut w = Writer::new();
+                huffman::encode_block_with_histogram_into(&syms, &freqs, &mut w);
+                let b = w.into_bytes();
+                (b.len() as u64).wrapping_add(b[b.len() - 1] as u64)
+            },
+        );
+    }
+
+    println!(
+        "{:<16} {:>8} {:>12} {:>12}",
+        "kernel", "variant", "ms/iter", "Mitems/s"
+    );
+    for p in &series {
+        println!(
+            "{:<16} {:>8} {:>12.3} {:>12.1}",
+            p.kernel, p.variant, p.ms_per_iter, p.mitems_per_s
+        );
+    }
+
+    let kernels_list = [
+        "predict_cubic",
+        "quantize",
+        "huffman_encode",
+        "huffman_decode",
+        "fused_pass",
+    ];
+    let ms_of = |kernel: &str, variant: &str| {
+        series
+            .iter()
+            .find(|p| p.kernel == kernel && p.variant == variant)
+            .map(|p| p.ms_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"kernels\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"iters_per_point\": {iters},\n"));
+    json.push_str("  \"series\": [\n");
+    for (i, p) in series.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"ms_per_iter\": {:.3}, \"mitems_per_s\": {:.1}}}{}\n",
+            p.kernel,
+            p.variant,
+            p.ms_per_iter,
+            p.mitems_per_s,
+            if i + 1 == series.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedups\": {");
+    for (i, k) in kernels_list.iter().enumerate() {
+        json.push_str(&format!(
+            "\"{}\": {:.3}{}",
+            k,
+            ms_of(k, "before") / ms_of(k, "after"),
+            if i + 1 == kernels_list.len() {
+                ""
+            } else {
+                ", "
+            }
+        ));
+    }
+    json.push_str("}\n}\n");
+
+    let mut f = std::fs::File::create("BENCH_kernels.json").expect("create BENCH_kernels.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote BENCH_kernels.json (cores = {cores})");
+    for k in ["predict_cubic", "quantize", "huffman_decode"] {
+        println!(
+            "  speedup {k}: {:.2}x",
+            ms_of(k, "before") / ms_of(k, "after")
+        );
+    }
+}

@@ -13,6 +13,17 @@ use std::collections::BinaryHeap;
 /// rebuilt if a longer code appears (pathological skew).
 const MAX_CODE_LEN: u32 = 32;
 
+/// Width of the primary decode lookup table. Every code of length
+/// ≤ `DECODE_TABLE_BITS` resolves with one table load; longer codes fall
+/// back to the canonical per-length walk. 12 bits ⇒ a 4096-entry table
+/// (32 KiB) that stays L1/L2-resident while covering the entire hot
+/// symbol mass of quantization streams.
+const DECODE_TABLE_BITS: u32 = 12;
+
+/// Below this symbol count the lookup-table build costs more than it
+/// saves; decode falls through to the bit-by-bit reference walk.
+const DECODE_TABLE_MIN_SYMBOLS: usize = 64;
+
 /// A built Huffman code book.
 #[derive(Clone, Debug)]
 pub struct HuffmanCode {
@@ -59,6 +70,39 @@ impl HuffmanCode {
 
     /// Encode a symbol sequence into a bit-packed byte vector.
     pub fn encode(&self, symbols: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(symbols, &mut out);
+        out
+    }
+
+    /// Append the bit-packed encoding of `symbols` to `out` through a
+    /// 64-bit accumulator (one shift+or per symbol, one store per byte)
+    /// instead of the per-bit [`BitWriter`] loop. Byte-identical to
+    /// [`HuffmanCode::encode_reference`].
+    pub fn encode_into(&self, symbols: &[u32], out: &mut Vec<u8>) {
+        // Valid bits live in acc[0, nbits); after the drain loop nbits ≤ 7,
+        // so `acc << len` with len ≤ MAX_CODE_LEN = 32 never overflows.
+        // Stale bits above the valid region are cut by the `as u8` casts.
+        let mut acc = 0u64;
+        let mut nbits = 0u32;
+        for &s in symbols {
+            let (code, len) = self.encode[s as usize];
+            debug_assert!(len > 0, "symbol {s} not in code book");
+            acc = (acc << len) | code;
+            nbits += len;
+            while nbits >= 8 {
+                nbits -= 8;
+                out.push((acc >> nbits) as u8);
+            }
+        }
+        if nbits > 0 {
+            out.push((acc << (8 - nbits)) as u8);
+        }
+    }
+
+    /// The original per-bit encode loop, kept as the equivalence oracle
+    /// and the "before" series of the kernel benches.
+    pub fn encode_reference(&self, symbols: &[u32]) -> Vec<u8> {
         let mut w = BitWriter::new();
         for &s in symbols {
             let (code, len) = self.encode[s as usize];
@@ -66,6 +110,11 @@ impl HuffmanCode {
             w.write_bits(code, len);
         }
         w.into_bytes()
+    }
+
+    /// Code length in bits for `sym`; 0 when the symbol is not in the book.
+    fn code_len(&self, sym: u32) -> u32 {
+        self.encode.get(sym as usize).map(|&(_, l)| l).unwrap_or(0)
     }
 
     /// Mean code length in bits, frequency-weighted by `freqs` — used by
@@ -89,9 +138,155 @@ impl HuffmanCode {
     }
 
     /// Decode exactly `n` symbols from the bit stream.
+    ///
+    /// Table-driven: codes of length ≤ `DECODE_TABLE_BITS` resolve with
+    /// a single lookup on the next 12 peeked bits; longer codes continue
+    /// the canonical per-length walk from the peeked prefix, and the final
+    /// few bytes fall back to the bit-by-bit walk so end-of-stream
+    /// handling matches [`HuffmanCode::decode_reference`] exactly. Because
+    /// the code is prefix-free, the table lookup selects the same unique
+    /// code the reference walk finds, so results (including the typed
+    /// errors on truncated or invalid streams) are identical.
     pub fn decode(&self, bytes: &[u8], n: usize) -> CodecResult<Vec<u32>> {
         // Every symbol costs at least one bit, so a count beyond 8 bits
         // per payload byte can only come from a corrupted header.
+        if n as u128 > bytes.len() as u128 * 8 {
+            return Err(CodecError::LimitExceeded {
+                what: "symbol count",
+                claimed: n as u128,
+                available: bytes.len() as u128 * 8,
+            });
+        }
+        if n < DECODE_TABLE_MIN_SYMBOLS || self.lens.is_empty() {
+            return self.decode_reference(bytes, n);
+        }
+        let canon = Canonical::build(&self.lens);
+        let max_len = canon.max_len;
+        let tb = DECODE_TABLE_BITS.min(max_len as u32);
+        // lut[next tb bits] = (symbol, code length); length 0 = long code.
+        // Canonical codes are assigned in (length, symbol) order, so every
+        // slot sharing a code's prefix is filled exactly once.
+        let mut lut = vec![(0u32, 0u8); 1usize << tb];
+        {
+            let mut code = 0u64;
+            let mut prev_len = 0u32;
+            for &(sym, len) in &self.lens {
+                code <<= len - prev_len;
+                prev_len = len;
+                if len <= tb {
+                    // A forged table can over-subscribe the code space
+                    // (Kraft sum > 1), spilling the canonical assignment
+                    // past `len` bits and off the end of the LUT. The
+                    // reference walk is total over such tables and is
+                    // this decoder's behavioural contract, so defer to
+                    // it rather than index out of range.
+                    if code >> len != 0 {
+                        return self.decode_reference(bytes, n);
+                    }
+                    let base = (code << (tb - len)) as usize;
+                    for e in &mut lut[base..base + (1usize << (tb - len))] {
+                        *e = (sym, len as u8);
+                    }
+                }
+                code += 1;
+            }
+        }
+        let total_bits = bytes.len() * 8;
+        let mut out = Vec::with_capacity(n);
+        // Persistent bit buffer: the next unconsumed bits sit left-aligned
+        // in `buf` (`nbits` of them valid), refilled a byte at a time from
+        // `byte_pos`. Peeking `tb` bits is then one shift per symbol
+        // instead of a fresh unaligned load + byte-swap, and the refill
+        // amortizes to one load per ~7 decoded-code bytes.
+        let mut buf: u64 = 0;
+        let mut nbits: u32 = 0;
+        let mut byte_pos = 0usize;
+        while out.len() < n {
+            while nbits <= 56 && byte_pos < bytes.len() {
+                buf |= (bytes[byte_pos] as u64) << (56 - nbits);
+                nbits += 8;
+                byte_pos += 1;
+            }
+            if nbits >= tb {
+                let idx = (buf >> (64 - tb)) as usize;
+                let (sym, hit_len) = lut[idx];
+                if hit_len != 0 {
+                    out.push(sym);
+                    buf <<= hit_len;
+                    nbits -= hit_len as u32;
+                    continue;
+                }
+                // No code of length ≤ tb matches the peeked bits: resume
+                // the canonical walk on the raw stream with those tb bits
+                // already consumed, then re-sync the buffer. Long codes
+                // are rare by construction, so the re-sync cost is noise.
+                let pos = byte_pos * 8 - nbits as usize;
+                let (sym, new_pos) =
+                    self.walk_one(bytes, total_bits, pos + tb as usize, idx as u64, tb, &canon)?;
+                out.push(sym);
+                byte_pos = new_pos.div_ceil(8);
+                nbits = (byte_pos * 8 - new_pos) as u32;
+                buf = if nbits == 0 {
+                    0
+                } else {
+                    (bytes[byte_pos - 1] as u64) << (56 + (8 - nbits))
+                };
+            } else {
+                // Fewer than `tb` buffered bits and the stream is drained:
+                // exact reference bit-by-bit walk for the tail symbols.
+                let pos = byte_pos * 8 - nbits as usize;
+                let (sym, new_pos) = self.walk_one(bytes, total_bits, pos, 0, 0, &canon)?;
+                out.push(sym);
+                byte_pos = new_pos.div_ceil(8);
+                nbits = (byte_pos * 8 - new_pos) as u32;
+                buf = if nbits == 0 {
+                    0
+                } else {
+                    (bytes[byte_pos - 1] as u64) << (56 + (8 - nbits))
+                };
+            }
+        }
+        Ok(out)
+    }
+
+    /// One symbol of the canonical bit-by-bit walk, starting `len0` bits
+    /// into a code whose prefix is `code0`. Bit-for-bit the reference
+    /// decode loop, including the order of the exhausted/invalid checks.
+    fn walk_one(
+        &self,
+        bytes: &[u8],
+        total_bits: usize,
+        mut pos: usize,
+        code0: u64,
+        len0: u32,
+        canon: &Canonical,
+    ) -> CodecResult<(u32, usize)> {
+        let mut code = code0;
+        let mut len = len0 as usize;
+        loop {
+            if pos >= total_bits {
+                return Err(CodecError::corrupt("huffman stream exhausted"));
+            }
+            let bit = ((bytes[pos >> 3] >> (7 - (pos & 7))) & 1) as u64;
+            pos += 1;
+            code = (code << 1) | bit;
+            len += 1;
+            if len > canon.max_len {
+                return Err(CodecError::corrupt("invalid huffman code"));
+            }
+            let rel = code.wrapping_sub(canon.first_code[len]);
+            if canon.count[len] > 0
+                && code >= canon.first_code[len]
+                && (rel as usize) < canon.count[len]
+            {
+                return Ok((self.lens[canon.first_index[len] + rel as usize].0, pos));
+            }
+        }
+    }
+
+    /// The original bit-by-bit decode loop, kept verbatim as the
+    /// equivalence oracle and the "before" series of the kernel benches.
+    pub fn decode_reference(&self, bytes: &[u8], n: usize) -> CodecResult<Vec<u32>> {
         if n as u128 > bytes.len() as u128 * 8 {
             return Err(CodecError::LimitExceeded {
                 what: "symbol count",
@@ -177,6 +372,43 @@ impl HuffmanCode {
     }
 }
 
+/// Per-length canonical decode arrays shared by the table decoder's slow
+/// paths: `first_code[len]` / `first_index[len]` into the canonical
+/// (length, symbol)-ordered code list, `count[len]` codes per length.
+struct Canonical {
+    max_len: usize,
+    first_code: Vec<u64>,
+    first_index: Vec<usize>,
+    count: Vec<usize>,
+}
+
+impl Canonical {
+    fn build(lens: &[(u32, u32)]) -> Self {
+        let max_len = lens.last().map(|&(_, l)| l).unwrap_or(0) as usize;
+        let mut first_code = vec![0u64; max_len + 2];
+        let mut first_index = vec![0usize; max_len + 2];
+        let mut count = vec![0usize; max_len + 2];
+        for &(_, l) in lens {
+            count[l as usize] += 1;
+        }
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for len in 1..=max_len {
+            code <<= 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            code += count[len] as u64;
+            index += count[len];
+        }
+        Canonical {
+            max_len,
+            first_code,
+            first_index,
+            count,
+        }
+    }
+}
+
 /// Compute code lengths by building the Huffman tree over (possibly
 /// flattened) frequencies. `shift` right-shifts counts (then +1) to reduce
 /// skew when length limiting is needed.
@@ -237,9 +469,39 @@ fn build_lengths(used: &[(u32, u64)], shift: u32) -> Vec<(u32, u32)> {
         .collect()
 }
 
+/// Alphabets up to this bound are counted with a dense histogram; larger
+/// symbols fall back to the HashMap path. Quantization symbols are
+/// `< 2·QUANT_RADIUS = 2¹⁶`, well inside the bound.
+const DENSE_HISTOGRAM_MAX: usize = 1 << 17;
+
 /// Count symbol frequencies of a sequence into the sparse `(symbol, count)`
 /// form [`HuffmanCode::from_frequencies`] expects.
+///
+/// Dense-histogram fast path: one pass bounds the alphabet, one pass
+/// counts into a flat array, and the symbol-ascending sweep yields the
+/// same sorted output the HashMap reference produces.
 pub fn count_frequencies(symbols: &[u32]) -> Vec<(u32, u64)> {
+    let max = match symbols.iter().copied().max() {
+        Some(m) => m,
+        None => return Vec::new(),
+    };
+    if (max as usize) >= DENSE_HISTOGRAM_MAX {
+        return count_frequencies_reference(symbols);
+    }
+    let mut hist = vec![0u64; max as usize + 1];
+    for &s in symbols {
+        hist[s as usize] += 1;
+    }
+    hist.iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(s, &c)| (s as u32, c))
+        .collect()
+}
+
+/// HashMap-based frequency count: the general-alphabet fallback, the
+/// equivalence oracle, and the "before" series of the kernel benches.
+pub fn count_frequencies_reference(symbols: &[u32]) -> Vec<(u32, u64)> {
     let mut map = std::collections::HashMap::new();
     for &s in symbols {
         *map.entry(s).or_insert(0u64) += 1;
@@ -249,18 +511,107 @@ pub fn count_frequencies(symbols: &[u32]) -> Vec<(u32, u64)> {
     v
 }
 
-/// Convenience: encode `symbols` as `table ‖ bit-length ‖ bitstream`.
+/// Convenience: encode `symbols` as `table ‖ count ‖ bit-length ‖
+/// bitstream`.
 pub fn encode_with_table(symbols: &[u32]) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_with_table_into(symbols, &mut w);
+    w.into_bytes()
+}
+
+/// Streaming form of [`encode_with_table`]: appends the encoded block
+/// directly to `w`, skipping the intermediate encoded buffer.
+/// Byte-identical output.
+pub fn encode_with_table_into(symbols: &[u32], w: &mut Writer) {
+    if symbols.is_empty() {
+        w.put_u32(0);
+        return;
+    }
+    let freqs = count_frequencies(symbols);
+    encode_with_histogram_into(symbols, &freqs, w);
+}
+
+/// Fused-pass entry point: the caller already histogrammed `symbols`
+/// (e.g. while quantizing), so the counting pass is skipped and the
+/// payload length prefix is computed from the histogram up front —
+/// `Σ len(s)·freq(s)` — letting the bit packer emit straight into `w`.
+///
+/// `freqs` must be the exact sorted histogram [`count_frequencies`] would
+/// produce for `symbols`.
+pub fn encode_with_histogram_into(symbols: &[u32], freqs: &[(u32, u64)], w: &mut Writer) {
+    if symbols.is_empty() {
+        w.put_u32(0);
+        return;
+    }
+    let code = HuffmanCode::from_frequencies(freqs);
+    code.write_table(w);
+    w.put_u64(symbols.len() as u64);
+    let total_bits: u64 = freqs
+        .iter()
+        .map(|&(s, c)| code.code_len(s) as u64 * c)
+        .sum();
+    w.put_u64(total_bits.div_ceil(8));
+    let before = w.buf_mut().len();
+    code.encode_into(symbols, w.buf_mut());
+    debug_assert_eq!(
+        (w.buf_mut().len() - before) as u64,
+        total_bits.div_ceil(8),
+        "histogram does not match symbol stream"
+    );
+}
+
+/// Append `w.put_block(&encode_with_table(symbols))`-equivalent bytes
+/// without materializing the inner block: the outer length prefix is
+/// computed from the histogram up front (table bytes + count + length
+/// prefix + `⌈Σ len(s)·freq(s) / 8⌉` payload bytes), then the table and
+/// bit stream are emitted straight into `w`. Byte-identical output.
+pub fn encode_block_with_histogram_into(symbols: &[u32], freqs: &[(u32, u64)], w: &mut Writer) {
+    if symbols.is_empty() {
+        // Empty marker block: u64 length 4 + the zero table count.
+        w.put_u64(4);
+        w.put_u32(0);
+        return;
+    }
+    let code = HuffmanCode::from_frequencies(freqs);
+    let total_bits: u64 = freqs
+        .iter()
+        .map(|&(s, c)| code.code_len(s) as u64 * c)
+        .sum();
+    let payload_bytes = total_bits.div_ceil(8);
+    let table_bytes = 4 + 5 * code.lens.len() as u64;
+    w.put_u64(table_bytes + 8 + 8 + payload_bytes);
+    code.write_table(w);
+    w.put_u64(symbols.len() as u64);
+    w.put_u64(payload_bytes);
+    let before = w.buf_mut().len();
+    code.encode_into(symbols, w.buf_mut());
+    debug_assert_eq!(
+        (w.buf_mut().len() - before) as u64,
+        payload_bytes,
+        "histogram does not match symbol stream"
+    );
+}
+
+/// [`encode_block_with_histogram_into`] with the histogram computed here.
+pub fn encode_block_into(symbols: &[u32], w: &mut Writer) {
+    let freqs = count_frequencies(symbols);
+    encode_block_with_histogram_into(symbols, &freqs, w);
+}
+
+/// The original buffer-building encode path (HashMap count, per-bit
+/// writer, intermediate payload vector), kept as the "before" series of
+/// the kernel benches.
+pub fn encode_with_table_reference(symbols: &[u32]) -> Vec<u8> {
     let mut w = Writer::new();
     if symbols.is_empty() {
         w.put_u32(0);
         return w.into_bytes();
     }
-    let freqs = count_frequencies(symbols);
+    let freqs = count_frequencies_reference(symbols);
     let code = HuffmanCode::from_frequencies(&freqs);
     code.write_table(&mut w);
     w.put_u64(symbols.len() as u64);
-    w.put_block(&code.encode(symbols));
+    w.put_block(&code.encode_reference(symbols));
     w.into_bytes()
 }
 
@@ -279,6 +630,23 @@ pub fn decode_with_table(bytes: &[u8]) -> CodecResult<Vec<u32>> {
     let n = r.get_u64()? as usize;
     let payload = r.get_block()?;
     code.decode(payload, n)
+}
+
+/// [`decode_with_table`] through the bit-by-bit reference decoder — the
+/// "before" series of the kernel benches.
+pub fn decode_with_table_reference(bytes: &[u8]) -> CodecResult<Vec<u32>> {
+    let mut r = Reader::new(bytes);
+    let n_table = {
+        let mut peek = Reader::new(bytes);
+        peek.get_u32()?
+    };
+    if n_table == 0 {
+        return Ok(Vec::new());
+    }
+    let code = HuffmanCode::read_table(&mut r)?;
+    let n = r.get_u64()? as usize;
+    let payload = r.get_block()?;
+    code.decode_reference(payload, n)
 }
 
 #[cfg(test)]
@@ -364,5 +732,140 @@ mod tests {
     fn truncated_table_errors() {
         let bytes = encode_with_table(&[1, 2, 3, 1, 2, 3]);
         assert!(decode_with_table(&bytes[..3]).is_err());
+    }
+
+    /// Deterministic pseudo-random symbol stream over `alphabet` symbols.
+    fn lcg_symbols(n: usize, alphabet: u32, seed: u64) -> Vec<u32> {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % alphabet as u64) as u32
+            })
+            .collect()
+    }
+
+    /// Skewed stream: mostly one symbol, occasional spread — the shape of
+    /// real quantization streams (short hot codes + a long-code tail).
+    fn skewed_symbols(n: usize, seed: u64) -> Vec<u32> {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let r = x >> 33;
+                if r % 100 < 90 {
+                    32768
+                } else {
+                    32768 + (r % 4096) as u32
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_into_matches_reference() {
+        for syms in [
+            lcg_symbols(5000, 4096, 1),
+            skewed_symbols(5000, 2),
+            vec![7u32; 300],
+            vec![3u32],
+        ] {
+            let freqs = count_frequencies(&syms);
+            let code = HuffmanCode::from_frequencies(&freqs);
+            let mut fast = Vec::new();
+            code.encode_into(&syms, &mut fast);
+            assert_eq!(fast, code.encode_reference(&syms));
+        }
+    }
+
+    #[test]
+    fn count_frequencies_matches_reference() {
+        for syms in [
+            lcg_symbols(5000, 4096, 3),
+            skewed_symbols(2000, 4),
+            Vec::new(),
+            vec![0u32; 10],
+            // Huge symbols force the HashMap fallback.
+            vec![u32::MAX, 5, u32::MAX, 0],
+        ] {
+            assert_eq!(count_frequencies(&syms), count_frequencies_reference(&syms));
+        }
+    }
+
+    #[test]
+    fn table_decode_matches_reference() {
+        for syms in [
+            lcg_symbols(10_000, 4096, 5),
+            lcg_symbols(10_000, 65536, 6), // wide alphabet → long codes
+            skewed_symbols(10_000, 7),
+            lcg_symbols(100, 17, 8), // near the table-build threshold
+            vec![42u32; 1000],
+        ] {
+            let bytes = encode_with_table(&syms);
+            assert_eq!(decode_with_table(&bytes).expect("decode"), syms);
+            assert_eq!(decode_with_table_reference(&bytes).expect("ref"), syms);
+        }
+    }
+
+    #[test]
+    fn table_decode_error_parity_on_damage() {
+        // Truncations and bit flips must produce the same Ok/Err outcome
+        // as the reference decoder (zero padding can legitimately decode,
+        // so "is error" alone is not enough — compare both ways).
+        let syms = skewed_symbols(3000, 9);
+        let freqs = count_frequencies(&syms);
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let payload = code.encode(&syms);
+        for cut in (0..payload.len()).step_by(7) {
+            let fast = code.decode(&payload[..cut], syms.len());
+            let slow = code.decode_reference(&payload[..cut], syms.len());
+            match (&fast, &slow) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "cut={cut}"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("cut={cut}: fast={fast:?} slow={slow:?}"),
+            }
+        }
+        let mut flipped = payload.clone();
+        for i in (0..flipped.len()).step_by(11) {
+            flipped[i] ^= 0x40;
+            let fast = code.decode(&flipped, syms.len());
+            let slow = code.decode_reference(&flipped, syms.len());
+            match (&fast, &slow) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "flip={i}"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("flip={i}: fast={fast:?} slow={slow:?}"),
+            }
+            flipped[i] ^= 0x40;
+        }
+    }
+
+    #[test]
+    fn block_emit_matches_put_block() {
+        for syms in [
+            skewed_symbols(3000, 12),
+            lcg_symbols(500, 9, 13),
+            Vec::new(),
+        ] {
+            let mut a = Writer::new();
+            encode_block_into(&syms, &mut a);
+            let mut b = Writer::new();
+            b.put_block(&encode_with_table_reference(&syms));
+            assert_eq!(a.into_bytes(), b.into_bytes());
+        }
+    }
+
+    #[test]
+    fn fused_histogram_encode_matches() {
+        let syms = skewed_symbols(4000, 10);
+        let freqs = count_frequencies(&syms);
+        let mut w = Writer::new();
+        encode_with_histogram_into(&syms, &freqs, &mut w);
+        assert_eq!(w.into_bytes(), encode_with_table_reference(&syms));
+        assert_eq!(encode_with_table(&syms), encode_with_table_reference(&syms));
+        assert_eq!(
+            encode_with_table(&[]),
+            encode_with_table_reference(&[]),
+            "empty marker"
+        );
     }
 }

@@ -19,6 +19,7 @@ use crate::codec::{
     FLAG_MULTI,
 };
 use crate::huffman;
+use crate::kernels;
 use crate::lossless;
 use crate::quantizer::{Quantizer, OUTLIER_SYMBOL};
 use crate::wire::{CodecError, CodecResult, Reader, Writer};
@@ -49,34 +50,162 @@ pub fn compress(data: &Buffer3, cfg: &InterpConfig) -> Vec<u8> {
 
 /// Compress one 3-D buffer, **appending** the stream to `out` (the
 /// buffer-reusing variant of [`compress`]).
+///
+/// Passes run as explicit nested loops in `PassTargets` emission order
+/// (x fastest), so the symbol/outlier streams are byte-identical to the
+/// collect-then-visit formulation. The Y and Z passes at stride 1 — the
+/// bulk of all points — are contiguous x-rows whose predictor kind is
+/// constant per row, so they go through the lane kernels in
+/// [`crate::kernels`]; everything else stays scalar.
 pub fn compress_into(data: &Buffer3, cfg: &InterpConfig, out: &mut Vec<u8>) {
     let dims = data.dims();
     let q = Quantizer::new(cfg.abs_eb);
     let mut recon = Buffer3::zeros(dims);
     let mut syms = Vec::with_capacity(dims.len());
     let mut outliers = Vec::new();
-
-    let mut quant_point = |recon: &mut Buffer3, i: usize, j: usize, k: usize, pred: f64| {
-        let val = data.get(i, j, k);
-        let (sym, rec) = q.quantize(val, pred);
-        if sym == OUTLIER_SYMBOL {
-            outliers.push(val);
-        }
-        syms.push(sym);
-        recon.set(i, j, k, rec);
-    };
+    let flat = data.data();
+    let plane = dims.nx * dims.ny;
+    let mut preds = vec![0.0f64; dims.nx];
+    let mut syms_row = vec![0u32; dims.nx];
 
     // Anchor point.
-    quant_point(&mut recon, 0, 0, 0, 0.0);
+    {
+        let (sym, rec) = q.quantize(flat[0], 0.0);
+        if sym == OUTLIER_SYMBOL {
+            outliers.push(flat[0]);
+        }
+        syms.push(sym);
+        recon.data_mut()[0] = rec;
+    }
+
     for s in strides(dims) {
-        for axis in [Axis::X, Axis::Y, Axis::Z] {
-            // Targets are collected first: prediction reads the buffer
-            // state from before the point is written.
-            let targets: Vec<(usize, usize, usize)> = PassTargets::new(dims, s, axis).collect();
-            for (i, j, k) in targets {
-                let pred = predict(&recon, dims, s, axis, i, j, k);
-                quant_point(&mut recon, i, j, k, pred);
+        // X pass: targets (odd·s, 2s·b, 2s·c). Prediction reads the row
+        // itself at even multiples of s while writes land on odd
+        // multiples, so a single mutable row slice suffices.
+        let mut z = 0;
+        while z < dims.nz {
+            let mut y = 0;
+            while y < dims.ny {
+                let base = dims.idx(0, y, z);
+                let vals = &flat[base..base + dims.nx];
+                let row = &mut recon.data_mut()[base..base + dims.nx];
+                let mut x = s;
+                while x < dims.nx {
+                    let has_right = x + s < dims.nx;
+                    let pred = if has_right && x >= 3 * s && x + 3 * s < dims.nx {
+                        (-row[x - 3 * s] + 9.0 * row[x - s] + 9.0 * row[x + s] - row[x + 3 * s])
+                            / 16.0
+                    } else if has_right {
+                        0.5 * (row[x - s] + row[x + s])
+                    } else {
+                        row[x - s]
+                    };
+                    let (sym, rec) = q.quantize_select(vals[x], pred);
+                    if sym == OUTLIER_SYMBOL {
+                        outliers.push(vals[x]);
+                    }
+                    syms.push(sym);
+                    row[x] = rec;
+                    x += 2 * s;
+                }
+                y += 2 * s;
             }
+            z += 2 * s;
+        }
+
+        // Y pass: targets (s·a, odd·s, 2s·c); the predictor kind depends
+        // only on y, so it is constant per x-row.
+        let mut z = 0;
+        while z < dims.nz {
+            let mut y = s;
+            while y < dims.ny {
+                if s == 1 {
+                    let base = dims.idx(0, y, z);
+                    let vals = &flat[base..base + dims.nx];
+                    let (head, tail) = recon.data_mut().split_at_mut(base);
+                    let (wrow, rest) = tail.split_at_mut(dims.nx);
+                    let rm1 = &head[base - dims.nx..];
+                    match row_kind(y, 1, dims.ny) {
+                        RowKind::Cubic => {
+                            let rm3 = &head[base - 3 * dims.nx..base - 2 * dims.nx];
+                            let rp1 = &rest[..dims.nx];
+                            let rp3 = &rest[2 * dims.nx..3 * dims.nx];
+                            kernels::predict_cubic_row(rm3, rm1, rp1, rp3, &mut preds);
+                            kernels::quantize_row(&q, vals, &preds, &mut syms_row, wrow);
+                        }
+                        RowKind::Linear => {
+                            let rp1 = &rest[..dims.nx];
+                            kernels::predict_linear_row(rm1, rp1, &mut preds);
+                            kernels::quantize_row(&q, vals, &preds, &mut syms_row, wrow);
+                        }
+                        RowKind::Prev => kernels::quantize_row(&q, vals, rm1, &mut syms_row, wrow),
+                    }
+                    drain_row(vals, &syms_row, &mut syms, &mut outliers);
+                } else {
+                    let mut x = 0;
+                    while x < dims.nx {
+                        let pred = predict(&recon, dims, s, Axis::Y, x, y, z);
+                        let val = data.get(x, y, z);
+                        let (sym, rec) = q.quantize_select(val, pred);
+                        if sym == OUTLIER_SYMBOL {
+                            outliers.push(val);
+                        }
+                        syms.push(sym);
+                        recon.set(x, y, z, rec);
+                        x += s;
+                    }
+                }
+                y += 2 * s;
+            }
+            z += 2 * s;
+        }
+
+        // Z pass: targets (s·a, s·b, odd·s); the predictor kind depends
+        // only on z, so it is constant per plane.
+        let mut z = s;
+        while z < dims.nz {
+            let kind = row_kind(z, s, dims.nz);
+            let mut y = 0;
+            while y < dims.ny {
+                if s == 1 {
+                    let base = dims.idx(0, y, z);
+                    let vals = &flat[base..base + dims.nx];
+                    let (head, tail) = recon.data_mut().split_at_mut(base);
+                    let (wrow, rest) = tail.split_at_mut(dims.nx);
+                    let rm1 = &head[base - plane..base - plane + dims.nx];
+                    match kind {
+                        RowKind::Cubic => {
+                            let rm3 = &head[base - 3 * plane..base - 3 * plane + dims.nx];
+                            let rp1 = &rest[plane - dims.nx..plane];
+                            let rp3 = &rest[3 * plane - dims.nx..3 * plane];
+                            kernels::predict_cubic_row(rm3, rm1, rp1, rp3, &mut preds);
+                            kernels::quantize_row(&q, vals, &preds, &mut syms_row, wrow);
+                        }
+                        RowKind::Linear => {
+                            let rp1 = &rest[plane - dims.nx..plane];
+                            kernels::predict_linear_row(rm1, rp1, &mut preds);
+                            kernels::quantize_row(&q, vals, &preds, &mut syms_row, wrow);
+                        }
+                        RowKind::Prev => kernels::quantize_row(&q, vals, rm1, &mut syms_row, wrow),
+                    }
+                    drain_row(vals, &syms_row, &mut syms, &mut outliers);
+                } else {
+                    let mut x = 0;
+                    while x < dims.nx {
+                        let pred = predict(&recon, dims, s, Axis::Z, x, y, z);
+                        let val = data.get(x, y, z);
+                        let (sym, rec) = q.quantize_select(val, pred);
+                        if sym == OUTLIER_SYMBOL {
+                            outliers.push(val);
+                        }
+                        syms.push(sym);
+                        recon.set(x, y, z, rec);
+                        x += s;
+                    }
+                }
+                y += s;
+            }
+            z += 2 * s;
         }
     }
     debug_assert_eq!(syms.len(), dims.len());
@@ -86,7 +215,7 @@ pub fn compress_into(data: &Buffer3, cfg: &InterpConfig, out: &mut Vec<u8>) {
     w.put_u32(dims.nx as u32);
     w.put_u32(dims.ny as u32);
     w.put_u32(dims.nz as u32);
-    w.put_block(&huffman::encode_with_table(&syms));
+    huffman::encode_block_into(&syms, &mut w);
     w.put_u64(outliers.len() as u64);
     for &v in &outliers {
         w.put_f64(v);
@@ -95,6 +224,46 @@ pub fn compress_into(data: &Buffer3, cfg: &InterpConfig, out: &mut Vec<u8>) {
     write_envelope(&mut env, CodecId::Interp, VERSION, 0);
     *out = env.into_bytes();
     lossless::compress_into(&w.into_bytes(), out);
+}
+
+/// Which 1-D predictor a whole row of an interpolation pass uses — the
+/// branch in [`predict`] hoisted to row granularity: for Y/Z passes the
+/// neighbour-availability conditions depend only on the coordinate along
+/// the pass axis, never on x.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RowKind {
+    /// Four aligned neighbours at ±s, ±3s: cubic spline.
+    Cubic,
+    /// Only ±s neighbours: linear midpoint.
+    Linear,
+    /// Right neighbour out of range: previous value.
+    Prev,
+}
+
+/// Predictor kind for a target at coordinate `pos` along a pass axis of
+/// extent `n` at stride `s` — the exact condition ladder of [`predict`].
+#[inline]
+fn row_kind(pos: usize, s: usize, n: usize) -> RowKind {
+    let has_right = pos + s < n;
+    if has_right && pos >= 3 * s && pos + 3 * s < n {
+        RowKind::Cubic
+    } else if has_right {
+        RowKind::Linear
+    } else {
+        RowKind::Prev
+    }
+}
+
+/// Append one quantized row to the symbol stream, routing outlier raw
+/// values in the same per-point order the scalar loop produced.
+#[inline]
+fn drain_row(vals: &[f64], syms_row: &[u32], syms: &mut Vec<u32>, outliers: &mut Vec<f64>) {
+    for (x, &sym) in syms_row.iter().enumerate() {
+        if sym == OUTLIER_SYMBOL {
+            outliers.push(vals[x]);
+        }
+    }
+    syms.extend_from_slice(syms_row);
 }
 
 /// Decompress a stream produced by [`compress`].
@@ -162,7 +331,7 @@ pub fn decompress(bytes: &[u8]) -> CodecResult<Buffer3> {
         let v = if sym == OUTLIER_SYMBOL {
             out_iter.next().ok_or_else(truncated)?
         } else {
-            q.reconstruct(sym, pred)
+            q.try_reconstruct(sym, pred)?
         };
         recon.set(i, j, k, v);
         Ok(())

@@ -62,6 +62,7 @@ pub mod codec;
 pub mod error;
 pub mod huffman;
 pub mod interp;
+pub mod kernels;
 pub mod lorenzo;
 pub mod lossless;
 pub mod lr;

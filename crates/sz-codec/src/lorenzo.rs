@@ -49,6 +49,17 @@ pub fn lorenzo1(recon: &[f64], i: usize) -> f64 {
 /// `(oi, oj, ok)` and shape `bd`; the stencil may reach outside the block
 /// into the rest of the domain (crossing block boundaries, like the real
 /// pass does).
+///
+/// At the *domain* boundary the stencil zero-extends — out-of-range
+/// neighbours read as literal `0.0`, **not** clamped to the nearest edge
+/// value. This is deliberate and SZ2-faithful: the real encode pass
+/// predicts boundary points against the same zeros, so the selection
+/// statistic must charge Lorenzo for that bias or it would pick Lorenzo
+/// on boundary blocks where regression actually quantizes better. For a
+/// field of typical magnitude `m` the charge is `≈ m` at the domain
+/// origin and one slope-magnitude per domain-edge point (see the
+/// boundary-block test below); changing this to edge-clamping would
+/// silently shift predictor selection and break stream compatibility.
 pub fn lorenzo3_block_error(data: &Buffer3, oi: usize, oj: usize, ok: usize, bd: Dims3) -> f64 {
     let mut err = 0.0;
     for k in ok..ok + bd.nz {
@@ -101,6 +112,26 @@ mod tests {
         let r = [4.0, 6.0];
         assert_eq!(lorenzo1(&r, 0), 0.0);
         assert_eq!(lorenzo1(&r, 1), 4.0);
+    }
+
+    #[test]
+    fn boundary_block_error_uses_zero_extension() {
+        // Pin the SZ2-faithful zero-extension semantics with an analytic
+        // case. For the affine field f = 10 + i + 2j + 3k the
+        // zero-extended stencil is exact everywhere except on domain
+        // *edges*: each face point still sees an exact 2-D sub-stencil,
+        // while an edge point degenerates to previous-value (residual =
+        // the slope along that edge) and the origin predicts 0 (residual
+        // = f(0,0,0)). For the 2×2×2 block at the origin that sums to
+        // 10 + 1 + 2 + 3 = 16 exactly; any clamped variant would differ.
+        let mut b = Buffer3::zeros(Dims3::cube(4));
+        b.fill_with(|i, j, k| 10.0 + i as f64 + 2.0 * j as f64 + 3.0 * k as f64);
+        let bd = Dims3::cube(2);
+        assert_eq!(lorenzo3_block_error(&b, 0, 0, 0, bd), 16.0);
+        // Interior blocks of the same field are exact — the bias is
+        // confined to the domain faces.
+        assert_eq!(lorenzo3_block_error(&b, 1, 1, 1, bd), 0.0);
+        assert_eq!(lorenzo3_block_error(&b, 2, 2, 2, bd), 0.0);
     }
 
     #[test]

@@ -21,10 +21,11 @@ use crate::codec::{
     expect_envelope, total_cells, write_envelope, Codec, CodecId, StreamInfo, FLAG_EMPTY,
 };
 use crate::huffman;
-use crate::lorenzo::{lorenzo3, lorenzo3_block_error};
+use crate::kernels;
+use crate::lorenzo::lorenzo3;
 use crate::lossless;
-use crate::quantizer::{Quantizer, OUTLIER_SYMBOL};
-use crate::regression::{fit_block, regression_block_error, CoefficientCodec};
+use crate::quantizer::{Quantizer, OUTLIER_SYMBOL, QUANT_RADIUS};
+use crate::regression::{fit_block, CoefficientCodec};
 use crate::wire::{CodecError, CodecResult, Reader, Writer};
 
 /// SZ_L/R payload format version (rides in the envelope header).
@@ -62,6 +63,10 @@ impl LrConfig {
     }
 }
 
+/// Stack-allocated per-row symbol/reconstruction scratch: block edges
+/// serialize as `u8`, so rows never exceed 255 cells.
+const MAX_BLOCK_EDGE: usize = 256;
+
 #[derive(Default)]
 struct Streams {
     selection: Vec<bool>,
@@ -69,6 +74,12 @@ struct Streams {
     data_outliers: Vec<f64>,
     coeff_syms: Vec<u32>,
     coeff_outliers: Vec<f64>,
+    /// Fused data-symbol histogram, filled while quantizing (dense over
+    /// the `2·QUANT_RADIUS` symbol space) so the entropy stage skips its
+    /// counting pass. `freq_touched` tracks the nonzero entries so reset
+    /// is O(distinct symbols), not O(65536).
+    data_freq: Vec<u64>,
+    freq_touched: Vec<u32>,
 }
 
 impl Streams {
@@ -78,6 +89,43 @@ impl Streams {
         self.data_outliers.clear();
         self.coeff_syms.clear();
         self.coeff_outliers.clear();
+        for &t in &self.freq_touched {
+            self.data_freq[t as usize] = 0;
+        }
+        self.freq_touched.clear();
+        self.data_freq.resize(2 * QUANT_RADIUS as usize, 0);
+    }
+
+    /// Drain one kernel-produced symbol row into the streams: push raw
+    /// values for outlier symbols (row order — the order the scalar path
+    /// interleaved them), update the fused histogram, and append the
+    /// symbols. The unpredictable-outlier branch lives here, outside the
+    /// lane loops.
+    #[inline]
+    fn drain_row(&mut self, vals: &[f64], syms: &[u32]) {
+        for (x, &sym) in syms.iter().enumerate() {
+            if sym == OUTLIER_SYMBOL {
+                self.data_outliers.push(vals[x]);
+            }
+            let f = &mut self.data_freq[sym as usize];
+            if *f == 0 {
+                self.freq_touched.push(sym);
+            }
+            *f += 1;
+        }
+        self.data_syms.extend_from_slice(syms);
+    }
+
+    /// The sparse `(symbol, count)` histogram of `data_syms`, equal to
+    /// `huffman::count_frequencies(&self.data_syms)`.
+    fn data_freqs(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .freq_touched
+            .iter()
+            .map(|&s| (s, self.data_freq[s as usize]))
+            .collect();
+        v.sort_unstable_by_key(|&(s, _)| s);
+        v
     }
 }
 
@@ -122,6 +170,10 @@ pub fn compress_domains_into(
     out: &mut Vec<u8>,
 ) {
     assert!(!domains.is_empty(), "no domains to compress");
+    assert!(
+        cfg.block_size < MAX_BLOCK_EDGE,
+        "block size must fit the u8 stream field"
+    );
     scratch.streams.clear();
     let mut coeff_codec = CoefficientCodec::new(cfg.abs_eb, cfg.block_size);
     let q = Quantizer::new(cfg.abs_eb);
@@ -291,47 +343,99 @@ fn compress_one_domain(
     s: &mut Streams,
 ) {
     let dims = data.dims();
+    let plane = dims.nx * dims.ny;
     let mut recon = Buffer3::zeros(dims);
+    // Zero row standing in for out-of-domain stencil neighbours.
+    let zeros = vec![0.0f64; cfg.block_size];
+    let mut syms_row = [0u32; MAX_BLOCK_EDGE];
     for ((oi, oj, ok), bd) in blocks_of(dims, cfg.block_size) {
-        // Predictor selection on the original data (SZ2 style).
-        let use_regression = if bd.len() >= MIN_REGRESSION_CELLS {
+        // Predictor selection on the original data (SZ2 style): one fit,
+        // then both selection statistics in a single fused sweep while
+        // the block is cache-resident.
+        let regression = if bd.len() >= MIN_REGRESSION_CELLS {
             let coeffs = fit_block(data, oi, oj, ok, bd);
-            let reg_err = regression_block_error(data, oi, oj, ok, bd, &coeffs);
-            let lor_err = lorenzo3_block_error(data, oi, oj, ok, bd);
-            reg_err < lor_err
+            let (reg_err, lor_err) = kernels::selection_errors(data, oi, oj, ok, bd, &coeffs);
+            (reg_err < lor_err).then_some(coeffs)
         } else {
-            false
+            None
         };
-        s.selection.push(use_regression);
-        if use_regression {
-            let coeffs = fit_block(data, oi, oj, ok, bd);
+        s.selection.push(regression.is_some());
+        if let Some(coeffs) = regression {
             let qc = coeff_codec.encode(&coeffs, &mut s.coeff_syms, &mut s.coeff_outliers);
             for k in 0..bd.nz {
+                let bz = qc.b[2] * k as f64;
                 for j in 0..bd.ny {
-                    for i in 0..bd.nx {
-                        let val = data.get(oi + i, oj + j, ok + k);
-                        let (sym, rec) = q.quantize(val, qc.predict(i, j, k));
-                        if sym == OUTLIER_SYMBOL {
-                            s.data_outliers.push(val);
-                        }
-                        s.data_syms.push(sym);
-                        recon.set(oi + i, oj + j, ok + k, rec);
-                    }
+                    let by = qc.b[1] * j as f64;
+                    let base = dims.idx(oi, oj + j, ok + k);
+                    let vals = &data.data()[base..base + bd.nx];
+                    kernels::quantize_affine_row(
+                        q,
+                        vals,
+                        qc.b0,
+                        qc.b[0],
+                        by,
+                        bz,
+                        &mut syms_row[..bd.nx],
+                        &mut recon.data_mut()[base..base + bd.nx],
+                    );
+                    s.drain_row(vals, &syms_row[..bd.nx]);
                 }
             }
         } else {
             for k in 0..bd.nz {
+                let ka = ok + k;
                 for j in 0..bd.ny {
-                    for i in 0..bd.nx {
-                        let val = data.get(oi + i, oj + j, ok + k);
-                        let pred = lorenzo3(&recon, oi + i, oj + j, ok + k);
-                        let (sym, rec) = q.quantize(val, pred);
-                        if sym == OUTLIER_SYMBOL {
-                            s.data_outliers.push(val);
-                        }
-                        s.data_syms.push(sym);
-                        recon.set(oi + i, oj + j, ok + k, rec);
-                    }
+                    let ja = oj + j;
+                    let base = dims.idx(oi, ja, ka);
+                    let vals = &data.data()[base..base + bd.nx];
+                    // All stencil neighbours live strictly before this
+                    // row in traversal order, so splitting at the row
+                    // start gives aliasing-free read slices.
+                    let (head, tail) = recon.data_mut().split_at_mut(base);
+                    let jm = if ja > 0 {
+                        &head[base - dims.nx..base - dims.nx + bd.nx]
+                    } else {
+                        &zeros[..bd.nx]
+                    };
+                    let km = if ka > 0 {
+                        &head[base - plane..base - plane + bd.nx]
+                    } else {
+                        &zeros[..bd.nx]
+                    };
+                    let jkm = if ja > 0 && ka > 0 {
+                        &head[base - plane - dims.nx..base - plane - dims.nx + bd.nx]
+                    } else {
+                        &zeros[..bd.nx]
+                    };
+                    let left = if oi > 0 {
+                        [
+                            head[base - 1],
+                            if ja > 0 {
+                                head[base - dims.nx - 1]
+                            } else {
+                                0.0
+                            },
+                            if ka > 0 { head[base - plane - 1] } else { 0.0 },
+                            if ja > 0 && ka > 0 {
+                                head[base - plane - dims.nx - 1]
+                            } else {
+                                0.0
+                            },
+                        ]
+                    } else {
+                        [0.0; 4]
+                    };
+                    kernels::lorenzo_quantize_row(
+                        q,
+                        vals,
+                        jm,
+                        km,
+                        jkm,
+                        left,
+                        &mut syms_row[..bd.nx],
+                        &mut tail[..bd.nx],
+                    );
+                    s.drain_row(vals, &syms_row[..bd.nx]);
                 }
             }
         }
@@ -355,9 +459,7 @@ fn decompress_one_domain(
     for ((oi, oj, ok), bd) in blocks_of(dims, cfg.block_size) {
         let use_regression = sel_iter.next().ok_or_else(truncated)?;
         if use_regression {
-            let qc = coeff_codec
-                .decode(csym_iter, cout_iter)
-                .ok_or_else(truncated)?;
+            let qc = coeff_codec.decode(csym_iter, cout_iter)?;
             for k in 0..bd.nz {
                 for j in 0..bd.ny {
                     for i in 0..bd.nx {
@@ -365,7 +467,10 @@ fn decompress_one_domain(
                         let v = if sym == OUTLIER_SYMBOL {
                             out_iter.next().ok_or_else(truncated)?
                         } else {
-                            q.reconstruct(sym, qc.predict(i, j, k))
+                            // try_reconstruct: a corrupt Huffman table can
+                            // smuggle any u32 here — typed error, not
+                            // silent garbage.
+                            q.try_reconstruct(sym, qc.predict(i, j, k))?
                         };
                         recon.set(oi + i, oj + j, ok + k, v);
                     }
@@ -380,7 +485,7 @@ fn decompress_one_domain(
                             out_iter.next().ok_or_else(truncated)?
                         } else {
                             let pred = lorenzo3(&recon, oi + i, oj + j, ok + k);
-                            q.reconstruct(sym, pred)
+                            q.try_reconstruct(sym, pred)?
                         };
                         recon.set(oi + i, oj + j, ok + k, v);
                     }
@@ -417,12 +522,15 @@ fn encode_container(
         }
     }
     w.put_raw(&sel_bytes);
-    w.put_block(&huffman::encode_with_table(&s.coeff_syms));
+    huffman::encode_block_into(&s.coeff_syms, &mut w);
     w.put_u64(s.coeff_outliers.len() as u64);
     for &v in &s.coeff_outliers {
         w.put_f64(v);
     }
-    w.put_block(&huffman::encode_with_table(&s.data_syms));
+    // Fused pass: the histogram was accumulated during quantization, so
+    // the entropy stage emits straight into the payload writer with no
+    // counting pass and no intermediate encoded buffer.
+    huffman::encode_block_with_histogram_into(&s.data_syms, &s.data_freqs(), &mut w);
     w.put_u64(s.data_outliers.len() as u64);
     for &v in &s.data_outliers {
         w.put_f64(v);

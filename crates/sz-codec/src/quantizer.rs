@@ -14,6 +14,8 @@ pub const QUANT_RADIUS: i64 = 32768;
 /// Symbol used for unpredictable (outlier) points.
 pub const OUTLIER_SYMBOL: u32 = 0;
 
+use crate::error::{CodecError, CodecResult};
+
 /// Stateless quantizer for a fixed absolute error bound.
 #[derive(Clone, Copy, Debug)]
 pub struct Quantizer {
@@ -57,12 +59,69 @@ impl Quantizer {
         (OUTLIER_SYMBOL, val)
     }
 
+    /// Branch-light variant of [`Quantizer::quantize`] producing identical
+    /// results, expressed as data-dependent selects instead of early
+    /// returns so the row kernels in [`crate::kernels`] autovectorize.
+    ///
+    /// The floating-point expression tree is exactly the one `quantize`
+    /// evaluates (`diff / (2·eb)`, `pred + code · 2 · eb`, same comparison
+    /// order), so the returned `(symbol, reconstruction)` pair is
+    /// bit-identical for every input, including NaN/∞ and the
+    /// cancellation guard path.
+    #[inline(always)]
+    pub fn quantize_select(&self, val: f64, pred: f64) -> (u32, f64) {
+        let diff = val - pred;
+        let scaled = diff / (2.0 * self.eb);
+        let code = scaled.round();
+        // Computed unconditionally: when `code` is NaN/∞ the result is
+        // NaN, which the `ok` mask below rejects exactly like the guarded
+        // scalar path. `code as i64` is a saturating cast on overflow, so
+        // the discarded lane value is well-defined.
+        let recon = pred + code * 2.0 * self.eb;
+        let ok =
+            (code.abs() < self.radius as f64) & code.is_finite() & ((recon - val).abs() <= self.eb);
+        // On `ok` lanes `code` is integral with |code| < radius, so
+        // `code + radius` is exactly representable in f64 and the f64→i32
+        // cast equals the scalar path's `code as i64 + radius`. Kept in
+        // the float domain because there is no packed f64→i64 conversion
+        // below AVX-512 — an i64 cast here scalarizes the entire row
+        // kernel, while f64→i32 is a single packed instruction. Rejected
+        // lanes (NaN/∞ saturate to well-defined values) are discarded by
+        // the select.
+        let sym = if ok {
+            (code + self.radius as f64) as i32 as u32
+        } else {
+            OUTLIER_SYMBOL
+        };
+        let rec = if ok { recon } else { val };
+        (sym, rec)
+    }
+
     /// Reconstruct from a non-outlier symbol.
     #[inline]
     pub fn reconstruct(&self, symbol: u32, pred: f64) -> f64 {
         debug_assert_ne!(symbol, OUTLIER_SYMBOL);
         let code = symbol as i64 - self.radius;
         pred + code as f64 * 2.0 * self.eb
+    }
+
+    /// Validated reconstruction for decode loops.
+    ///
+    /// A corrupt Huffman table can smuggle arbitrary `u32` symbols into a
+    /// decode loop: symbol 0 without a stored raw value, or a symbol
+    /// `≥ 2·radius` that no encoder ever emits. `reconstruct` only
+    /// `debug_assert!`s, so release builds would silently produce
+    /// `pred − radius·2eb`-style garbage; this variant turns both cases
+    /// into a typed [`CodecError::Corrupt`].
+    #[inline]
+    pub fn try_reconstruct(&self, symbol: u32, pred: f64) -> CodecResult<f64> {
+        if symbol == OUTLIER_SYMBOL || symbol as i64 >= 2 * self.radius {
+            return Err(CodecError::corrupt(format!(
+                "quantization symbol {symbol} out of range (radius {})",
+                self.radius
+            )));
+        }
+        Ok(self.reconstruct(symbol, pred))
     }
 }
 
@@ -125,6 +184,50 @@ mod tests {
     fn relative_bound_conversion() {
         assert_eq!(absolute_bound(1e-2, 50.0), 0.5);
         assert_eq!(absolute_bound(1e-2, 0.0), 1e-2);
+    }
+
+    #[test]
+    fn quantize_select_matches_quantize() {
+        let q = Quantizer::new(1e-3);
+        let mut state = 0x5EED_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for _ in 0..10_000 {
+            let val = next() * 200.0;
+            let pred = val + next() * 0.5;
+            let a = q.quantize(val, pred);
+            let b = q.quantize_select(val, pred);
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "val={val} pred={pred}");
+        }
+        // Special values take the outlier select path identically.
+        for &(val, pred) in &[
+            (f64::NAN, 0.0),
+            (f64::INFINITY, 0.0),
+            (1.0, f64::NAN),
+            (1e300, -1e300),
+            (0.0, -0.0),
+        ] {
+            let a = q.quantize(val, pred);
+            let b = q.quantize_select(val, pred);
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn try_reconstruct_rejects_bad_symbols() {
+        let q = Quantizer::new(0.01);
+        assert!(q.try_reconstruct(OUTLIER_SYMBOL, 1.0).is_err());
+        assert!(q.try_reconstruct(2 * QUANT_RADIUS as u32, 1.0).is_err());
+        assert!(q.try_reconstruct(u32::MAX, 1.0).is_err());
+        let (sym, recon) = q.quantize(1.0, 0.875);
+        assert_ne!(sym, OUTLIER_SYMBOL);
+        assert_eq!(q.try_reconstruct(sym, 0.875).unwrap(), recon);
     }
 
     #[test]

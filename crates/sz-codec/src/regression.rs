@@ -8,6 +8,7 @@
 
 use crate::buffer3::{Buffer3, Dims3};
 use crate::quantizer::{Quantizer, OUTLIER_SYMBOL};
+use crate::wire::{CodecError, CodecResult};
 
 /// Fitted (or reconstructed) regression coefficients for one block.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -45,14 +46,19 @@ pub fn fit_block(data: &Buffer3, oi: usize, oj: usize, ok: usize, bd: Dims3) -> 
     let mut sx = 0.0;
     let mut sy = 0.0;
     let mut sz = 0.0;
+    // Row-sliced traversal (no per-point index math or bounds checks);
+    // the accumulation order — and therefore every sum — is unchanged.
+    let dims = data.dims();
     for k in 0..bd.nz {
+        let dz = k as f64 - mz;
         for j in 0..bd.ny {
-            for i in 0..bd.nx {
-                let v = data.get(oi + i, oj + j, ok + k);
+            let dy = j as f64 - my;
+            let base = dims.idx(oi, oj + j, ok + k);
+            for (i, &v) in data.data()[base..base + bd.nx].iter().enumerate() {
                 sum += v;
                 sx += v * (i as f64 - mx);
-                sy += v * (j as f64 - my);
-                sz += v * (k as f64 - mz);
+                sy += v * dy;
+                sz += v * dz;
             }
         }
     }
@@ -139,28 +145,31 @@ impl CoefficientCodec {
 
     /// Decode the next coefficient set from the symbol/outlier streams.
     /// `sym_iter` and `outlier_iter` advance exactly as `encode` pushed.
+    /// Exhausted streams and out-of-range symbols (a corrupt Huffman
+    /// table can carry any `u32`) are typed [`CodecError::Corrupt`].
     pub fn decode(
         &mut self,
         symbols: &mut impl Iterator<Item = u32>,
         outliers: &mut impl Iterator<Item = f64>,
-    ) -> Option<Coefficients> {
+    ) -> CodecResult<Coefficients> {
+        let truncated = || CodecError::corrupt("coefficient stream truncated");
         let mut out = Coefficients::default();
-        let s = symbols.next()?;
+        let s = symbols.next().ok_or_else(truncated)?;
         out.b0 = if s == OUTLIER_SYMBOL {
-            outliers.next()?
+            outliers.next().ok_or_else(truncated)?
         } else {
-            self.q0.reconstruct(s, self.prev.b0)
+            self.q0.try_reconstruct(s, self.prev.b0)?
         };
         for d in 0..3 {
-            let s = symbols.next()?;
+            let s = symbols.next().ok_or_else(truncated)?;
             out.b[d] = if s == OUTLIER_SYMBOL {
-                outliers.next()?
+                outliers.next().ok_or_else(truncated)?
             } else {
-                self.qs.reconstruct(s, self.prev.b[d])
+                self.qs.try_reconstruct(s, self.prev.b[d])?
             };
         }
         self.prev = out;
-        Some(out)
+        Ok(out)
     }
 }
 
