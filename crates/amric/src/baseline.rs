@@ -167,11 +167,7 @@ mod tests {
     use super::*;
     use amr_apps::prelude::*;
 
-    fn tmp(name: &str) -> std::path::PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("amric-baseline-{}-{name}.h5l", std::process::id()));
-        p
-    }
+    use h5lite::testutil::TempDir;
 
     fn small_h() -> AmrHierarchy {
         // Seed pinned to a representative clumpy realization under the
@@ -193,7 +189,8 @@ mod tests {
     #[test]
     fn baseline_many_filter_calls() {
         let h = small_h();
-        let path = tmp("1d");
+        let dir = TempDir::new("amric-baseline-1d");
+        let path = dir.file("b.h5l");
         let report = write_amrex_baseline(&path, &h, &BaselineConfig::new(1e-2)).unwrap();
         // 1024-element chunks → many compressor launches, the §4.4 effect.
         let calls: u64 = report.ledgers.iter().map(|l| l.filter_calls).sum();
@@ -203,26 +200,26 @@ mod tests {
             "calls {calls} vs elems {total_elems}"
         );
         assert!(report.compression_ratio() > 1.0);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn nocomp_stores_everything() {
         let h = small_h();
-        let path = tmp("raw");
+        let dir = TempDir::new("amric-baseline-raw");
+        let path = dir.file("raw.h5l");
         let report = write_nocomp(&path, &h).unwrap();
         assert_eq!(report.stored_bytes, h.snapshot_bytes());
         assert!((report.compression_ratio() - 1.0).abs() < 1e-9);
         let calls: u64 = report.ledgers.iter().map(|l| l.filter_calls).sum();
         assert_eq!(calls, 0);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn baseline_beaten_by_amric_on_ratio() {
         let h = small_h();
-        let p1 = tmp("cmp-base");
-        let p2 = tmp("cmp-amric");
+        let dir = TempDir::new("amric-baseline-cmp");
+        let p1 = dir.file("base.h5l");
+        let p2 = dir.file("amric.h5l");
         let base = write_amrex_baseline(&p1, &h, &BaselineConfig::new(1e-2)).unwrap();
         let amric =
             crate::writer::write_amric(&p2, &h, &crate::config::AmricConfig::lr(1e-3), 8).unwrap();
@@ -234,7 +231,5 @@ mod tests {
             amric.compression_ratio(),
             base.compression_ratio()
         );
-        std::fs::remove_file(&p1).ok();
-        std::fs::remove_file(&p2).ok();
     }
 }

@@ -83,5 +83,8 @@ pub mod prelude {
     pub use crate::reader::{
         read_amric_hierarchy, read_plotfile_meta, verify_against, LevelLayout, PlotfileMeta,
     };
-    pub use crate::writer::{write_amric, write_field_parallel, FieldWriteJob, WriteReport};
+    pub use crate::writer::{
+        write_amric, write_amric_sharded, write_amric_to, write_field_parallel, FieldWriteJob,
+        WriteReport,
+    };
 }

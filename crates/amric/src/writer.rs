@@ -466,8 +466,37 @@ pub fn write_amric(
     cfg: &AmricConfig,
     bf: i64,
 ) -> H5Result<WriteReport> {
+    write_amric_to(Arc::new(H5Writer::create(path)?), h, cfg, bf)
+}
+
+/// [`write_amric`] into a sharded container at `path` (a directory)
+/// spread over `shards` shard files — concurrent rank writers and later
+/// parallel prefetch hit independent shards.
+pub fn write_amric_sharded(
+    path: impl AsRef<std::path::Path>,
+    shards: usize,
+    h: &AmrHierarchy,
+    cfg: &AmricConfig,
+    bf: i64,
+) -> H5Result<WriteReport> {
+    write_amric_to(
+        Arc::new(H5Writer::create_sharded(path, shards)?),
+        h,
+        cfg,
+        bf,
+    )
+}
+
+/// The backend-agnostic AMRIC pipeline: runs the rank collectives against
+/// an already-created writer (any [`h5lite::Storage`] backend) and
+/// finishes the container.
+pub fn write_amric_to(
+    writer: Arc<H5Writer>,
+    h: &AmrHierarchy,
+    cfg: &AmricConfig,
+    bf: i64,
+) -> H5Result<WriteReport> {
     let nranks = h.level(0).data.distribution().nranks();
-    let writer = Arc::new(H5Writer::create(path)?);
     let num_levels = h.num_levels();
     let nfields = h.field_names().len();
 
@@ -629,10 +658,12 @@ mod tests {
     use super::*;
     use amr_apps::prelude::*;
 
-    fn tmp(name: &str) -> std::path::PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("amric-writer-{}-{name}.h5l", std::process::id()));
-        p
+    /// Run the full pipeline into an in-memory container and reopen it —
+    /// no filesystem, nothing to leak on panic.
+    fn write_mem(h: &AmrHierarchy, cfg: &AmricConfig, bf: i64) -> (WriteReport, H5Reader) {
+        let (w, mem) = H5Writer::in_memory();
+        let report = write_amric_to(Arc::new(w), h, cfg, bf).unwrap();
+        (report, H5Reader::from_storage(Box::new(mem)).unwrap())
     }
 
     fn small_nyx() -> AmrHierarchy {
@@ -652,8 +683,7 @@ mod tests {
     #[test]
     fn amric_write_produces_compressed_file() {
         let h = small_nyx();
-        let path = tmp("lr");
-        let report = write_amric(&path, &h, &AmricConfig::lr(1e-3), 8).unwrap();
+        let (report, r) = write_mem(&h, &AmricConfig::lr(1e-3), 8);
         assert_eq!(report.nranks, 2);
         assert!(
             report.compression_ratio() > 2.0,
@@ -663,19 +693,15 @@ mod tests {
         // One filter call per (rank-with-data, level, field).
         let total_filters: u64 = report.ledgers.iter().map(|l| l.filter_calls).sum();
         assert!(total_filters <= 2 * 2 * 6);
-        let r = H5Reader::open(&path).unwrap();
         assert!(r.dataset_names().contains(&"level_0/field_0"));
         assert!(r.dataset_names().contains(&"meta/header"));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn interp_variant_writes() {
         let h = small_nyx();
-        let path = tmp("interp");
-        let report = write_amric(&path, &h, &AmricConfig::interp(1e-3), 8).unwrap();
+        let (report, _) = write_mem(&h, &AmricConfig::interp(1e-3), 8);
         assert!(report.compression_ratio() > 2.0);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -734,13 +760,9 @@ mod tests {
             ("lr", AmricConfig::lr(1e-3)),
             ("interp", AmricConfig::interp(1e-3)),
         ] {
-            let p_serial = tmp(&format!("pareq-serial-{tag}"));
-            let p_par = tmp(&format!("pareq-par-{tag}"));
-            let rs = write_amric(&p_serial, &h, &cfg, 8).unwrap();
-            let rp = write_amric(&p_par, &h, &cfg.with_workers(4), 8).unwrap();
+            let (rs, a) = write_mem(&h, &cfg, 8);
+            let (rp, b) = write_mem(&h, &cfg.with_workers(4), 8);
             assert_eq!(rs.stored_bytes, rp.stored_bytes, "{tag}");
-            let a = H5Reader::open(&p_serial).unwrap();
-            let b = H5Reader::open(&p_par).unwrap();
             assert_eq!(a.dataset_names(), b.dataset_names(), "{tag}");
             for name in a.dataset_names() {
                 let (ma, mb) = (a.meta(name).unwrap(), b.meta(name).unwrap());
@@ -753,8 +775,6 @@ mod tests {
                     );
                 }
             }
-            std::fs::remove_file(&p_serial).ok();
-            std::fs::remove_file(&p_par).ok();
         }
     }
 
@@ -762,8 +782,8 @@ mod tests {
     fn field_jobs_with_leading_and_trailing_empty_fields() {
         // Zero-chunk fields before, between, and after chunked fields
         // must all register (the flush logic has to ride them along).
-        let path = tmp("empty-fields");
-        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let (writer, mem) = H5Writer::in_memory();
+        let writer = Arc::new(writer);
         let w = Arc::clone(&writer);
         let filter = AmricFieldFilter {
             cfg: AmricConfig::lr(1e-3),
@@ -792,11 +812,10 @@ mod tests {
             assert_eq!(r.len(), 5);
         }
         writer.finish().unwrap();
-        let rd = H5Reader::open(&path).unwrap();
+        let rd = H5Reader::from_storage(Box::new(mem)).unwrap();
         assert_eq!(rd.dataset_names(), vec!["f0", "f1", "f2", "f3", "f4"]);
         assert_eq!(rd.meta("f0").unwrap().chunks.len(), 0);
         assert_eq!(rd.meta("f1").unwrap().chunks.len(), 2);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -816,8 +835,9 @@ mod tests {
                     .collect(),
             )
         };
-        let write = |path: &std::path::Path, workers: usize| {
-            let writer = Arc::new(H5Writer::create(path).unwrap());
+        let write = |workers: usize| {
+            let (writer, mem) = H5Writer::in_memory();
+            let writer = Arc::new(writer);
             let w = Arc::clone(&writer);
             let receipts = rankpar::run_ranks(2, move |comm| {
                 let jobs = vec![FieldWriteJob {
@@ -830,18 +850,15 @@ mod tests {
                 write_field_parallel(&comm, &w, &jobs, workers).unwrap()
             });
             writer.finish().unwrap();
-            receipts
+            (receipts, H5Reader::from_storage(Box::new(mem)).unwrap())
         };
-        let p1 = tmp("many-serial");
-        let p4 = tmp("many-par");
-        let r1 = write(&p1, 1);
-        let r4 = write(&p4, 4);
+        let (r1, a) = write(1);
+        let (r4, b) = write(4);
         for (rs, rp) in r1.iter().zip(&r4) {
             assert_eq!(rs[0].filter_calls, 11);
             assert_eq!(rp[0].filter_calls, 11);
             assert_eq!(rs[0].bytes_written, rp[0].bytes_written);
         }
-        let (a, b) = (H5Reader::open(&p1).unwrap(), H5Reader::open(&p4).unwrap());
         let (ma, mb) = (a.meta("many").unwrap(), b.meta("many").unwrap());
         assert_eq!(ma.chunks.len(), 22);
         assert_eq!(mb.chunks.len(), 22);
@@ -853,18 +870,14 @@ mod tests {
             );
             assert_eq!(ma.chunks[i].logical_elems, mb.chunks[i].logical_elems);
         }
-        std::fs::remove_file(&p1).ok();
-        std::fs::remove_file(&p4).ok();
     }
 
     #[test]
     fn modeled_seconds_monotone_in_scale() {
         let h = small_nyx();
-        let path = tmp("model");
-        let report = write_amric(&path, &h, &AmricConfig::lr(1e-3), 8).unwrap();
+        let (report, _) = write_mem(&h, &AmricConfig::lr(1e-3), 8);
         let params = PfsParams::default();
         let (_, io) = report.modeled_seconds(&params);
         assert!(io > 0.0);
-        std::fs::remove_file(&path).ok();
     }
 }

@@ -86,6 +86,23 @@ fn bench_writers(c: &mut Criterion) {
             std::fs::remove_file(&path).ok();
         })
     });
+    // Storage axis: the same write landing on the sharded backend (4
+    // shard files + manifest). Logical content is byte-identical to the
+    // single-file rows (the storage equivalence suite enforces it).
+    g.bench_function("sharded_write", |b| {
+        b.iter(|| {
+            let path = scratch("bench-amric-sharded");
+            write_amric_sharded(
+                &path,
+                4,
+                &h,
+                &AmricConfig::lr(spec.amric_rel_eb),
+                spec.blocking_factor,
+            )
+            .unwrap();
+            std::fs::remove_dir_all(&path).ok();
+        })
+    });
     g.finish();
 }
 
@@ -140,8 +157,34 @@ fn bench_read_roi(c: &mut Criterion) {
             engine.roi(0, roi, amr_query::LevelSelect::All).unwrap()
         })
     });
+    // Same ROI against the sharded backend: cold fetch resolves chunk
+    // ranges through the manifest and lands on independent shard fds.
+    let spath = scratch("bench-read-roi-sharded");
+    write_amric_sharded(
+        &spath,
+        4,
+        &h,
+        &AmricConfig::lr(spec.amric_rel_eb),
+        spec.blocking_factor,
+    )
+    .unwrap();
+    g.bench_function("sharded_roi", |b| {
+        b.iter(|| {
+            let engine = amr_query::QueryEngine::open(&spath).unwrap();
+            engine.roi(0, roi, amr_query::LevelSelect::All).unwrap()
+        })
+    });
+    g.bench_function("sharded_roi_parallel", |b| {
+        b.iter(|| {
+            let engine = amr_query::QueryEngine::open(&spath)
+                .unwrap()
+                .with_workers(workers);
+            engine.roi(0, roi, amr_query::LevelSelect::All).unwrap()
+        })
+    });
     g.finish();
     std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&spath).ok();
 }
 
 fn bench_preprocess(c: &mut Criterion) {

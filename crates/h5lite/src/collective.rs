@@ -325,19 +325,25 @@ mod tests {
     use super::*;
     use crate::file::H5Reader;
     use crate::filter::{NoFilter, SzFilter};
+    use crate::storage::MemStorage;
     use rankpar::run_ranks;
     use std::sync::Arc;
 
-    fn tmp(name: &str) -> std::path::PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("h5lite-coll-{}-{name}", std::process::id()));
-        p
+    /// Collective tests run entirely in memory: the writer and the later
+    /// reader share one [`MemStorage`] image, so nothing touches the
+    /// filesystem and a panicking rank leaks no temp files.
+    fn mem_writer() -> (Arc<H5Writer>, MemStorage) {
+        let (w, mem) = H5Writer::in_memory();
+        (Arc::new(w), mem)
+    }
+
+    fn open(mem: MemStorage) -> H5Reader {
+        H5Reader::from_storage(Box::new(mem)).unwrap()
     }
 
     #[test]
     fn four_ranks_write_one_dataset() {
-        let path = tmp("basic");
-        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let (writer, mem) = mem_writer();
         let w = Arc::clone(&writer);
         run_ranks(4, move |comm| {
             let rank = comm.rank();
@@ -355,7 +361,7 @@ mod tests {
             .unwrap();
         });
         writer.finish().unwrap();
-        let r = H5Reader::open(&path).unwrap();
+        let r = open(mem);
         let all = r.read_dataset("d").unwrap();
         assert_eq!(all.len(), 1024);
         // Rank-major order regardless of which thread wrote first.
@@ -363,15 +369,13 @@ mod tests {
             assert_eq!(all[rank * 256], (rank * 1000) as f64);
             assert_eq!(all[rank * 256 + 255], (rank * 1000 + 255) as f64);
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn unbalanced_ranks_size_aware() {
         // Rank r holds (r+1)·128 values; global chunk = largest rank's
         // size; size-aware mode stores no padding (paper Fig. 12).
-        let path = tmp("unbalanced");
-        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let (writer, mem) = mem_writer();
         let w = Arc::clone(&writer);
         let receipts = run_ranks(4, move |comm| {
             let rank = comm.rank();
@@ -400,7 +404,7 @@ mod tests {
             assert_eq!(r.filter_calls, 1, "rank {rank}");
             assert_eq!(r.dataset_creates, 1);
         }
-        let r = H5Reader::open(&path).unwrap();
+        let r = open(mem);
         let meta = r.meta("d").unwrap();
         assert_eq!(meta.total_elems, (128 + 256 + 384 + 512) as u64);
         let all = r.read_dataset("d").unwrap();
@@ -408,7 +412,6 @@ mod tests {
         let off = 128 + 256 + 384;
         // Rank 3's chunk range is ≈2 (sin ± 1), so REL 1e-3 → abs ≈2e-3.
         assert!((all[off] - 3.0).abs() <= 2.5e-3);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -416,8 +419,7 @@ mod tests {
         // One rank's chunk is invalid (larger than the chunk size): every
         // rank must return Err — the failing rank its encode error, the
         // peers an abort notice — instead of hanging in the record gather.
-        let path = tmp("abort");
-        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let (writer, _mem) = mem_writer();
         let w = Arc::clone(&writer);
         let results = run_ranks(2, move |comm| {
             let n = if comm.rank() == 1 { 512 } else { 64 }; // 512 > chunk 64
@@ -435,7 +437,6 @@ mod tests {
         for (rank, r) in results.iter().enumerate() {
             assert!(r.is_err(), "rank {rank} must see the collective failure");
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -451,8 +452,8 @@ mod tests {
             .collect();
         let chunks: Vec<ChunkData> = chunk_data.into_iter().map(ChunkData::full).collect();
         let f = SzFilter::one_dimensional(1e-3);
-        let write = |path: &std::path::Path, workers: usize| {
-            let writer = Arc::new(H5Writer::create(path).unwrap());
+        let write = |workers: usize| {
+            let (writer, mem) = mem_writer();
             let w = Arc::clone(&writer);
             let chunks = chunks.clone();
             run_ranks(2, move |comm| {
@@ -469,13 +470,10 @@ mod tests {
                 .unwrap()
             });
             writer.finish().unwrap();
+            open(mem)
         };
-        let p_serial = tmp("pipe-serial");
-        let p_par = tmp("pipe-par");
-        write(&p_serial, 1);
-        write(&p_par, 4);
-        let rs = H5Reader::open(&p_serial).unwrap();
-        let rp = H5Reader::open(&p_par).unwrap();
+        let rs = write(1);
+        let rp = write(4);
         let (ms, mp) = (rs.meta("d").unwrap(), rp.meta("d").unwrap());
         assert_eq!(ms.chunks.len(), mp.chunks.len());
         for i in 0..ms.chunks.len() {
@@ -487,14 +485,11 @@ mod tests {
             assert_eq!(ms.chunks[i].logical_elems, mp.chunks[i].logical_elems);
         }
         assert_eq!(rs.read_dataset("d").unwrap(), rp.read_dataset("d").unwrap());
-        std::fs::remove_file(&p_serial).ok();
-        std::fs::remove_file(&p_par).ok();
     }
 
     #[test]
     fn frames_path_writes_preencoded_chunks() {
-        let path = tmp("frames");
-        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let (writer, mem) = mem_writer();
         let w = Arc::clone(&writer);
         let receipts = run_ranks(2, move |comm| {
             let rank = comm.rank();
@@ -524,17 +519,15 @@ mod tests {
             assert_eq!(r.filter_calls, 1);
             assert_eq!(r.write_calls, 1);
         }
-        let r = H5Reader::open(&path).unwrap();
+        let r = open(mem);
         let all = r.read_dataset("d").unwrap();
         assert_eq!(all.len(), 128);
         assert_eq!(all[64], 100.0);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn frames_path_none_aborts_all_ranks_without_deadlock() {
-        let path = tmp("frames-abort");
-        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let (writer, _mem) = mem_writer();
         let w = Arc::clone(&writer);
         let results = run_ranks(3, move |comm| {
             let frames = if comm.rank() == 1 {
@@ -555,15 +548,13 @@ mod tests {
         for (rank, r) in results.iter().enumerate() {
             assert!(r.is_err(), "rank {rank} must see the abort");
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn pipelined_failing_chunk_aborts_collective() {
         // One rank's mid-batch chunk exceeds the chunk size: the pool must
         // drain, and every rank must return Err.
-        let path = tmp("pipe-abort");
-        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let (writer, _mem) = mem_writer();
         let w = Arc::clone(&writer);
         let results = run_ranks(2, move |comm| {
             let mut chunks: Vec<ChunkData> = (0..8)
@@ -587,13 +578,11 @@ mod tests {
         for (rank, r) in results.iter().enumerate() {
             assert!(r.is_err(), "rank {rank} must see the collective failure");
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn several_collective_datasets() {
-        let path = tmp("several");
-        let writer = Arc::new(H5Writer::create(&path).unwrap());
+        let (writer, mem) = mem_writer();
         let w = Arc::clone(&writer);
         let receipts = run_ranks(2, move |comm| {
             let mut total = CollectiveReceipt::default();
@@ -619,8 +608,7 @@ mod tests {
         for r in &receipts {
             assert_eq!(r.dataset_creates, 3);
         }
-        let rd = H5Reader::open(&path).unwrap();
+        let rd = open(mem);
         assert_eq!(rd.dataset_names().len(), 3);
-        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,24 +1,26 @@
 //! File-level API: [`H5Writer`] (shareable across rank threads) and
 //! [`H5Reader`].
 //!
-//! On-disk layout (all little-endian):
+//! Container layout (all little-endian):
 //!
 //! ```text
 //! "H5LT" u8-version | chunk payloads ... | directory | dir_offset u64 "H5LE"
 //! ```
 //!
-//! Chunk payloads are written at reserved offsets (threads write
-//! concurrently via `pwrite`); the directory is written once by
-//! [`H5Writer::finish`].
+//! The byte space underneath is a pluggable [`Storage`]: chunk payloads
+//! are written at reserved logical offsets (threads write concurrently
+//! via positioned writes), the directory is written once by
+//! [`H5Writer::finish`]. The single-file backend keeps the historical
+//! on-disk layout byte for byte (pinned by the golden fixture suite);
+//! the in-memory and sharded backends carry the same logical byte stream
+//! over different physical layouts.
 
 use crate::dataset::{ChunkRecord, DatasetMeta};
 use crate::error::{H5Error, H5Result};
 use crate::filter::{decoder_for, ChunkFilter, FilterMode};
 use crate::index::{read_index_section, write_index_section, ChunkIndex, ChunkIndexEntry};
+use crate::storage::{open_storage, open_storage_rw, FileStorage, MemStorage, Storage};
 use parking_lot::Mutex;
-use std::fs::File;
-use std::io::Read;
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -58,12 +60,11 @@ impl ChunkData {
     }
 }
 
-/// Writer for a new h5lite file. All methods take `&self`; the writer can
-/// be shared across rank threads (chunk space is reserved atomically,
-/// payloads written with `pwrite`).
+/// Writer for a new h5lite container. All methods take `&self`; the
+/// writer can be shared across rank threads (chunk space is reserved
+/// atomically, payloads written with positioned writes).
 pub struct H5Writer {
-    file: File,
-    cursor: AtomicU64,
+    storage: Box<dyn Storage>,
     directory: Mutex<Vec<DatasetMeta>>,
     indexes: Mutex<Vec<(String, ChunkIndex)>>,
     finished: AtomicU64,
@@ -71,14 +72,42 @@ pub struct H5Writer {
 }
 
 impl H5Writer {
-    /// Create (truncate) the file and write the superblock.
+    /// Create (truncate) a single-file container and write the
+    /// superblock — the classic backend.
     pub fn create(path: impl AsRef<Path>) -> H5Result<Self> {
-        let file = File::create(path)?;
-        file.write_all_at(MAGIC_HEAD, 0)?;
-        file.write_all_at(&[VERSION], 4)?;
+        Self::with_storage(Box::new(FileStorage::create(path)?))
+    }
+
+    /// Create a sharded container at `path` (a directory) spreading
+    /// extents across `shards` shard files.
+    pub fn create_sharded(path: impl AsRef<Path>, shards: usize) -> H5Result<Self> {
+        Self::with_storage(Box::new(crate::sharded::ShardedStorage::create(
+            path, shards,
+        )?))
+    }
+
+    /// Create an in-memory container; the returned [`MemStorage`] handle
+    /// shares the bytes, so after [`H5Writer::finish`] it opens directly
+    /// with [`H5Reader::from_storage`] — no filesystem involved.
+    pub fn in_memory() -> (Self, MemStorage) {
+        let mem = MemStorage::new();
+        let w = Self::with_storage(Box::new(mem.clone())).expect("mem storage cannot fail");
+        (w, mem)
+    }
+
+    /// Create a writer over any empty [`Storage`] and write the
+    /// superblock.
+    pub fn with_storage(storage: Box<dyn Storage>) -> H5Result<Self> {
+        let base = storage.reserve(5);
+        if base != 0 {
+            return Err(H5Error::Format(format!(
+                "storage already holds {base} reserved bytes; a container must start at 0"
+            )));
+        }
+        storage.write_at(0, MAGIC_HEAD)?;
+        storage.write_at(4, &[VERSION])?;
         Ok(H5Writer {
-            file,
-            cursor: AtomicU64::new(5),
+            storage,
             directory: Mutex::new(Vec::new()),
             indexes: Mutex::new(Vec::new()),
             finished: AtomicU64::new(0),
@@ -86,9 +115,14 @@ impl H5Writer {
         })
     }
 
-    /// Reserve `bytes` of payload space; returns the file offset.
+    /// The storage backend underneath ("file", "mem", "sharded").
+    pub fn storage_kind(&self) -> &'static str {
+        self.storage.kind()
+    }
+
+    /// Reserve `bytes` of payload space; returns the logical offset.
     pub fn reserve(&self, bytes: u64) -> u64 {
-        self.cursor.fetch_add(bytes, Ordering::Relaxed)
+        self.storage.reserve(bytes)
     }
 
     /// Reserve one contiguous extent for a batch of frames with known
@@ -116,7 +150,7 @@ impl H5Writer {
 
     /// Write raw bytes at a reserved offset.
     pub fn write_at(&self, offset: u64, bytes: &[u8]) -> H5Result<()> {
-        self.file.write_all_at(bytes, offset)?;
+        self.storage.write_at(offset, bytes)?;
         let mut s = self.stats.lock();
         s.write_calls += 1;
         s.bytes_written += bytes.len() as u64;
@@ -255,13 +289,14 @@ impl H5Writer {
         *self.stats.lock()
     }
 
-    /// Write the directory + footer. Idempotent; returns the final file
-    /// size.
+    /// Write the directory + footer and finalize the storage (data flush
+    /// plus backend metadata such as the shard manifest). Idempotent;
+    /// returns the final logical container size.
     pub fn finish(&self) -> H5Result<u64> {
         if self.finished.swap(1, Ordering::SeqCst) == 1 {
             return Err(H5Error::Format("finish() called twice".into()));
         }
-        let dir_offset = self.cursor.load(Ordering::SeqCst);
+        let dir_offset = self.storage.reserved_len();
         let mut w = sz_codec::wire::Writer::new();
         let dir = self.directory.lock();
         w.put_u32(dir.len() as u32);
@@ -277,8 +312,12 @@ impl H5Writer {
         w.put_u64(dir_offset);
         w.put_raw(MAGIC_TAIL);
         let bytes = w.into_bytes();
-        self.file.write_all_at(&bytes, dir_offset)?;
-        self.file.sync_data()?;
+        // finish() runs after every rank thread joined, so this extent
+        // starts exactly at dir_offset.
+        let at = self.storage.reserve(bytes.len() as u64);
+        debug_assert_eq!(at, dir_offset);
+        self.storage.write_at(at, &bytes)?;
+        self.storage.finalize()?;
         Ok(dir_offset + bytes.len() as u64)
     }
 }
@@ -300,9 +339,69 @@ pub(crate) fn encode_chunk(
     Ok(logical)
 }
 
-/// Reader over a finished h5lite file.
+/// Parsed container tail: directory entries, aligned chunk indexes, and
+/// the directory offset. Shared by [`H5Reader::from_storage`] and the
+/// tail-rewriting tools.
+fn parse_container(
+    storage: &dyn Storage,
+) -> H5Result<(Vec<DatasetMeta>, Vec<Option<ChunkIndex>>, u64)> {
+    let len = storage.len()?;
+    if len < 17 {
+        return Err(H5Error::Format("file too short for footer".into()));
+    }
+    let mut head = [0u8; 5];
+    storage.read_at(0, &mut head)?;
+    if &head[..4] != MAGIC_HEAD {
+        return Err(H5Error::Format("bad superblock magic".into()));
+    }
+    if head[4] != VERSION {
+        return Err(H5Error::Format(format!("unsupported version {}", head[4])));
+    }
+    let mut tail = [0u8; 12];
+    storage.read_at(len - 12, &mut tail)?;
+    if &tail[8..] != MAGIC_TAIL {
+        return Err(H5Error::Format("bad footer magic".into()));
+    }
+    let dir_offset = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
+    // The directory must end before the 12-byte footer; an offset
+    // inside the footer would underflow the length below into an
+    // absurd allocation.
+    if dir_offset > len - 12 {
+        return Err(H5Error::Format("directory offset out of range".into()));
+    }
+    let mut dir_bytes = vec![0u8; (len - 12 - dir_offset) as usize];
+    storage.read_at(dir_offset, &mut dir_bytes)?;
+    let mut r = sz_codec::wire::Reader::new(&dir_bytes);
+    let n = r.get_u32()? as usize;
+    let mut datasets = Vec::with_capacity(n);
+    for _ in 0..n {
+        datasets.push(DatasetMeta::read_from(&mut r)?);
+    }
+    let mut indexes: Vec<Option<ChunkIndex>> = vec![None; datasets.len()];
+    if let Some(named) = read_index_section(&mut r)? {
+        for (name, idx) in named {
+            let pos = datasets
+                .iter()
+                .position(|d| d.name == name)
+                .ok_or_else(|| {
+                    H5Error::Format(format!("chunk index for unknown dataset {name}"))
+                })?;
+            if datasets[pos].chunks.len() != idx.entries.len() {
+                return Err(H5Error::Format(format!(
+                    "chunk index for {name} holds {} entries, dataset stores {} chunks",
+                    idx.entries.len(),
+                    datasets[pos].chunks.len()
+                )));
+            }
+            indexes[pos] = Some(idx);
+        }
+    }
+    Ok((datasets, indexes, dir_offset))
+}
+
+/// Reader over a finished h5lite container on any storage backend.
 pub struct H5Reader {
-    file: File,
+    storage: Box<dyn Storage>,
     datasets: Vec<DatasetMeta>,
     /// Parsed chunk indexes, aligned with `datasets` (`None` for datasets
     /// the writer did not index — all of them in legacy files).
@@ -312,66 +411,33 @@ pub struct H5Reader {
 }
 
 impl H5Reader {
-    /// Open and parse the directory.
+    /// Open and parse the directory, auto-detecting the backend: a
+    /// directory holding a shard manifest opens sharded, anything else as
+    /// a single file.
     pub fn open(path: impl AsRef<Path>) -> H5Result<Self> {
-        let mut file = File::open(path)?;
-        let mut head = [0u8; 5];
-        file.read_exact(&mut head)?;
-        if &head[..4] != MAGIC_HEAD {
-            return Err(H5Error::Format("bad superblock magic".into()));
-        }
-        if head[4] != VERSION {
-            return Err(H5Error::Format(format!("unsupported version {}", head[4])));
-        }
-        let len = file.metadata()?.len();
-        if len < 17 {
-            return Err(H5Error::Format("file too short for footer".into()));
-        }
-        let mut tail = [0u8; 12];
-        file.read_exact_at(&mut tail, len - 12)?;
-        if &tail[8..] != MAGIC_TAIL {
-            return Err(H5Error::Format("bad footer magic".into()));
-        }
-        let dir_offset = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
-        // The directory must end before the 12-byte footer; an offset
-        // inside the footer would underflow the length below into an
-        // absurd allocation.
-        if dir_offset > len - 12 {
-            return Err(H5Error::Format("directory offset out of range".into()));
-        }
-        let mut dir_bytes = vec![0u8; (len - 12 - dir_offset) as usize];
-        file.read_exact_at(&mut dir_bytes, dir_offset)?;
-        let mut r = sz_codec::wire::Reader::new(&dir_bytes);
-        let n = r.get_u32()? as usize;
-        let mut datasets = Vec::with_capacity(n);
-        for _ in 0..n {
-            datasets.push(DatasetMeta::read_from(&mut r)?);
-        }
-        let mut indexes: Vec<Option<ChunkIndex>> = vec![None; datasets.len()];
-        if let Some(named) = read_index_section(&mut r)? {
-            for (name, idx) in named {
-                let pos = datasets
-                    .iter()
-                    .position(|d| d.name == name)
-                    .ok_or_else(|| {
-                        H5Error::Format(format!("chunk index for unknown dataset {name}"))
-                    })?;
-                if datasets[pos].chunks.len() != idx.entries.len() {
-                    return Err(H5Error::Format(format!(
-                        "chunk index for {name} holds {} entries, dataset stores {} chunks",
-                        idx.entries.len(),
-                        datasets[pos].chunks.len()
-                    )));
-                }
-                indexes[pos] = Some(idx);
-            }
-        }
+        Self::from_storage(open_storage(path)?)
+    }
+
+    /// Open a container over an explicit storage (e.g. the
+    /// [`MemStorage`] handle a writer just filled).
+    pub fn from_storage(storage: Box<dyn Storage>) -> H5Result<Self> {
+        let (datasets, indexes, dir_offset) = parse_container(&*storage)?;
         Ok(H5Reader {
-            file,
+            storage,
             datasets,
             indexes,
             dir_offset,
         })
+    }
+
+    /// The storage backend underneath ("file", "mem", "sharded").
+    pub fn storage_kind(&self) -> &'static str {
+        self.storage.kind()
+    }
+
+    /// Logical offset where the directory begins (payload bytes end).
+    pub fn dir_offset(&self) -> u64 {
+        self.dir_offset
     }
 
     /// Names of all datasets, in creation order.
@@ -398,7 +464,7 @@ impl H5Reader {
         Ok(self.indexes[pos].as_ref())
     }
 
-    /// Chunk index of a dataset, falling back to a file scan when the
+    /// Chunk index of a dataset, falling back to a storage scan when the
     /// writer stored none: each chunk's leading bytes are read and its
     /// stream envelope sniffed for the codec id
     /// ([`crate::index::CODEC_RAW`] when the chunk carries no envelope).
@@ -421,7 +487,7 @@ impl H5Reader {
         let mut head = [0u8; 8];
         for rec in &meta.chunks {
             let n = (rec.stored_bytes as usize).min(head.len());
-            self.file.read_exact_at(&mut head[..n], rec.offset)?;
+            self.storage.read_at(rec.offset, &mut head[..n])?;
             let codec_id = match sz_codec::codec::read_envelope(&head[..n]) {
                 Ok(env) => env.codec as u32,
                 Err(_) => crate::index::CODEC_RAW,
@@ -482,7 +548,7 @@ impl H5Reader {
         let rec = *self.chunk_record(name, index)?;
         buf.clear();
         buf.resize(rec.stored_bytes as usize, 0);
-        self.file.read_exact_at(buf, rec.offset)?;
+        self.storage.read_at(rec.offset, buf)?;
         Ok(())
     }
 
@@ -514,68 +580,78 @@ impl H5Reader {
     }
 }
 
-/// Rewrite a file's directory without its chunk-index section, producing
-/// the byte layout pre-index writers emitted. A downgrade tool for
-/// sharing files with old readers — and the honest way to manufacture
-/// legacy files for fallback tests. No-op on files without an index.
-/// Returns the resulting file size.
+/// Rewrite a container's directory without its chunk-index section,
+/// producing the byte layout pre-index writers emitted. A downgrade tool
+/// for sharing files with old readers — and the honest way to manufacture
+/// legacy files for fallback tests. Works on any backend (the sharded
+/// manifest is rewritten alongside the clipped tail). No-op on containers
+/// without an index. Returns the resulting logical container size.
 pub fn strip_chunk_indexes(path: impl AsRef<Path>) -> H5Result<u64> {
-    let reader = H5Reader::open(&path)?;
-    if reader.indexes.iter().all(|i| i.is_none()) {
-        return Ok(std::fs::metadata(&path)?.len());
+    strip_chunk_indexes_in(&*open_storage_rw(path)?)
+}
+
+/// [`strip_chunk_indexes`] against an already-open storage.
+pub fn strip_chunk_indexes_in(storage: &dyn Storage) -> H5Result<u64> {
+    let (datasets, indexes, dir_offset) = parse_container(storage)?;
+    if indexes.iter().all(|i| i.is_none()) {
+        return storage.len();
     }
     let mut w = sz_codec::wire::Writer::new();
-    w.put_u32(reader.datasets.len() as u32);
-    for d in &reader.datasets {
+    w.put_u32(datasets.len() as u32);
+    for d in &datasets {
         d.write_to(&mut w);
     }
-    w.put_u64(reader.dir_offset);
+    w.put_u64(dir_offset);
     w.put_raw(MAGIC_TAIL);
     let bytes = w.into_bytes();
-    let file = std::fs::OpenOptions::new().write(true).open(&path)?;
-    file.set_len(reader.dir_offset)?;
-    file.write_all_at(&bytes, reader.dir_offset)?;
-    file.sync_data()?;
-    Ok(reader.dir_offset + bytes.len() as u64)
+    storage.truncate(dir_offset)?;
+    let at = storage.reserve(bytes.len() as u64);
+    debug_assert_eq!(at, dir_offset);
+    storage.write_at(at, &bytes)?;
+    storage.finalize()?;
+    Ok(dir_offset + bytes.len() as u64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::filter::{NoFilter, SzFilter};
+    use crate::testutil::TempDir;
 
-    fn tmp(name: &str) -> std::path::PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("h5lite-test-{}-{name}", std::process::id()));
-        p
+    /// Write-then-read entirely in memory — the fast-test idiom.
+    fn mem_roundtrip(build: impl FnOnce(&H5Writer)) -> H5Reader {
+        let (w, mem) = H5Writer::in_memory();
+        build(&w);
+        w.finish().unwrap();
+        H5Reader::from_storage(Box::new(mem)).unwrap()
     }
 
     #[test]
     fn write_read_raw_dataset() {
-        let path = tmp("raw");
-        let w = H5Writer::create(&path).unwrap();
-        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
-        w.write_dataset("a/b", &data, 256, &NoFilter).unwrap();
-        w.finish().unwrap();
-        let r = H5Reader::open(&path).unwrap();
+        let r = mem_roundtrip(|w| {
+            let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+            w.write_dataset("a/b", &data, 256, &NoFilter).unwrap();
+        });
         assert_eq!(r.dataset_names(), vec!["a/b"]);
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
         assert_eq!(r.read_dataset("a/b").unwrap(), data);
-        // 1000 elems at chunk 256 → 4 chunks, last padded to 256 on disk.
+        // 1000 elems at chunk 256 → 4 chunks, last padded to 256 in store.
         let meta = r.meta("a/b").unwrap();
         assert_eq!(meta.chunks.len(), 4);
         assert_eq!(meta.stored_bytes(), 4 * 256 * 8);
-        std::fs::remove_file(&path).ok();
+        assert_eq!(r.storage_kind(), "mem");
     }
 
     #[test]
     fn sz_filtered_dataset_roundtrip() {
-        let path = tmp("sz");
-        let w = H5Writer::create(&path).unwrap();
         let data: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.002).sin()).collect();
-        let f = SzFilter::one_dimensional(1e-3);
-        w.write_dataset("level_0/x", &data, 1024, &f).unwrap();
-        w.finish().unwrap();
-        let r = H5Reader::open(&path).unwrap();
+        let r = {
+            let data = data.clone();
+            mem_roundtrip(move |w| {
+                w.write_dataset("level_0/x", &data, 1024, &SzFilter::one_dimensional(1e-3))
+                    .unwrap();
+            })
+        };
         let back = r.read_dataset("level_0/x").unwrap();
         assert_eq!(back.len(), data.len());
         // REL bound against per-chunk range ≤ global range of 2.
@@ -583,13 +659,10 @@ mod tests {
             assert!((o - v).abs() <= 1e-3 * 2.0 + 1e-12);
         }
         assert!(r.meta("level_0/x").unwrap().stored_bytes() < (data.len() * 8) as u64);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn size_aware_mode_skips_padding() {
-        let path_std = tmp("std-mode");
-        let path_aware = tmp("aware-mode");
         // One rank holds 4096 values, chunk size forced to 32768 (the
         // biggest-rank scenario of paper Fig. 12).
         let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).cos()).collect();
@@ -598,23 +671,24 @@ mod tests {
             data: data.clone(),
             logical: data.len(),
         };
-        let w1 = H5Writer::create(&path_std).unwrap();
-        w1.write_dataset_chunks(
-            "d",
-            std::slice::from_ref(&chunk),
-            32768,
-            &f,
-            FilterMode::Standard,
-            None,
-        )
-        .unwrap();
-        w1.finish().unwrap();
-        let w2 = H5Writer::create(&path_aware).unwrap();
-        w2.write_dataset_chunks("d", &[chunk], 32768, &f, FilterMode::SizeAware, None)
-            .unwrap();
-        w2.finish().unwrap();
-        let r1 = H5Reader::open(&path_std).unwrap();
-        let r2 = H5Reader::open(&path_aware).unwrap();
+        let r1 = {
+            let chunk = chunk.clone();
+            mem_roundtrip(move |w| {
+                w.write_dataset_chunks(
+                    "d",
+                    std::slice::from_ref(&chunk),
+                    32768,
+                    &f,
+                    FilterMode::Standard,
+                    None,
+                )
+                .unwrap();
+            })
+        };
+        let r2 = mem_roundtrip(move |w| {
+            w.write_dataset_chunks("d", &[chunk], 32768, &f, FilterMode::SizeAware, None)
+                .unwrap();
+        });
         // Standard mode compressed 8× padding; stored data reflects that.
         assert_eq!(r1.meta("d").unwrap().total_elems, 32768);
         assert_eq!(r2.meta("d").unwrap().total_elems, 4096);
@@ -629,14 +703,11 @@ mod tests {
         for (o, v) in data.iter().zip(padded.iter().take(4096)) {
             assert!((o - v).abs() <= 1e-3 * 2.0 + 1e-12);
         }
-        std::fs::remove_file(&path_std).ok();
-        std::fs::remove_file(&path_aware).ok();
     }
 
     #[test]
     fn multiple_datasets_and_stats() {
-        let path = tmp("multi");
-        let w = H5Writer::create(&path).unwrap();
+        let (w, mem) = H5Writer::in_memory();
         let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
         w.write_dataset("one", &data, 128, &NoFilter).unwrap();
         w.write_dataset("two", &data, 512, &NoFilter).unwrap();
@@ -646,46 +717,36 @@ mod tests {
         assert_eq!(s.write_calls, 5);
         assert_eq!(s.bytes_written, (4 * 128 + 512) * 8);
         w.finish().unwrap();
-        let r = H5Reader::open(&path).unwrap();
+        let r = H5Reader::from_storage(Box::new(mem)).unwrap();
         assert_eq!(r.dataset_names().len(), 2);
         assert_eq!(r.read_dataset("two").unwrap(), data);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn duplicate_dataset_rejected() {
-        let path = tmp("dup");
-        let w = H5Writer::create(&path).unwrap();
+        let (w, _mem) = H5Writer::in_memory();
         w.write_dataset("d", &[1.0], 8, &NoFilter).unwrap();
         assert!(matches!(
             w.write_dataset("d", &[2.0], 8, &NoFilter),
             Err(H5Error::Duplicate(_))
         ));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn unknown_dataset_errors() {
-        let path = tmp("missing");
-        let w = H5Writer::create(&path).unwrap();
-        w.finish().unwrap();
-        let r = H5Reader::open(&path).unwrap();
+        let r = mem_roundtrip(|_| {});
         assert!(matches!(r.read_dataset("x"), Err(H5Error::NotFound(_))));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn corrupt_footer_detected() {
-        let path = tmp("corrupt");
-        let w = H5Writer::create(&path).unwrap();
+        let (w, mem) = H5Writer::in_memory();
         w.write_dataset("d", &[1.0, 2.0], 8, &NoFilter).unwrap();
         w.finish().unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bytes = mem.to_bytes();
         let n = bytes.len();
         bytes[n - 1] ^= 0xFF;
-        std::fs::write(&path, &bytes).unwrap();
-        assert!(H5Reader::open(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        assert!(H5Reader::from_storage(Box::new(MemStorage::from_bytes(bytes))).is_err());
     }
 
     #[test]
@@ -693,12 +754,10 @@ mod tests {
         // Regression: a bad chunk index must surface as the typed
         // `ChunkOutOfRange` carrying the dataset name and index — on the
         // registry path, the explicit-decoder path, and the raw path.
-        let path = tmp("chunk-oor");
-        let w = H5Writer::create(&path).unwrap();
-        let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
-        w.write_dataset("d", &data, 256, &NoFilter).unwrap();
-        w.finish().unwrap();
-        let r = H5Reader::open(&path).unwrap();
+        let r = mem_roundtrip(|w| {
+            let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
+            w.write_dataset("d", &data, 256, &NoFilter).unwrap();
+        });
         for result in [
             r.read_chunk("d", 2).err(),
             r.read_chunk_with("d", 7, &NoFilter).err(),
@@ -719,15 +778,10 @@ mod tests {
         }
         // In-range chunks still read.
         assert_eq!(r.read_chunk("d", 1).unwrap().len(), 256);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn chunk_index_roundtrip_and_pruning() {
-        let path = tmp("index-rt");
-        let w = H5Writer::create(&path).unwrap();
-        let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
-        w.write_dataset("d", &data, 256, &NoFilter).unwrap();
         let idx = ChunkIndex::new(vec![
             ChunkIndexEntry {
                 codec_id: crate::index::CODEC_RAW,
@@ -738,20 +792,24 @@ mod tests {
                 extent: Some(([0, 0, 4], [7, 7, 7])),
             },
         ]);
-        w.set_chunk_index("d", idx.clone()).unwrap();
-        // Wrong entry count and unknown dataset are rejected.
-        assert!(w.set_chunk_index("d2", ChunkIndex::default()).is_err());
-        assert!(matches!(
-            w.set_chunk_index("d", ChunkIndex::default()),
-            Err(H5Error::Format(_)) | Err(H5Error::Duplicate(_))
-        ));
-        w.finish().unwrap();
-        let r = H5Reader::open(&path).unwrap();
+        let r = {
+            let idx = idx.clone();
+            mem_roundtrip(move |w| {
+                let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
+                w.write_dataset("d", &data, 256, &NoFilter).unwrap();
+                w.set_chunk_index("d", idx).unwrap();
+                // Wrong entry count and unknown dataset are rejected.
+                assert!(w.set_chunk_index("d2", ChunkIndex::default()).is_err());
+                assert!(matches!(
+                    w.set_chunk_index("d", ChunkIndex::default()),
+                    Err(H5Error::Format(_)) | Err(H5Error::Duplicate(_))
+                ));
+            })
+        };
         let back = r.chunk_index("d").unwrap().expect("index persisted");
         assert_eq!(*back, idx);
         assert_eq!(back.intersecting([0, 0, 0], [7, 7, 2]), vec![0]);
         assert_eq!(back.intersecting([0, 0, 3], [7, 7, 5]), vec![0, 1]);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -759,7 +817,8 @@ mod tests {
         // A file written with no index: chunk_index is None, the fallback
         // scan reconstructs codec ids from the stored envelopes, and
         // stripping changes nothing.
-        let path = tmp("index-scan");
+        let dir = TempDir::new("h5lite-index-scan");
+        let path = dir.path().join("f.h5l");
         let w = H5Writer::create(&path).unwrap();
         let data: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.002).sin()).collect();
         w.write_dataset("raw", &data, 1024, &NoFilter).unwrap();
@@ -782,13 +841,13 @@ mod tests {
             .all(|e| e.codec_id == crate::index::CODEC_RAW));
         drop(r);
         assert_eq!(super::strip_chunk_indexes(&path).unwrap(), before);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn strip_chunk_indexes_produces_legacy_layout() {
-        let indexed = tmp("strip-a");
-        let legacy = tmp("strip-b");
+        let dir = TempDir::new("h5lite-strip");
+        let indexed = dir.path().join("a.h5l");
+        let legacy = dir.path().join("b.h5l");
         let build = |path: &std::path::Path, with_index: bool| {
             let w = H5Writer::create(path).unwrap();
             let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.01).cos()).collect();
@@ -823,18 +882,14 @@ mod tests {
         let r = H5Reader::open(&indexed).unwrap();
         assert!(r.chunk_index("d").unwrap().is_none());
         assert_eq!(r.read_dataset("d").unwrap().len(), 512);
-        std::fs::remove_file(&indexed).ok();
-        std::fs::remove_file(&legacy).ok();
     }
 
     #[test]
     fn read_chunk_raw_into_reuses_buffer() {
-        let path = tmp("raw-into");
-        let w = H5Writer::create(&path).unwrap();
-        let data: Vec<f64> = (0..300).map(|i| i as f64).collect();
-        w.write_dataset("d", &data, 128, &NoFilter).unwrap();
-        w.finish().unwrap();
-        let r = H5Reader::open(&path).unwrap();
+        let r = mem_roundtrip(|w| {
+            let data: Vec<f64> = (0..300).map(|i| i as f64).collect();
+            w.write_dataset("d", &data, 128, &NoFilter).unwrap();
+        });
         let mut buf = vec![0xAA; 4];
         for i in 0..3 {
             r.read_chunk_raw_into("d", i, &mut buf).unwrap();
@@ -844,24 +899,20 @@ mod tests {
             r.read_chunk_raw_into("d", 3, &mut buf),
             Err(H5Error::ChunkOutOfRange { .. })
         ));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn finish_twice_errors() {
-        let path = tmp("double-finish");
-        let w = H5Writer::create(&path).unwrap();
+        let (w, _mem) = H5Writer::in_memory();
         w.finish().unwrap();
         assert!(w.finish().is_err());
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn set_chunk_index_after_finish_errors() {
         // Regression: the directory is flushed by finish(); a later index
         // registration must fail loudly instead of silently vanishing.
-        let path = tmp("index-after-finish");
-        let w = H5Writer::create(&path).unwrap();
+        let (w, _mem) = H5Writer::in_memory();
         w.write_dataset("d", &[1.0, 2.0], 8, &NoFilter).unwrap();
         w.finish().unwrap();
         let idx = ChunkIndex::new(vec![ChunkIndexEntry {
@@ -872,27 +923,60 @@ mod tests {
             w.set_chunk_index("d", idx),
             Err(H5Error::Format(_))
         ));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn footer_overlapping_dir_offset_is_typed_error() {
         // Regression: a dir_offset pointing inside the 12-byte footer
         // must not underflow into an absurd allocation.
-        let path = tmp("dir-in-footer");
-        let w = H5Writer::create(&path).unwrap();
+        let (w, mem) = H5Writer::in_memory();
         w.write_dataset("d", &[1.0, 2.0], 8, &NoFilter).unwrap();
         w.finish().unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bytes = mem.to_bytes();
         let n = bytes.len();
         for bad_offset in [n as u64 - 11, n as u64 - 1] {
             bytes[n - 12..n - 4].copy_from_slice(&bad_offset.to_le_bytes());
-            std::fs::write(&path, &bytes).unwrap();
             assert!(
-                matches!(H5Reader::open(&path), Err(H5Error::Format(_))),
+                matches!(
+                    H5Reader::from_storage(Box::new(MemStorage::from_bytes(bytes.clone()))),
+                    Err(H5Error::Format(_))
+                ),
                 "offset {bad_offset} of {n} must be rejected"
             );
         }
-        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_empty_storage_rejected_by_writer() {
+        let mem = MemStorage::from_bytes(vec![0u8; 8]);
+        mem.reserve(8);
+        assert!(matches!(
+            H5Writer::with_storage(Box::new(mem)),
+            Err(H5Error::Format(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_container_roundtrip() {
+        let dir = TempDir::new("h5lite-file-sharded");
+        let path = dir.path().join("c.h5ls");
+        let w = H5Writer::create_sharded(&path, 3).unwrap();
+        assert_eq!(w.storage_kind(), "sharded");
+        let data: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.002).sin()).collect();
+        w.write_dataset("raw", &data, 512, &NoFilter).unwrap();
+        w.write_dataset("sz", &data, 512, &SzFilter::one_dimensional(1e-3))
+            .unwrap();
+        w.finish().unwrap();
+        // Auto-detected on open; logical content identical to any backend.
+        let r = H5Reader::open(&path).unwrap();
+        assert_eq!(r.storage_kind(), "sharded");
+        assert_eq!(r.read_dataset("raw").unwrap(), data);
+        let back = r.read_dataset("sz").unwrap();
+        for (o, v) in data.iter().zip(&back) {
+            assert!((o - v).abs() <= 1e-3 * 2.0 + 1e-12);
+        }
+        let manifest = crate::sharded::read_manifest(&path).unwrap();
+        assert_eq!(manifest.shard_count, 3);
+        assert!(manifest.shard_bytes().iter().all(|&b| b > 0));
     }
 }

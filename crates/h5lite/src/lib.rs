@@ -32,12 +32,19 @@ pub mod error;
 pub mod file;
 pub mod filter;
 pub mod index;
+pub mod sharded;
+pub mod storage;
+pub mod testutil;
 
 pub use dataset::{ChunkRecord, DatasetMeta, ExtentPlan};
 pub use error::{H5Error, H5Result};
-pub use file::{strip_chunk_indexes, ChunkData, H5Reader, H5Writer, WriteStats};
+pub use file::{
+    strip_chunk_indexes, strip_chunk_indexes_in, ChunkData, H5Reader, H5Writer, WriteStats,
+};
 pub use filter::{ChunkFilter, EncodedFrame, FilterMode, NoFilter, SzFilter};
 pub use index::{ChunkIndex, ChunkIndexEntry, CODEC_RAW};
+pub use sharded::{is_sharded, read_manifest, ShardExtent, ShardManifest, ShardedStorage};
+pub use storage::{open_storage, open_storage_rw, FileStorage, MemStorage, Storage};
 
 /// Commonly used items.
 pub mod prelude {
@@ -52,4 +59,6 @@ pub mod prelude {
         encode_frame, staged_chunk, ChunkFilter, EncodedFrame, FilterMode, NoFilter, SzFilter,
     };
     pub use crate::index::{ChunkIndex, ChunkIndexEntry, CODEC_RAW};
+    pub use crate::sharded::{is_sharded, read_manifest, ShardManifest, ShardedStorage};
+    pub use crate::storage::{open_storage, FileStorage, MemStorage, Storage};
 }

@@ -1,0 +1,625 @@
+//! Sharded-object backend: reserved extents spread across N shard files
+//! under one directory, with a small versioned manifest mapping logical
+//! offsets to `(shard, offset)`.
+//!
+//! The layout object stores want: a container is a directory
+//!
+//! ```text
+//! plotfile.h5ls/
+//!   manifest.h5sm      versioned extent map (written at finalize)
+//!   shard-000.h5s      payload bytes
+//!   shard-001.h5s
+//!   ...
+//! ```
+//!
+//! Every [`Storage::reserve`] claims one logical extent and assigns it to
+//! the next shard round-robin, appending at that shard's tail. Because
+//! the collective write path reserves one extent per frame *batch*,
+//! consecutive batches land on different shards — concurrent rank writers
+//! and the query engine's parallel prefetch hit independent file
+//! descriptors instead of serializing on one.
+//!
+//! Logical space is dense: every logical byte below the reservation
+//! high-water belongs to exactly one extent, so reads that straddle an
+//! extent boundary (the directory parse) split transparently across
+//! shards.
+//!
+//! ## Manifest format (version 1, little-endian)
+//!
+//! ```text
+//! "H5SM" | version u8 | shard_count u32 | logical_len u64
+//! | extent_count u64 | { logical u64, len u64, shard u32, offset u64 }*
+//! | "H5SE"
+//! ```
+//!
+//! Parsing is hardened the same way the container directory is: bounded
+//! reads, checked arithmetic, dense-coverage validation, shard ids
+//! checked against `shard_count`, shard files checked against the byte
+//! ranges the manifest maps into them. Every violation is a typed
+//! [`H5Error`], never a panic or an absurd allocation.
+
+use crate::error::{H5Error, H5Result};
+use crate::storage::Storage;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside a sharded container directory.
+pub const MANIFEST_NAME: &str = "manifest.h5sm";
+/// Manifest head/tail magics.
+const MANIFEST_MAGIC: &[u8; 4] = b"H5SM";
+const MANIFEST_TAIL: &[u8; 4] = b"H5SE";
+/// Current manifest format version.
+const MANIFEST_VERSION: u8 = 1;
+/// Upper bound on shard files per container — a format sanity limit, far
+/// above any sensible fan-out.
+pub const MAX_SHARDS: u32 = 1024;
+
+/// One mapped extent: `len` logical bytes at logical offset `logical`,
+/// stored in `shard` starting at byte `offset` of that shard file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardExtent {
+    /// Logical (container-space) start offset.
+    pub logical: u64,
+    /// Extent length in bytes.
+    pub len: u64,
+    /// Shard file index.
+    pub shard: u32,
+    /// Byte offset inside the shard file.
+    pub offset: u64,
+}
+
+/// Parsed manifest: the full logical→physical map of a sharded container.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Number of shard files.
+    pub shard_count: u32,
+    /// Logical container length (reservation high-water mark).
+    pub logical_len: u64,
+    /// Extents in logical order, densely covering `0..logical_len`.
+    pub extents: Vec<ShardExtent>,
+}
+
+impl ShardManifest {
+    /// Bytes each shard holds according to the extent map (index = shard).
+    pub fn shard_bytes(&self) -> Vec<u64> {
+        let mut bytes = vec![0u64; self.shard_count as usize];
+        for e in &self.extents {
+            bytes[e.shard as usize] += e.len;
+        }
+        bytes
+    }
+
+    /// Serialize to the on-disk manifest encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = sz_codec::wire::Writer::new();
+        w.put_raw(MANIFEST_MAGIC);
+        w.put_u8(MANIFEST_VERSION);
+        w.put_u32(self.shard_count);
+        w.put_u64(self.logical_len);
+        w.put_u64(self.extents.len() as u64);
+        for e in &self.extents {
+            w.put_u64(e.logical);
+            w.put_u64(e.len);
+            w.put_u32(e.shard);
+            w.put_u64(e.offset);
+        }
+        w.put_raw(MANIFEST_TAIL);
+        w.into_bytes()
+    }
+
+    /// Parse and validate a manifest image. Enforces the full contract:
+    /// magic, version, shard count in `1..=MAX_SHARDS`, extents dense in
+    /// logical order summing to `logical_len`, shard ids in range, no
+    /// arithmetic overflow anywhere.
+    pub fn from_bytes(bytes: &[u8]) -> H5Result<Self> {
+        let mut r = sz_codec::wire::Reader::new(bytes);
+        if r.get_raw(4)? != MANIFEST_MAGIC {
+            return Err(H5Error::Format("bad shard manifest magic".into()));
+        }
+        let version = r.get_u8()?;
+        if version != MANIFEST_VERSION {
+            return Err(H5Error::Format(format!(
+                "unsupported shard manifest version {version}"
+            )));
+        }
+        let shard_count = r.get_u32()?;
+        if shard_count == 0 || shard_count > MAX_SHARDS {
+            return Err(H5Error::Format(format!(
+                "shard count {shard_count} outside 1..={MAX_SHARDS}"
+            )));
+        }
+        let logical_len = r.get_u64()?;
+        let count = r.get_u64()?;
+        // Capacity clamped: a forged count must not drive an absurd
+        // allocation — the loop below fails on truncation long before.
+        let mut extents = Vec::with_capacity(count.min(4096) as usize);
+        let mut expected_logical = 0u64;
+        for _ in 0..count {
+            let e = ShardExtent {
+                logical: r.get_u64()?,
+                len: r.get_u64()?,
+                shard: r.get_u32()?,
+                offset: r.get_u64()?,
+            };
+            if e.len == 0 {
+                return Err(H5Error::Format(format!(
+                    "zero-length extent at logical {}",
+                    e.logical
+                )));
+            }
+            if e.logical != expected_logical {
+                return Err(H5Error::Format(format!(
+                    "extent at logical {} breaks dense coverage (expected {})",
+                    e.logical, expected_logical
+                )));
+            }
+            if e.shard >= shard_count {
+                return Err(H5Error::Format(format!(
+                    "extent maps to shard {} of {shard_count}",
+                    e.shard
+                )));
+            }
+            e.offset
+                .checked_add(e.len)
+                .ok_or_else(|| H5Error::Format("extent shard offset + length overflows".into()))?;
+            expected_logical = e.logical.checked_add(e.len).ok_or_else(|| {
+                H5Error::Format("extent logical offset + length overflows".into())
+            })?;
+            extents.push(e);
+        }
+        if expected_logical != logical_len {
+            return Err(H5Error::Format(format!(
+                "extents cover {expected_logical} bytes, manifest claims {logical_len}"
+            )));
+        }
+        if r.get_raw(4)? != MANIFEST_TAIL {
+            return Err(H5Error::Format("bad shard manifest tail magic".into()));
+        }
+        Ok(ShardManifest {
+            shard_count,
+            logical_len,
+            extents,
+        })
+    }
+}
+
+/// Read and validate the manifest of the sharded container at `dir`
+/// without opening any shard file — the inspection entry point.
+pub fn read_manifest(dir: impl AsRef<Path>) -> H5Result<ShardManifest> {
+    let bytes = std::fs::read(dir.as_ref().join(MANIFEST_NAME))?;
+    ShardManifest::from_bytes(&bytes)
+}
+
+/// Whether `path` looks like a sharded container (a directory holding a
+/// manifest). The backend auto-detection used by
+/// [`crate::storage::open_storage`].
+pub fn is_sharded(path: impl AsRef<Path>) -> bool {
+    let path = path.as_ref();
+    path.is_dir() && path.join(MANIFEST_NAME).is_file()
+}
+
+/// File name of shard `i` inside a sharded container directory.
+pub fn shard_name(i: usize) -> String {
+    format!("shard-{i:03}.h5s")
+}
+
+/// Mutable allocation state behind the shared lock. Shard files live
+/// outside it so positioned reads and writes never serialize on the map.
+struct ShardState {
+    extents: Vec<ShardExtent>,
+    /// Append cursor (current length) per shard.
+    shard_len: Vec<u64>,
+    /// Logical reservation high-water mark.
+    logical_len: u64,
+    /// Round-robin pointer for the next reservation.
+    next_shard: usize,
+}
+
+/// Sharded storage over N shard files plus a manifest; see the module
+/// docs for the layout and manifest format.
+pub struct ShardedStorage {
+    dir: PathBuf,
+    shards: Vec<File>,
+    state: Mutex<ShardState>,
+    writable: bool,
+}
+
+impl ShardedStorage {
+    /// Create a fresh sharded container at `dir` with `shards` shard
+    /// files (clamped to `1..=MAX_SHARDS` with a typed error). Stale
+    /// shard/manifest files from a previous container at the same path
+    /// are removed.
+    pub fn create(dir: impl AsRef<Path>, shards: usize) -> H5Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        if shards == 0 || shards > MAX_SHARDS as usize {
+            return Err(H5Error::Format(format!(
+                "shard count {shards} outside 1..={MAX_SHARDS}"
+            )));
+        }
+        std::fs::create_dir_all(&dir)?;
+        // Drop leftovers of any previous container in this directory so
+        // the manifest never points at bytes from two generations.
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name == MANIFEST_NAME || (name.starts_with("shard-") && name.ends_with(".h5s")) {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        let mut files = Vec::with_capacity(shards);
+        for i in 0..shards {
+            // read+write: writers read back through the same handles
+            // (e.g. the golden/equivalence suites verify as they go).
+            files.push(
+                std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(dir.join(shard_name(i)))?,
+            );
+        }
+        Ok(ShardedStorage {
+            dir,
+            shards: files,
+            state: Mutex::new(ShardState {
+                extents: Vec::new(),
+                shard_len: vec![0; shards],
+                logical_len: 0,
+                next_shard: 0,
+            }),
+            writable: true,
+        })
+    }
+
+    /// Open an existing sharded container read-only, validating the
+    /// manifest and every shard file against the byte ranges mapped into
+    /// it.
+    pub fn open(dir: impl AsRef<Path>) -> H5Result<Self> {
+        Self::open_with(dir, false)
+    }
+
+    /// Open an existing sharded container for in-place tail rewrites.
+    pub fn open_rw(dir: impl AsRef<Path>) -> H5Result<Self> {
+        Self::open_with(dir, true)
+    }
+
+    fn open_with(dir: impl AsRef<Path>, writable: bool) -> H5Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = read_manifest(&dir)?;
+        let nshards = manifest.shard_count as usize;
+        // Per-shard high-water marks implied by the extent map.
+        let mut shard_len = vec![0u64; nshards];
+        for e in &manifest.extents {
+            let end = e.offset + e.len; // overflow checked at parse
+            let len = &mut shard_len[e.shard as usize];
+            *len = (*len).max(end);
+        }
+        let mut files = Vec::with_capacity(nshards);
+        for (i, &need) in shard_len.iter().enumerate() {
+            let path = dir.join(shard_name(i));
+            let file = if writable {
+                std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&path)?
+            } else {
+                File::open(&path)?
+            };
+            let have = file.metadata()?.len();
+            if have < need {
+                return Err(H5Error::Format(format!(
+                    "shard {i} holds {have} bytes, manifest maps up to {need}"
+                )));
+            }
+            files.push(file);
+        }
+        let next_shard = manifest
+            .extents
+            .last()
+            .map(|e| (e.shard as usize + 1) % nshards)
+            .unwrap_or(0);
+        Ok(ShardedStorage {
+            dir,
+            shards: files,
+            state: Mutex::new(ShardState {
+                extents: manifest.extents,
+                shard_len,
+                logical_len: manifest.logical_len,
+                next_shard,
+            }),
+            writable,
+        })
+    }
+
+    /// Number of shard files.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot of the current extent map as a manifest value.
+    pub fn manifest(&self) -> ShardManifest {
+        let state = self.state.lock();
+        ShardManifest {
+            shard_count: self.shards.len() as u32,
+            logical_len: state.logical_len,
+            extents: state.extents.clone(),
+        }
+    }
+
+    /// Resolve the longest physical run starting at logical `offset`:
+    /// `(shard, shard_offset, run_len)`.
+    fn resolve(&self, offset: u64, want: u64) -> H5Result<(usize, u64, u64)> {
+        let state = self.state.lock();
+        if offset >= state.logical_len {
+            return Err(H5Error::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "access at logical {offset} past {}-byte sharded container",
+                    state.logical_len
+                ),
+            )));
+        }
+        // Extents are dense and sorted by logical offset.
+        let idx = state.extents.partition_point(|e| e.logical <= offset) - 1;
+        let e = state.extents[idx];
+        let within = offset - e.logical;
+        let run = (e.len - within).min(want);
+        Ok((e.shard as usize, e.offset + within, run))
+    }
+
+    /// Write the manifest via a temp file + rename so a crash mid-write
+    /// leaves either the old manifest or the new one, never a torn one.
+    fn write_manifest(&self) -> H5Result<()> {
+        let bytes = self.manifest().to_bytes();
+        let tmp = self.dir.join(format!("{MANIFEST_NAME}.tmp"));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
+        Ok(())
+    }
+}
+
+impl Storage for ShardedStorage {
+    fn kind(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn reserve(&self, bytes: u64) -> u64 {
+        let mut state = self.state.lock();
+        let logical = state.logical_len;
+        if bytes > 0 {
+            let shard = state.next_shard;
+            state.next_shard = (shard + 1) % self.shards.len();
+            let offset = state.shard_len[shard];
+            state.shard_len[shard] += bytes;
+            state.extents.push(ShardExtent {
+                logical,
+                len: bytes,
+                shard: shard as u32,
+                offset,
+            });
+            state.logical_len += bytes;
+        }
+        logical
+    }
+
+    fn reserved_len(&self) -> u64 {
+        self.state.lock().logical_len
+    }
+
+    fn write_at(&self, offset: u64, bytes: &[u8]) -> H5Result<()> {
+        let mut pos = offset;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let (shard, phys, run) = self.resolve(pos, rest.len() as u64)?;
+            let (head, tail) = rest.split_at(run as usize);
+            self.shards[shard].write_all_at(head, phys)?;
+            pos += run;
+            rest = tail;
+        }
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> H5Result<()> {
+        let mut pos = offset;
+        let mut rest = &mut buf[..];
+        while !rest.is_empty() {
+            let (shard, phys, run) = self.resolve(pos, rest.len() as u64)?;
+            let (head, tail) = rest.split_at_mut(run as usize);
+            self.shards[shard].read_exact_at(head, phys)?;
+            pos += run;
+            rest = tail;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> H5Result<u64> {
+        Ok(self.state.lock().logical_len)
+    }
+
+    fn flush(&self) -> H5Result<()> {
+        if !self.writable {
+            return Ok(());
+        }
+        for f in &self.shards {
+            f.sync_data()?;
+        }
+        self.write_manifest()
+    }
+
+    fn truncate(&self, len: u64) -> H5Result<()> {
+        let mut state = self.state.lock();
+        // Drop extents beyond the cut, clip the straddler.
+        state.extents.retain(|e| e.logical < len);
+        if let Some(last) = state.extents.last_mut() {
+            if last.logical + last.len > len {
+                last.len = len - last.logical;
+            }
+        }
+        // Recompute shard tails and physically truncate so no stale bytes
+        // survive past the mapped ranges.
+        let mut shard_len = vec![0u64; self.shards.len()];
+        for e in &state.extents {
+            let end = e.offset + e.len;
+            let l = &mut shard_len[e.shard as usize];
+            *l = (*l).max(end);
+        }
+        for (f, &l) in self.shards.iter().zip(&shard_len) {
+            f.set_len(l)?;
+        }
+        state.shard_len = shard_len;
+        state.logical_len = len;
+        state.next_shard = state
+            .extents
+            .last()
+            .map(|e| (e.shard as usize + 1) % self.shards.len())
+            .unwrap_or(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("h5lite-sharded-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn reserve_round_robins_across_shards() {
+        let dir = tmpdir("rr");
+        let s = ShardedStorage::create(&dir, 3).unwrap();
+        for i in 0..6 {
+            let off = s.reserve(10);
+            assert_eq!(off, i * 10);
+        }
+        let m = s.manifest();
+        assert_eq!(m.logical_len, 60);
+        let shards: Vec<u32> = m.extents.iter().map(|e| e.shard).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(m.shard_bytes(), vec![20, 20, 20]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_extent_boundaries() {
+        let dir = tmpdir("xread");
+        let s = ShardedStorage::create(&dir, 2).unwrap();
+        let a = s.reserve(4);
+        let b = s.reserve(5);
+        s.write_at(a, b"abcd").unwrap();
+        s.write_at(b, b"efghi").unwrap();
+        // One read spanning both extents (and both shards).
+        let mut buf = [0u8; 9];
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdefghi");
+        // Offset read inside the second extent.
+        let mut two = [0u8; 2];
+        s.read_at(6, &mut two).unwrap();
+        assert_eq!(&two, b"gh");
+        // Past-the-end access is a typed error.
+        assert!(matches!(s.read_at(8, &mut [0u8; 2]), Err(H5Error::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_persists_across_reopen() {
+        let dir = tmpdir("reopen");
+        let s = ShardedStorage::create(&dir, 2).unwrap();
+        let a = s.reserve(6);
+        s.write_at(a, b"stored").unwrap();
+        s.flush().unwrap();
+        drop(s);
+        assert!(is_sharded(&dir));
+        let r = ShardedStorage::open(&dir).unwrap();
+        assert_eq!(r.len().unwrap(), 6);
+        let mut buf = [0u8; 6];
+        r.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"stored");
+        // Reservations continue round-robin after the last mapped extent.
+        drop(r);
+        let rw = ShardedStorage::open_rw(&dir).unwrap();
+        assert_eq!(rw.reserve(2), 6);
+        assert_eq!(rw.manifest().extents.last().unwrap().shard, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_clips_extents_and_shard_files() {
+        let dir = tmpdir("trunc");
+        let s = ShardedStorage::create(&dir, 2).unwrap();
+        let a = s.reserve(4);
+        let b = s.reserve(4);
+        let c = s.reserve(4);
+        s.write_at(a, b"aaaa").unwrap();
+        s.write_at(b, b"bbbb").unwrap();
+        s.write_at(c, b"cccc").unwrap();
+        // Cut mid-second-extent: extent c dropped, b clipped to 2 bytes.
+        s.truncate(6).unwrap();
+        assert_eq!(s.len().unwrap(), 6);
+        let m = s.manifest();
+        assert_eq!(m.extents.len(), 2);
+        assert_eq!(m.extents[1].len, 2);
+        let mut buf = [0u8; 6];
+        s.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"aaaabb");
+        // New reservations append after the cut.
+        let d = s.reserve(3);
+        assert_eq!(d, 6);
+        s.write_at(d, b"ddd").unwrap();
+        s.flush().unwrap();
+        let r = ShardedStorage::open(&dir).unwrap();
+        let mut all = [0u8; 9];
+        r.read_at(0, &mut all).unwrap();
+        assert_eq!(&all, b"aaaabbddd");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_validation() {
+        let m = ShardManifest {
+            shard_count: 3,
+            logical_len: 15,
+            extents: vec![
+                ShardExtent {
+                    logical: 0,
+                    len: 10,
+                    shard: 0,
+                    offset: 0,
+                },
+                ShardExtent {
+                    logical: 10,
+                    len: 5,
+                    shard: 2,
+                    offset: 0,
+                },
+            ],
+        };
+        let back = ShardManifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn create_clears_stale_previous_container() {
+        let dir = tmpdir("stale");
+        let s = ShardedStorage::create(&dir, 4).unwrap();
+        let off = s.reserve(8);
+        s.write_at(off, &[1u8; 8]).unwrap();
+        s.flush().unwrap();
+        drop(s);
+        // Re-create with fewer shards: old shard-003 and the manifest of
+        // the previous generation must be gone.
+        let s = ShardedStorage::create(&dir, 2).unwrap();
+        assert!(!dir.join(shard_name(3)).exists());
+        assert_eq!(s.len().unwrap(), 0);
+        assert!(ShardedStorage::create(&dir, 0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

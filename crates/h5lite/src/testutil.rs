@@ -1,0 +1,73 @@
+//! Test support: a scoped temp directory that cleans up even when the
+//! owning test panics.
+//!
+//! Shipped as a normal (tiny, dependency-free) module rather than
+//! `#[cfg(test)]` so integration tests and downstream crates' test suites
+//! can use it; production code has no reason to touch it.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// RAII temp directory under `std::env::temp_dir()`. Created on
+/// construction, removed (recursively) on drop — including unwinds, so a
+/// failing assertion no longer leaks scratch files the way the old
+/// `tmp(name)` + trailing `remove_file` idiom did.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory whose name starts with `prefix`. The
+    /// name also folds in the process id and a process-wide counter, so
+    /// parallel test binaries and repeated runs never collide.
+    pub fn new(prefix: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{id}", std::process::id()));
+        // A stale dir from a SIGKILLed run may linger; reclaim it.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Convenience: a path to `name` inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TempDir;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept;
+        {
+            let d = TempDir::new("h5lite-testutil");
+            kept = d.path().to_path_buf();
+            std::fs::write(d.file("x.bin"), b"abc").unwrap();
+            assert!(kept.exists());
+        }
+        assert!(!kept.exists(), "dropped TempDir must remove its tree");
+    }
+
+    #[test]
+    fn distinct_dirs_for_same_prefix() {
+        let a = TempDir::new("h5lite-testutil-dup");
+        let b = TempDir::new("h5lite-testutil-dup");
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,27 +1,32 @@
 //! Container-level integration tests for h5lite: many datasets, chunk
-//! geometry extremes, parallel writers, and on-disk robustness.
+//! geometry extremes, parallel writers, and byte-level robustness.
+//!
+//! These run on [`MemStorage`] — writer and reader share one in-memory
+//! image, so the suite touches no filesystem and leaks nothing on panic.
+//! Byte-layout behavior on real files is pinned separately by
+//! `storage_golden.rs` and `storage_equivalence.rs`.
 
 use h5lite::prelude::*;
 use rankpar::run_ranks;
 use std::sync::Arc;
 
-fn tmp(name: &str) -> std::path::PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("h5lite-suite-{}-{name}.h5l", std::process::id()));
-    p
+/// Build a container in memory and reopen it for reading.
+fn roundtrip(build: impl FnOnce(&H5Writer)) -> H5Reader {
+    let (w, mem) = H5Writer::in_memory();
+    build(&w);
+    w.finish().unwrap();
+    H5Reader::from_storage(Box::new(mem)).unwrap()
 }
 
 #[test]
 fn hundred_datasets() {
-    let path = tmp("hundred");
-    let w = H5Writer::create(&path).unwrap();
-    for d in 0..100 {
-        let data: Vec<f64> = (0..64).map(|i| (d * 1000 + i) as f64).collect();
-        w.write_dataset(&format!("group_{}/ds_{}", d % 7, d), &data, 64, &NoFilter)
-            .unwrap();
-    }
-    w.finish().unwrap();
-    let r = H5Reader::open(&path).unwrap();
+    let r = roundtrip(|w| {
+        for d in 0..100 {
+            let data: Vec<f64> = (0..64).map(|i| (d * 1000 + i) as f64).collect();
+            w.write_dataset(&format!("group_{}/ds_{}", d % 7, d), &data, 64, &NoFilter)
+                .unwrap();
+        }
+    });
     assert_eq!(r.dataset_names().len(), 100);
     for d in (0..100).step_by(17) {
         let back = r
@@ -29,69 +34,62 @@ fn hundred_datasets() {
             .unwrap();
         assert_eq!(back[0], (d * 1000) as f64);
     }
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn empty_dataset() {
-    let path = tmp("empty");
-    let w = H5Writer::create(&path).unwrap();
-    w.write_dataset("nothing", &[], 16, &NoFilter).unwrap();
-    w.finish().unwrap();
-    let r = H5Reader::open(&path).unwrap();
+    let r = roundtrip(|w| {
+        w.write_dataset("nothing", &[], 16, &NoFilter).unwrap();
+    });
     assert_eq!(r.read_dataset("nothing").unwrap(), Vec::<f64>::new());
     assert_eq!(r.meta("nothing").unwrap().chunks.len(), 0);
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn chunk_size_one() {
-    let path = tmp("chunk1");
-    let w = H5Writer::create(&path).unwrap();
     let data = vec![1.0, 2.0, 3.0];
-    w.write_dataset("tiny", &data, 1, &NoFilter).unwrap();
-    w.finish().unwrap();
-    let r = H5Reader::open(&path).unwrap();
+    let r = {
+        let data = data.clone();
+        roundtrip(move |w| {
+            w.write_dataset("tiny", &data, 1, &NoFilter).unwrap();
+        })
+    };
     assert_eq!(r.read_dataset("tiny").unwrap(), data);
     assert_eq!(r.meta("tiny").unwrap().chunks.len(), 3);
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn chunk_larger_than_data() {
-    let path = tmp("bigchunk");
-    let w = H5Writer::create(&path).unwrap();
     let data = vec![5.0; 10];
-    w.write_dataset("d", &data, 4096, &NoFilter).unwrap();
-    w.finish().unwrap();
-    let r = H5Reader::open(&path).unwrap();
+    let r = {
+        let data = data.clone();
+        roundtrip(move |w| {
+            w.write_dataset("d", &data, 4096, &NoFilter).unwrap();
+        })
+    };
     assert_eq!(r.read_dataset("d").unwrap(), data);
-    // Standard mode pads to the full chunk on disk.
+    // Standard mode pads to the full chunk in store.
     assert_eq!(r.meta("d").unwrap().stored_bytes(), 4096 * 8);
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn read_individual_chunks() {
-    let path = tmp("chunks");
-    let w = H5Writer::create(&path).unwrap();
-    let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
-    w.write_dataset("d", &data, 32, &NoFilter).unwrap();
-    w.finish().unwrap();
-    let r = H5Reader::open(&path).unwrap();
+    let r = roundtrip(|w| {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        w.write_dataset("d", &data, 32, &NoFilter).unwrap();
+    });
     let c0 = r.read_chunk("d", 0).unwrap();
     assert_eq!(c0.len(), 32);
     assert_eq!(c0[31], 31.0);
     let raw = r.read_chunk_raw("d", 1).unwrap();
     assert_eq!(raw.len(), 32 * 8);
     assert!(r.read_chunk("d", 99).is_err());
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn eight_rank_concurrent_collective_writes() {
-    let path = tmp("eight");
-    let writer = Arc::new(H5Writer::create(&path).unwrap());
+    let (writer, mem) = H5Writer::in_memory();
+    let writer = Arc::new(writer);
     let w = Arc::clone(&writer);
     run_ranks(8, move |comm| {
         for field in 0..3 {
@@ -112,7 +110,7 @@ fn eight_rank_concurrent_collective_writes() {
         }
     });
     writer.finish().unwrap();
-    let r = H5Reader::open(&path).unwrap();
+    let r = H5Reader::from_storage(Box::new(mem)).unwrap();
     for field in 0..3 {
         let all = r.read_dataset(&format!("f{field}")).unwrap();
         assert_eq!(all.len(), 8 * 128);
@@ -120,19 +118,19 @@ fn eight_rank_concurrent_collective_writes() {
             assert_eq!(all[rank * 128], (rank * 10000 + field * 1000) as f64);
         }
     }
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn mixed_filters_in_one_file() {
-    let path = tmp("mixed");
-    let w = H5Writer::create(&path).unwrap();
     let smooth: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
-    w.write_dataset("raw", &smooth, 1024, &NoFilter).unwrap();
-    w.write_dataset("sz", &smooth, 1024, &SzFilter::one_dimensional(1e-3))
-        .unwrap();
-    w.finish().unwrap();
-    let r = H5Reader::open(&path).unwrap();
+    let r = {
+        let smooth = smooth.clone();
+        roundtrip(move |w| {
+            w.write_dataset("raw", &smooth, 1024, &NoFilter).unwrap();
+            w.write_dataset("sz", &smooth, 1024, &SzFilter::one_dimensional(1e-3))
+                .unwrap();
+        })
+    };
     let raw_bytes = r.meta("raw").unwrap().stored_bytes();
     let sz_bytes = r.meta("sz").unwrap().stored_bytes();
     assert!(sz_bytes < raw_bytes / 4, "sz {sz_bytes} vs raw {raw_bytes}");
@@ -140,39 +138,39 @@ fn mixed_filters_in_one_file() {
     for (o, v) in smooth.iter().zip(&back) {
         assert!((o - v).abs() <= 1e-3 * 2.0 + 1e-12);
     }
-    std::fs::remove_file(&path).ok();
+}
+
+/// Finished container bytes, for corruption tests.
+fn finished_bytes(build: impl FnOnce(&H5Writer)) -> Vec<u8> {
+    let (w, mem) = H5Writer::in_memory();
+    build(&w);
+    w.finish().unwrap();
+    mem.to_bytes()
 }
 
 #[test]
 fn header_corruption_detected() {
-    let path = tmp("head-corrupt");
-    let w = H5Writer::create(&path).unwrap();
-    w.write_dataset("d", &[1.0], 1, &NoFilter).unwrap();
-    w.finish().unwrap();
-    let mut bytes = std::fs::read(&path).unwrap();
+    let mut bytes = finished_bytes(|w| {
+        w.write_dataset("d", &[1.0], 1, &NoFilter).unwrap();
+    });
     bytes[0] = b'X';
-    std::fs::write(&path, &bytes).unwrap();
-    assert!(H5Reader::open(&path).is_err());
-    std::fs::remove_file(&path).ok();
+    assert!(H5Reader::from_storage(Box::new(MemStorage::from_bytes(bytes))).is_err());
 }
 
 #[test]
 fn truncated_file_detected() {
-    let path = tmp("truncated");
-    let w = H5Writer::create(&path).unwrap();
-    let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
-    w.write_dataset("d", &data, 100, &NoFilter).unwrap();
-    w.finish().unwrap();
-    let bytes = std::fs::read(&path).unwrap();
-    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-    assert!(H5Reader::open(&path).is_err());
-    std::fs::remove_file(&path).ok();
+    let bytes = finished_bytes(|w| {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        w.write_dataset("d", &data, 100, &NoFilter).unwrap();
+    });
+    let half = bytes[..bytes.len() / 2].to_vec();
+    assert!(H5Reader::from_storage(Box::new(MemStorage::from_bytes(half))).is_err());
 }
 
 #[test]
 fn stats_track_collective_and_serial_writes() {
-    let path = tmp("stats");
-    let writer = Arc::new(H5Writer::create(&path).unwrap());
+    let (writer, _mem) = H5Writer::in_memory();
+    let writer = Arc::new(writer);
     let w = Arc::clone(&writer);
     run_ranks(2, move |comm| {
         let data = vec![comm.rank() as f64; 64];
@@ -193,5 +191,4 @@ fn stats_track_collective_and_serial_writes() {
     assert_eq!(s.write_calls, 2);
     assert_eq!(s.bytes_written, 2 * 64 * 8);
     writer.finish().unwrap();
-    std::fs::remove_file(&path).ok();
 }

@@ -2,18 +2,15 @@
 //! (mirrors the `amric` crate's `corruption.rs` style): every malformed
 //! index must surface as a typed `H5Error` or read as an index-less
 //! legacy file — never a panic, never an absurd allocation.
+//!
+//! Runs on [`MemStorage`] images: thousands of mutants open without a
+//! single filesystem write, and a panicking case leaks nothing.
 
 use h5lite::prelude::*;
 
-fn tmp(name: &str) -> std::path::PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("h5lite-idxcorr-{}-{name}", std::process::id()));
-    p
-}
-
-/// Write the same two datasets, with or without chunk indexes.
-fn build(path: &std::path::Path, with_index: bool) {
-    let w = H5Writer::create(path).unwrap();
+/// Container bytes with the same two datasets, with or without indexes.
+fn build(with_index: bool) -> Vec<u8> {
+    let (w, mem) = H5Writer::in_memory();
     let data: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.003).sin()).collect();
     w.write_dataset("a/raw", &data, 1024, &NoFilter).unwrap();
     w.write_dataset("a/sz", &data, 1024, &SzFilter::one_dimensional(1e-3))
@@ -30,9 +27,14 @@ fn build(path: &std::path::Path, with_index: bool) {
         }
     }
     w.finish().unwrap();
+    mem.to_bytes()
 }
 
-/// The byte span of the index section: everything the indexed file has
+fn open_bytes(bytes: Vec<u8>) -> H5Result<H5Reader> {
+    H5Reader::from_storage(Box::new(MemStorage::from_bytes(bytes)))
+}
+
+/// The byte span of the index section: everything the indexed image has
 /// that the index-less twin does not (both end with the same 12-byte
 /// footer).
 fn section_span(indexed: &[u8], legacy: &[u8]) -> std::ops::Range<usize> {
@@ -44,30 +46,23 @@ fn section_span(indexed: &[u8], legacy: &[u8]) -> std::ops::Range<usize> {
     start..end
 }
 
-/// Open + exercise a possibly-corrupt file: any typed `Err` is fine, a
+/// Open + exercise a possibly-corrupt image: any typed `Err` is fine, a
 /// panic is not; on `Ok` every surfaced index and dataset must still read
 /// without panicking.
 fn exercise(bytes: &[u8]) {
-    let path = tmp("exercise");
-    std::fs::write(&path, bytes).unwrap();
-    if let Ok(r) = H5Reader::open(&path) {
+    if let Ok(r) = open_bytes(bytes.to_vec()) {
         for name in r.dataset_names() {
             let _ = r.chunk_index(name).map(|i| i.cloned());
             let _ = r.chunk_index_or_scan(name);
             let _ = r.read_dataset(name);
         }
     }
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn index_section_is_total_over_byte_flips() {
-    let pi = tmp("flip-indexed");
-    let pl = tmp("flip-legacy");
-    build(&pi, true);
-    build(&pl, false);
-    let indexed = std::fs::read(&pi).unwrap();
-    let legacy = std::fs::read(&pl).unwrap();
+    let indexed = build(true);
+    let legacy = build(false);
     let span = section_span(&indexed, &legacy);
     for pos in span.clone() {
         for mask in [0x01u8, 0x80, 0xFF] {
@@ -76,18 +71,12 @@ fn index_section_is_total_over_byte_flips() {
             exercise(&corrupt);
         }
     }
-    std::fs::remove_file(&pi).ok();
-    std::fs::remove_file(&pl).ok();
 }
 
 #[test]
 fn truncated_index_streams_are_typed_errors() {
-    let pi = tmp("trunc-indexed");
-    let pl = tmp("trunc-legacy");
-    build(&pi, true);
-    build(&pl, false);
-    let indexed = std::fs::read(&pi).unwrap();
-    let legacy = std::fs::read(&pl).unwrap();
+    let indexed = build(true);
+    let legacy = build(false);
     let span = section_span(&indexed, &legacy);
     let section_len = span.len();
     // Splice k bytes out of the tail of the index section, keeping the
@@ -98,33 +87,23 @@ fn truncated_index_streams_are_typed_errors() {
         let mut spliced = Vec::with_capacity(indexed.len() - k);
         spliced.extend_from_slice(&indexed[..span.end - k]);
         spliced.extend_from_slice(&indexed[span.end..]);
-        let path = tmp("trunc");
-        std::fs::write(&path, &spliced).unwrap();
-        match H5Reader::open(&path) {
+        match open_bytes(spliced) {
             Err(H5Error::Format(_)) | Err(H5Error::Codec(_)) => {}
             Err(other) => panic!("cut {k}: unexpected error class {other:?}"),
             Ok(_) => panic!("cut {k}: truncated index must not parse"),
         }
-        std::fs::remove_file(&path).ok();
     }
     // Splicing the whole section out reads as a legacy file.
     let mut stripped = Vec::new();
     stripped.extend_from_slice(&indexed[..span.start]);
     stripped.extend_from_slice(&indexed[span.end..]);
-    let path = tmp("trunc-whole");
-    std::fs::write(&path, &stripped).unwrap();
-    let r = H5Reader::open(&path).expect("index-less layout must open");
+    let r = open_bytes(stripped).expect("index-less layout must open");
     assert!(r.chunk_index("a/sz").unwrap().is_none());
-    std::fs::remove_file(&path).ok();
-    std::fs::remove_file(&pi).ok();
-    std::fs::remove_file(&pl).ok();
 }
 
 #[test]
 fn absurd_index_counts_rejected_without_allocation() {
-    let pl = tmp("absurd-legacy");
-    build(&pl, false);
-    let legacy = std::fs::read(&pl).unwrap();
+    let legacy = build(false);
     let insert_at = legacy.len() - 12;
     // Crafted sections claiming counts far beyond the stream's bytes: a
     // dataset count of u32::MAX and an entry count of u32::MAX. Both must
@@ -142,23 +121,17 @@ fn absurd_index_counts_rejected_without_allocation() {
         bytes.extend_from_slice(&legacy[..insert_at]);
         bytes.extend_from_slice(&section);
         bytes.extend_from_slice(&legacy[insert_at..]);
-        let path = tmp("absurd");
-        std::fs::write(&path, &bytes).unwrap();
-        match H5Reader::open(&path) {
+        match open_bytes(bytes) {
             Err(H5Error::Format(_)) | Err(H5Error::Codec(_)) => {}
             Err(other) => panic!("absurd count: unexpected error class {other:?}"),
             Ok(_) => panic!("absurd count must be a typed error"),
         }
-        std::fs::remove_file(&path).ok();
     }
-    std::fs::remove_file(&pl).ok();
 }
 
 #[test]
 fn index_for_unknown_dataset_or_wrong_arity_rejected() {
-    let pl = tmp("arity-legacy");
-    build(&pl, false);
-    let legacy = std::fs::read(&pl).unwrap();
+    let legacy = build(false);
     let insert_at = legacy.len() - 12;
     let magic = 0x5844_4943u32.to_le_bytes();
     // Index naming a dataset the directory does not hold.
@@ -182,14 +155,10 @@ fn index_for_unknown_dataset_or_wrong_arity_rejected() {
         bytes.extend_from_slice(&legacy[..insert_at]);
         bytes.extend_from_slice(&section);
         bytes.extend_from_slice(&legacy[insert_at..]);
-        let path = tmp("arity");
-        std::fs::write(&path, &bytes).unwrap();
-        match H5Reader::open(&path) {
+        match open_bytes(bytes) {
             Err(H5Error::Format(_)) | Err(H5Error::Codec(_)) => {}
             Err(other) => panic!("inconsistent index: unexpected error class {other:?}"),
             Ok(_) => panic!("inconsistent index must be a typed error"),
         }
-        std::fs::remove_file(&path).ok();
     }
-    std::fs::remove_file(&pl).ok();
 }

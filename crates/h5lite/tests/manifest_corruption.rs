@@ -1,0 +1,221 @@
+//! Robustness suite for the shard manifest: truncated, bit-flipped, and
+//! forged manifests must surface as typed `H5Error`s — never a panic,
+//! never an absurd allocation — and damaged shard sets must be caught at
+//! open, not during a later read.
+
+use h5lite::prelude::*;
+use h5lite::sharded::{shard_name, MANIFEST_NAME};
+use h5lite::testutil::TempDir;
+use h5lite::{H5Error, ShardExtent};
+
+/// A small finished sharded container; returns its directory.
+fn build(dir: &TempDir) -> std::path::PathBuf {
+    let path = dir.file("c.h5ls");
+    let w = H5Writer::create_sharded(&path, 3).unwrap();
+    let data: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.002).sin()).collect();
+    w.write_dataset("raw", &data, 512, &NoFilter).unwrap();
+    w.write_dataset("sz", &data, 512, &SzFilter::one_dimensional(1e-3))
+        .unwrap();
+    w.finish().unwrap();
+    path
+}
+
+fn expect_typed_open_failure(path: &std::path::Path, ctx: &str) {
+    match H5Reader::open(path) {
+        Err(H5Error::Format(_)) | Err(H5Error::Io(_)) | Err(H5Error::Codec(_)) => {}
+        Err(other) => panic!("{ctx}: unexpected error class {other:?}"),
+        Ok(_) => panic!("{ctx}: corrupt container must not open"),
+    }
+}
+
+#[test]
+fn truncated_manifest_is_typed_error_at_every_length() {
+    let dir = TempDir::new("h5lite-mancorr-trunc");
+    let path = build(&dir);
+    let mpath = path.join(MANIFEST_NAME);
+    let intact = std::fs::read(&mpath).unwrap();
+    for len in 0..intact.len() {
+        std::fs::write(&mpath, &intact[..len]).unwrap();
+        match read_manifest(&path) {
+            Err(H5Error::Format(_)) | Err(H5Error::Io(_)) | Err(H5Error::Codec(_)) => {}
+            Err(other) => panic!("cut to {len}: unexpected error class {other:?}"),
+            Ok(_) => panic!("cut to {len}: truncated manifest must not parse"),
+        }
+        expect_typed_open_failure(&path, &format!("open with manifest cut to {len}"));
+    }
+    // Restored, it opens again.
+    std::fs::write(&mpath, &intact).unwrap();
+    assert!(H5Reader::open(&path).is_ok());
+}
+
+#[test]
+fn manifest_byte_flips_never_panic() {
+    let dir = TempDir::new("h5lite-mancorr-flip");
+    let path = build(&dir);
+    let mpath = path.join(MANIFEST_NAME);
+    let intact = std::fs::read(&mpath).unwrap();
+    for pos in 0..intact.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut corrupt = intact.clone();
+            corrupt[pos] ^= mask;
+            std::fs::write(&mpath, &corrupt).unwrap();
+            // Any typed Err is fine; on Ok every dataset must still read
+            // or fail typed (a flipped extent can redirect reads into
+            // other chunks' bytes — wrong data decoded as garbage is a
+            // codec error, not a crash).
+            if let Ok(r) = H5Reader::open(&path) {
+                for name in r.dataset_names() {
+                    let _ = r.read_dataset(name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forged_counts_do_not_allocate_absurdly() {
+    let dir = TempDir::new("h5lite-mancorr-forge");
+    let path = build(&dir);
+    let mpath = path.join(MANIFEST_NAME);
+    let intact = std::fs::read(&mpath).unwrap();
+    // Header: magic(4) version(1) shard_count(4) logical_len(8) count(8).
+    // Forge shard_count far past MAX_SHARDS.
+    let mut huge_shards = intact.clone();
+    huge_shards[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+    // Forge extent count to u64::MAX: must fail on truncation or the
+    // dense-coverage check long before any giant allocation.
+    let mut huge_extents = intact.clone();
+    huge_extents[17..25].copy_from_slice(&u64::MAX.to_le_bytes());
+    // Zero shards.
+    let mut zero_shards = intact.clone();
+    zero_shards[5..9].copy_from_slice(&0u32.to_le_bytes());
+    for (ctx, forged) in [
+        ("shard_count=u32::MAX", huge_shards),
+        ("extent_count=u64::MAX", huge_extents),
+        ("shard_count=0", zero_shards),
+    ] {
+        std::fs::write(&mpath, &forged).unwrap();
+        match read_manifest(&path) {
+            Err(H5Error::Format(_)) | Err(H5Error::Codec(_)) => {}
+            Err(other) => panic!("{ctx}: unexpected error class {other:?}"),
+            Ok(_) => panic!("{ctx}: forged manifest must not parse"),
+        }
+        expect_typed_open_failure(&path, ctx);
+    }
+}
+
+#[test]
+fn extent_forgery_is_rejected_structurally() {
+    // Hand-build manifests with structurally invalid extent maps: the
+    // parser must reject non-dense coverage, out-of-range shard ids, and
+    // length mismatches.
+    let dense = |extents: Vec<ShardExtent>, logical: u64| ShardManifest {
+        shard_count: 2,
+        logical_len: logical,
+        extents,
+    };
+    let cases: Vec<(&str, ShardManifest)> = vec![
+        (
+            "gap in logical space",
+            dense(
+                vec![
+                    ShardExtent {
+                        logical: 0,
+                        len: 10,
+                        shard: 0,
+                        offset: 0,
+                    },
+                    ShardExtent {
+                        logical: 20, // hole at 10..20
+                        len: 10,
+                        shard: 1,
+                        offset: 0,
+                    },
+                ],
+                30,
+            ),
+        ),
+        (
+            "shard id out of range",
+            dense(
+                vec![ShardExtent {
+                    logical: 0,
+                    len: 10,
+                    shard: 7,
+                    offset: 0,
+                }],
+                10,
+            ),
+        ),
+        (
+            "coverage short of logical_len",
+            dense(
+                vec![ShardExtent {
+                    logical: 0,
+                    len: 10,
+                    shard: 0,
+                    offset: 0,
+                }],
+                99,
+            ),
+        ),
+        (
+            "zero-length extent",
+            dense(
+                vec![ShardExtent {
+                    logical: 0,
+                    len: 0,
+                    shard: 0,
+                    offset: 0,
+                }],
+                0,
+            ),
+        ),
+    ];
+    for (ctx, manifest) in cases {
+        match ShardManifest::from_bytes(&manifest.to_bytes()) {
+            Err(H5Error::Format(_)) => {}
+            Err(other) => panic!("{ctx}: unexpected error class {other:?}"),
+            Ok(_) => panic!("{ctx}: must be rejected"),
+        }
+    }
+}
+
+#[test]
+fn missing_or_short_shard_files_fail_at_open() {
+    // A shard file shorter than the ranges the manifest maps into it (or
+    // missing entirely) must fail when the container is opened — not as a
+    // surprise mid-query.
+    let dir = TempDir::new("h5lite-mancorr-shards");
+    let path = build(&dir);
+    let shard1 = path.join(shard_name(1));
+    let intact = std::fs::read(&shard1).unwrap();
+    assert!(!intact.is_empty());
+    // Truncate shard 1 below its mapped bytes.
+    std::fs::write(&shard1, &intact[..intact.len() / 2]).unwrap();
+    expect_typed_open_failure(&path, "short shard file");
+    // Remove it entirely.
+    std::fs::remove_file(&shard1).unwrap();
+    expect_typed_open_failure(&path, "missing shard file");
+    // Restore: opens again.
+    std::fs::write(&shard1, &intact).unwrap();
+    assert!(H5Reader::open(&path).is_ok());
+}
+
+#[test]
+fn single_file_mistaken_for_shard_dir_and_vice_versa() {
+    let dir = TempDir::new("h5lite-mancorr-kind");
+    // A plain directory with no manifest is not a container at all.
+    let empty = dir.file("not-a-container");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert!(!is_sharded(&empty));
+    assert!(H5Reader::open(&empty).is_err());
+    // A manifest dropped into a directory with no shard files: typed
+    // failure (the manifest maps extents into files that do not exist).
+    let path = build(&dir);
+    let orphan = dir.file("orphan");
+    std::fs::create_dir_all(&orphan).unwrap();
+    std::fs::copy(path.join(MANIFEST_NAME), orphan.join(MANIFEST_NAME)).unwrap();
+    assert!(is_sharded(&orphan));
+    expect_typed_open_failure(&orphan, "manifest without shards");
+}
