@@ -289,9 +289,8 @@ impl QueryEngine {
                         .entries
                         .iter()
                         .enumerate()
-                        .map(|(rank, e)| ChunkIndexEntry {
-                            codec_id: e.codec_id,
-                            extent: plan_bounding_box(&plans[rank]),
+                        .map(|(rank, e)| {
+                            ChunkIndexEntry::new(e.codec_id, plan_bounding_box(&plans[rank]))
                         })
                         .collect()
                 }
@@ -350,6 +349,26 @@ impl QueryEngine {
     /// through the legacy fallback scan)?
     pub fn has_persistent_index(&self) -> bool {
         self.indexed
+    }
+
+    /// The per-chunk index entries of one level (codec id, pruning
+    /// extent, and — for delta-coded temporal chunks — the reference
+    /// snapshot id). Empty when the level stored no chunks.
+    pub fn chunk_entries(&self, level: usize) -> QueryResult<&[ChunkIndexEntry]> {
+        self.levels
+            .get(level)
+            .map(|l| l.extents.as_slice())
+            .ok_or_else(|| QueryError::BadQuery(format!("level {level} out of range")))
+    }
+
+    /// Reference snapshot id of one chunk, if it is delta-coded — the
+    /// planner-level answer to "which prior file does random access into
+    /// this chunk need?", resolved from the index without decoding.
+    pub fn chunk_reference(&self, level: usize, chunk: usize) -> QueryResult<Option<u64>> {
+        let entries = self.chunk_entries(level)?;
+        entries.get(chunk).map(|e| e.reference).ok_or_else(|| {
+            QueryError::BadQuery(format!("level {level} chunk {chunk} out of range"))
+        })
     }
 
     /// Cache counters.

@@ -111,15 +111,26 @@ impl FairGate {
         }
     }
 
+    /// Take the state guard, recovering from poisoning. A decode worker
+    /// that panics must not wedge admission for every other connection:
+    /// the gate's critical sections are short and internally panic-free
+    /// (counter updates and queue push/pop), so the state is structurally
+    /// sound and safe to adopt after a poisoning panic. Note the guard's
+    /// `Drop` also releases permits during unwinding, so a panicking
+    /// holder returns its permit on the way out.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Acquire one permit, waiting in FIFO order. The permit is released
     /// when the returned guard drops.
     pub fn acquire(&self) -> FairGateGuard<'_> {
-        let mut st = self.state.lock().expect("gate lock");
+        let mut st = self.lock_state();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.queue.push_back(ticket);
         while !(st.queue.front() == Some(&ticket) && st.available > 0) {
-            st = self.cv.wait(st).expect("gate wait");
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
         }
         st.queue.pop_front();
         st.available -= 1;
@@ -132,11 +143,11 @@ impl FairGate {
 
     /// Waiters currently queued (stats surface).
     pub fn queued(&self) -> usize {
-        self.state.lock().expect("gate lock").queue.len()
+        self.lock_state().queue.len()
     }
 
     fn release(&self) {
-        let mut st = self.state.lock().expect("gate lock");
+        let mut st = self.lock_state();
         st.available += 1;
         self.cv.notify_all();
     }
@@ -236,6 +247,41 @@ mod tests {
         b.join().unwrap();
         c.join().unwrap();
         assert_eq!(*order.lock().unwrap(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn panicked_holder_poisons_nothing_and_frees_its_permit() {
+        // A worker that panics while holding a permit unwinds through the
+        // guard's Drop: the permit comes back and later acquires succeed.
+        let gate = Arc::new(FairGate::new(1));
+        let g2 = Arc::clone(&gate);
+        let worker = std::thread::spawn(move || {
+            let _g = g2.acquire();
+            panic!("decode worker dies mid-slab");
+        });
+        assert!(worker.join().is_err());
+        let _g = gate.acquire(); // must not deadlock
+        assert_eq!(gate.queued(), 0);
+    }
+
+    #[test]
+    fn poisoned_gate_lock_recovers() {
+        // Panic while holding the *state mutex itself* — the worst case,
+        // which poisons it. Every gate entry point must keep working.
+        let gate = Arc::new(FairGate::new(2));
+        let g2 = Arc::clone(&gate);
+        let poisoner = std::thread::spawn(move || {
+            let _st = g2.state.lock().unwrap();
+            panic!("worker dies holding the gate lock");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(gate.state.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(gate.queued(), 0);
+        let a = gate.acquire();
+        let b = gate.acquire();
+        drop(a);
+        drop(b);
+        let _c = gate.acquire();
     }
 
     #[test]

@@ -201,6 +201,15 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// Take the entries guard, recovering from poisoning: a worker that
+    /// panicked while holding the lock must not wedge every subsequent
+    /// request. The map is only ever mutated through insert/remove, both
+    /// of which leave it structurally sound even if the panicking thread
+    /// died mid-`open`, so the inner value is safe to adopt.
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, HashMap<PathBuf, Arc<CatalogEntry>>> {
+        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Catalog whose engines share one `cache_bytes` store, keeping at
     /// most `max_open` idle engines and fetching with `workers` prefetch
     /// workers per engine.
@@ -230,7 +239,7 @@ impl Catalog {
     pub fn open(&self, path: &Path) -> Result<Arc<CatalogEntry>, amr_query::QueryError> {
         let generation = Generation::of(path).map_err(h5lite::H5Error::Io)?;
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("catalog lock");
+        let mut entries = self.lock_entries();
         if let Some(entry) = entries.get(path) {
             if entry.generation == generation {
                 entry.last_used.store(stamp, Ordering::Relaxed);
@@ -282,20 +291,101 @@ impl Catalog {
 
     /// Snapshot of every open entry (stats reporting).
     pub fn entries(&self) -> Vec<Arc<CatalogEntry>> {
-        let entries = self.entries.lock().expect("catalog lock");
+        let entries = self.lock_entries();
         let mut v: Vec<_> = entries.values().cloned().collect();
         v.sort_by_key(|e| e.file_id);
         v
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. Every counter is read while the entries guard
+    /// is held: `open` bumps the counters under that same guard, so the
+    /// snapshot is a consistent point-in-time view — `open_files` can
+    /// never disagree with the opens/evictions that produced it.
     pub fn stats(&self) -> CatalogStats {
+        let entries = self.lock_entries();
         CatalogStats {
-            open_files: self.entries.lock().expect("catalog lock").len() as u64,
+            open_files: entries.len() as u64,
             opens: self.opens.load(Ordering::Relaxed),
             open_hits: self.open_hits.load(Ordering::Relaxed),
             reopens_stale: self.reopens_stale.load(Ordering::Relaxed),
             evicted_idle: self.evicted_idle.load(Ordering::Relaxed),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amr_apps::prelude::*;
+
+    fn write_plotfile(path: &Path) {
+        let s = NyxScenario::new(7);
+        let cfg = AmrRunConfig {
+            coarse_dims: (16, 16, 16),
+            max_grid_size: 8,
+            blocking_factor: 8,
+            nranks: 2,
+            num_levels: 2,
+            fine_fraction: 0.05,
+            grid_eff: 0.7,
+        };
+        let h = build_hierarchy(&s, &cfg, 0.0);
+        amric::writer::write_amric(path, &h, &amric::AmricConfig::lr(1e-3), 8).unwrap();
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "amr-serve-catalog-{}-{name}.h5l",
+            std::process::id()
+        ));
+        p
+    }
+
+    /// Panic a thread while it holds the catalog's entries mutex,
+    /// poisoning it.
+    fn poison(cat: &Arc<Catalog>) {
+        let c = Arc::clone(cat);
+        let t = std::thread::spawn(move || {
+            let _guard = c.entries.lock().unwrap();
+            panic!("worker dies holding the catalog lock");
+        });
+        assert!(t.join().is_err());
+        assert!(cat.entries.lock().is_err(), "mutex should be poisoned");
+    }
+
+    #[test]
+    fn poisoned_catalog_lock_does_not_wedge_the_server() {
+        let path = tmp("poison");
+        write_plotfile(&path);
+        let cat = Arc::new(Catalog::new(8 << 20, 4, 1));
+        let first = cat.open(&path).unwrap();
+        poison(&cat);
+        // Every entry point recovers instead of propagating the panic:
+        // stats, the entries snapshot, and a fresh open (cache hit).
+        assert_eq!(cat.stats().open_files, 1);
+        assert_eq!(cat.entries().len(), 1);
+        let again = cat.open(&path).unwrap();
+        assert_eq!(again.file_id, first.file_id);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_open_files_matches_entries_snapshot() {
+        let a = tmp("stats-a");
+        let b = tmp("stats-b");
+        write_plotfile(&a);
+        write_plotfile(&b);
+        let cat = Catalog::new(8 << 20, 4, 1);
+        cat.open(&a).unwrap();
+        cat.open(&b).unwrap();
+        cat.open(&a).unwrap();
+        let st = cat.stats();
+        assert_eq!(st.open_files, cat.entries().len() as u64);
+        assert_eq!(st.open_files, 2);
+        assert_eq!(st.opens, 2);
+        assert_eq!(st.open_hits, 1);
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 }

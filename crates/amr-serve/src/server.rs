@@ -350,10 +350,17 @@ fn wire_region(lr: &LevelRegion) -> WireRegion {
 }
 
 /// Split `b` into `n` contiguous slabs along its longest axis (fewer
-/// when the axis has fewer cells than `n`).
+/// when the axis has fewer cells than `n`). Ties break toward the lowest
+/// axis index — `max_by_key` keeps the *last* maximum, which made cubic
+/// regions slab along z on some call sites and x on others depending on
+/// iteration direction; slab boundaries must be deterministic because
+/// clients resume scans by slab position.
 fn slabs(b: &Box3, n: u64) -> Vec<Box3> {
     let sz = b.size();
-    let axis = (0..3).max_by_key(|&a| sz.get(a)).expect("three axes");
+    let axis = (0..3).fold(
+        0usize,
+        |best, a| if sz.get(a) > sz.get(best) { a } else { best },
+    );
     let extent = sz.get(axis).max(1) as u64;
     let n = n.clamp(1, extent);
     let per = extent.div_ceil(n) as i64;
@@ -621,6 +628,44 @@ fn run_admitted(
                 Ok(resp) => resp.expect("final pass returns a response"),
                 Err(e) => query_error_response(e),
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(n: i64) -> Box3 {
+        intbox([0, 0, 0], [n - 1, n - 1, n - 1])
+    }
+
+    #[test]
+    fn slab_axis_tie_breaks_to_lowest_index() {
+        // A cubic region must always slab along x; resumable scans rely
+        // on the slab layout being a pure function of the box.
+        let s = slabs(&cube(8), 4);
+        assert_eq!(s.len(), 4);
+        for (i, b) in s.iter().enumerate() {
+            assert_eq!(vect(&b.lo), [2 * i as i64, 0, 0]);
+            assert_eq!(vect(&b.hi), [2 * i as i64 + 1, 7, 7]);
+        }
+        // Two-way tie (y == z > x) picks y, the lower tied index.
+        let tall = intbox([0, 0, 0], [3, 7, 7]);
+        let s = slabs(&tall, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(vect(&s[0].hi), [3, 3, 7]);
+        assert_eq!(vect(&s[1].lo), [0, 4, 0]);
+    }
+
+    #[test]
+    fn slabs_cover_exactly_and_respect_short_axes() {
+        let b = intbox([2, -1, 5], [9, 0, 6]);
+        let s = slabs(&b, 100); // x is longest (8 cells) -> 8 slabs max
+        assert_eq!(s.len(), 8);
+        for (x, slab) in (2..).zip(&s) {
+            assert_eq!(vect(&slab.lo), [x, -1, 5]);
+            assert_eq!(vect(&slab.hi), [x, 0, 6]);
         }
     }
 }

@@ -437,14 +437,21 @@ impl Codec for BaselineCodec {
     }
 }
 
-/// Registry covering all six codec families of the workspace: SZ_L/R,
-/// SZ_Interp, the AMRIC pipeline, TAC, zMesh, and the AMReX baseline.
+/// Registry covering all seven codec families of the workspace: SZ_L/R,
+/// SZ_Interp, the AMRIC pipeline, TAC, zMesh, the AMReX baseline, and
+/// temporal delta streams. The temporal decoder registered here carries
+/// no reference snapshot: it decodes any self-contained (spatial-only)
+/// temporal stream, and referenced streams fail with a typed error
+/// naming the missing reference — re-register
+/// `TemporalCodec::decoder_with(reference)` (later registration wins) to
+/// resolve those too.
 pub fn default_registry() -> CodecRegistry {
     let mut reg = CodecRegistry::sz_only();
     reg.register(Box::new(AmricCodec::decoder()))
         .register(Box::new(TacCodec::decoder()))
         .register(Box::new(ZmeshCodec::decoder()))
-        .register(Box::new(BaselineCodec::decoder()));
+        .register(Box::new(BaselineCodec::decoder()))
+        .register(Box::new(sz_codec::temporal::TemporalCodec::decoder()));
     reg
 }
 

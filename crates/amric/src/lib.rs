@@ -57,6 +57,7 @@ pub mod preprocess;
 pub mod reader;
 pub mod reorganize;
 pub mod tac;
+pub mod temporal;
 pub mod writer;
 pub mod zmesh;
 
@@ -82,6 +83,10 @@ pub mod prelude {
     };
     pub use crate::reader::{
         read_amric_hierarchy, read_plotfile_meta, verify_against, LevelLayout, PlotfileMeta,
+    };
+    pub use crate::temporal::{
+        read_temporal_hierarchy, read_temporal_meta, TemporalFieldFilter, TemporalMeta,
+        TemporalReadState, TemporalSession, TemporalSessionConfig, FILTER_TEMPORAL,
     };
     pub use crate::writer::{
         write_amric, write_amric_sharded, write_amric_to, write_field_parallel, FieldWriteJob,

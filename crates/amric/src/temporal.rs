@@ -1,0 +1,686 @@
+//! Cross-snapshot temporal compression sessions — threading the
+//! `sz_codec::temporal` delta family through the AMRIC write/read paths.
+//!
+//! A [`TemporalSession`] writes a *series* of snapshots. For each one it
+//! plans units exactly like [`crate::writer::write_amric_to`], then maps
+//! every unit against the previous snapshot's plan **by region identity**
+//! (same level, same rank, same index-space box): units whose region
+//! survived regridding delta-code against the previous snapshot's
+//! *decoded* values; units whose region changed level or layout fall back
+//! to the spatial-only path inside the same stream. Mapped streams are
+//! additionally **size-gated**: a surviving region only proves the layout
+//! held still, so each (level, rank, field) stream is encoded both ways
+//! and the smaller one ships — temporal output is never larger than
+//! spatial-only output, even under dynamics violent enough that residuals
+//! cost more than the field itself. The session retains
+//! the decoded state of everything it writes (returned by the codec
+//! during encoding — never a second decode pass), so the next snapshot
+//! predicts from exactly what any reader will reconstruct and error never
+//! accumulates across steps.
+//!
+//! Reference linkage is recorded twice, at different granularities:
+//!
+//! * the per-chunk **chunk index** entry carries the reference snapshot
+//!   id ([`h5lite::ChunkIndexEntry::reference`]) so random access — the
+//!   `amr-query` planner — can resolve which prior file a delta chunk
+//!   needs without decoding anything, and
+//! * the small `meta/temporal` dataset stores
+//!   `[snapshot_id, reference_id]` for the whole file (0 = none).
+//!
+//! `decompress_auto` keeps working stream-by-stream: spatial-only
+//! temporal streams are self-contained, and delta streams fail with a
+//! typed error naming the missing reference rather than decoding wrong
+//! data (see the `sz_codec::temporal` module docs).
+
+use crate::preprocess::{
+    extract_units, plan_bounding_box, plan_units, unit_edge_for_level, PlanExtent, UnitRef,
+};
+use crate::reader::{read_plotfile_meta, Plotfile};
+use crate::writer::{field_dataset, fold_receipt, write_metadata, WriteReport};
+use amr_mesh::prelude::*;
+use h5lite::prelude::*;
+use rankpar::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use sz_codec::codec::CodecId;
+use sz_codec::temporal::{TemporalCodec, TemporalConfig, TemporalReference};
+use sz_codec::{Buffer3, Codec, CodecError};
+
+/// Filter id for the temporal delta filter (registered like the AMRIC
+/// filter, outside h5lite's built-in registry).
+pub const FILTER_TEMPORAL: u32 = 101;
+
+/// Chunk-filter face of the temporal family — carries the dataset
+/// metadata (filter id, unit edge) and decodes **self-contained** chunks
+/// for generic readers. Delta chunks need their reference and are decoded
+/// by [`read_temporal_hierarchy`], which resolves references per rank.
+#[derive(Clone, Copy, Debug)]
+pub struct TemporalFieldFilter {
+    /// Unit-block edge for the level being written.
+    pub unit_edge: usize,
+}
+
+impl ChunkFilter for TemporalFieldFilter {
+    fn id(&self) -> u32 {
+        FILTER_TEMPORAL
+    }
+
+    fn client_data(&self) -> Vec<u8> {
+        vec![self.unit_edge as u8]
+    }
+
+    fn encode_into(&self, _chunk: &[f64], _out: &mut Vec<u8>) -> H5Result<()> {
+        // The session encodes through the codec directly (it needs the
+        // decoded state back); the filter only describes the dataset.
+        Err(H5Error::Format(
+            "TemporalFieldFilter encodes through TemporalSession".into(),
+        ))
+    }
+
+    fn decode(&self, bytes: &[u8], n_elems: usize) -> H5Result<Vec<f64>> {
+        let units = TemporalCodec::decoder()
+            .decompress(bytes)
+            .map_err(H5Error::Codec)?;
+        let mut out = Vec::with_capacity(n_elems);
+        for u in units {
+            out.extend_from_slice(u.data());
+        }
+        if out.len() < n_elems {
+            return Err(H5Error::Format(format!(
+                "temporal chunk decoded {} elems, need {n_elems}",
+                out.len()
+            )));
+        }
+        out.truncate(n_elems);
+        Ok(out)
+    }
+}
+
+/// Session-level configuration (a snapshot's streams are still fully
+/// self-describing; this drives the write side only).
+#[derive(Clone, Copy, Debug)]
+pub struct TemporalSessionConfig {
+    /// Value-range-relative error bound, resolved per (level, field)
+    /// against the global range — same REL semantics as the AMRIC writer.
+    pub rel_eb: f64,
+    /// Remove redundant coarse data under finer levels (paper §3.1).
+    pub remove_redundancy: bool,
+    /// SZ block size of the spatial fallback streams.
+    pub block_size: usize,
+}
+
+impl TemporalSessionConfig {
+    /// Stock configuration at the given relative bound.
+    pub fn new(rel_eb: f64) -> Self {
+        TemporalSessionConfig {
+            rel_eb,
+            remove_redundancy: true,
+            block_size: 6,
+        }
+    }
+}
+
+/// Everything the session retains about the previous snapshot: its id,
+/// its unit plans (for region-identity mapping), and the decoded units of
+/// every (level, rank, field) stream, already wrapped as codec references.
+struct PrevSnapshot {
+    id: u64,
+    nfields: usize,
+    /// `[level][rank]` unit plans of the previous snapshot.
+    plans: Vec<Vec<Vec<UnitRef>>>,
+    /// `[level][rank][field]` decoded reference state.
+    refs: Vec<Vec<Vec<Arc<TemporalReference>>>>,
+}
+
+/// Per-(rank, level) outcome carried out of the rank closures.
+struct LevelOut {
+    extent: Option<PlanExtent>,
+    plan: Vec<UnitRef>,
+    any_delta: bool,
+    field_refs: Vec<Arc<TemporalReference>>,
+}
+
+/// A multi-snapshot temporal write session. Create one per series, call
+/// [`TemporalSession::write`] once per snapshot (each snapshot is its own
+/// container file); the first snapshot — and any unit whose region the
+/// regrid schedule moved — is coded spatially, everything else as deltas.
+pub struct TemporalSession {
+    cfg: TemporalSessionConfig,
+    bf: i64,
+    next_id: u64,
+    prev: Option<PrevSnapshot>,
+}
+
+/// Corner-tuple key for region-identity unit mapping (IntBox carries no
+/// Hash impl; the corners are the identity that matters).
+fn region_key(b: &IntBox) -> ([i64; 3], [i64; 3]) {
+    (
+        [b.lo.get(0), b.lo.get(1), b.lo.get(2)],
+        [b.hi.get(0), b.hi.get(1), b.hi.get(2)],
+    )
+}
+
+impl TemporalSession {
+    /// New session; `bf` is the blocking factor of the hierarchies the
+    /// session will write (drives unit sizes, fixed across the series).
+    pub fn new(cfg: TemporalSessionConfig, bf: i64) -> Self {
+        TemporalSession {
+            cfg,
+            bf,
+            next_id: 1,
+            prev: None,
+        }
+    }
+
+    /// Snapshot id the next [`TemporalSession::write`] call will record.
+    pub fn next_snapshot_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Drop the retained reference state: the next snapshot is written
+    /// spatial-only, starting a fresh delta chain.
+    pub fn reset_reference(&mut self) {
+        self.prev = None;
+    }
+
+    /// Write one snapshot of the series to a new container at `path`.
+    pub fn write(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+        h: &AmrHierarchy,
+    ) -> H5Result<WriteReport> {
+        self.write_to(Arc::new(H5Writer::create(path)?), h)
+    }
+
+    /// Backend-agnostic variant of [`TemporalSession::write`]: runs the
+    /// rank collectives against an already-created writer and finishes
+    /// the container.
+    pub fn write_to(&mut self, writer: Arc<H5Writer>, h: &AmrHierarchy) -> H5Result<WriteReport> {
+        let nranks = h.level(0).data.distribution().nranks();
+        let num_levels = h.num_levels();
+        let nfields = h.field_names().len();
+        let id = self.next_id;
+        let cfg = self.cfg;
+        let bf = self.bf;
+        let prev = self.prev.as_ref();
+
+        type RankOutcome = (IoLedger, f64, Vec<LevelOut>);
+        let per_rank: Vec<RankOutcome> = run_ranks(nranks, |comm| {
+            let rank = comm.rank();
+            let mut ledger = IoLedger::default();
+            let mut prep_s = 0.0;
+            let mut levels_out = Vec::with_capacity(num_levels);
+            for l in 0..num_levels {
+                let level = &h.level(l).data;
+                let finer =
+                    (l + 1 < num_levels).then(|| (h.level(l + 1).data.box_array(), h.ref_ratio(l)));
+                let unit = unit_edge_for_level(bf, l, num_levels);
+                let t0 = Instant::now();
+                let units = plan_units(level, finer, unit, rank, cfg.remove_redundancy);
+                let extent = plan_bounding_box(&units);
+                // Regrid-aware mapping: a unit delta-codes iff the same
+                // region existed in this rank's plan for this level last
+                // snapshot. Any level/layout change (refined away,
+                // coarsened, redistributed, re-truncated) misses the map
+                // and falls back to spatial coding.
+                let unit_refs: Vec<Option<u32>> = match prev {
+                    Some(p) if l < p.plans.len() && p.nfields == nfields => {
+                        let by_region: HashMap<_, u32> = p.plans[l][rank]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, u)| (region_key(&u.region), i as u32))
+                            .collect();
+                        units
+                            .iter()
+                            .map(|u| by_region.get(&region_key(&u.region)).copied())
+                            .collect()
+                    }
+                    _ => vec![None; units.len()],
+                };
+                let any_mapped = unit_refs.iter().any(Option::is_some);
+                prep_s += t0.elapsed().as_secs_f64();
+                // Set iff any field stream of this (level, rank) actually
+                // shipped delta-coded bytes — the chunk index records the
+                // reference only then.
+                let mut any_delta = false;
+                let mut field_refs = Vec::with_capacity(nfields);
+                for f in 0..nfields {
+                    let t0 = Instant::now();
+                    let bufs = extract_units(level, &units, f);
+                    let staged_cells: usize = bufs.iter().map(|b| b.dims().len()).sum();
+                    prep_s += t0.elapsed().as_secs_f64();
+                    // Global REL bound and global chunk size, same
+                    // collective sequence as the AMRIC writer.
+                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for b in &bufs {
+                        for &v in b.data() {
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                    }
+                    let ranges = comm.allgather((lo, hi));
+                    let glo = ranges.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+                    let ghi = ranges.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
+                    let range = if ghi > glo { ghi - glo } else { 0.0 };
+                    let abs_eb = sz_codec::quantizer::absolute_bound(cfg.rel_eb, range);
+                    let chunk_elems = comm.allreduce_max(staged_cells as u64) as usize;
+                    let tcfg = TemporalConfig {
+                        abs_eb,
+                        block_size: cfg.block_size,
+                    };
+                    let filter = TemporalFieldFilter {
+                        unit_edge: unit as usize,
+                    };
+                    let (frames, decoded) = if chunk_elems == 0 {
+                        (Vec::new(), Vec::new())
+                    } else {
+                        let t0 = Instant::now();
+                        // Size-aware mode choice: a surviving region only
+                        // proves the *layout* held still — violent dynamics
+                        // can make residuals cost more than re-coding the
+                        // field spatially. Encode both ways when a mapping
+                        // exists and ship the smaller stream, so temporal
+                        // output is never larger than spatial-only output.
+                        let mut bytes = Vec::new();
+                        let (_, mut decoded) = TemporalCodec::spatial(tcfg)
+                            .compress_with_state(&bufs, &mut bytes)
+                            .expect("temporal encode failed");
+                        if any_mapped {
+                            let delta = TemporalCodec::with_reference(
+                                tcfg,
+                                prev.expect("mapping implies prev").refs[l][rank][f].clone(),
+                                unit_refs.clone(),
+                            );
+                            let mut delta_bytes = Vec::new();
+                            let (_, delta_decoded) = delta
+                                .compress_with_state(&bufs, &mut delta_bytes)
+                                .expect("temporal encode failed");
+                            if delta_bytes.len() < bytes.len() {
+                                bytes = delta_bytes;
+                                decoded = delta_decoded;
+                                any_delta = true;
+                            }
+                        }
+                        let frame = EncodedFrame {
+                            bytes,
+                            logical_elems: staged_cells as u64,
+                            encode_seconds: t0.elapsed().as_secs_f64(),
+                        };
+                        (vec![frame], decoded)
+                    };
+                    let receipt = collective_write_frames(
+                        &comm,
+                        &writer,
+                        &field_dataset(l, f),
+                        Some(frames),
+                        chunk_elems.max(1),
+                        &filter,
+                        FilterMode::SizeAware,
+                    )
+                    .expect("collective write failed");
+                    fold_receipt(&mut ledger, &receipt);
+                    field_refs.push(Arc::new(TemporalReference::new(id, decoded)));
+                }
+                levels_out.push(LevelOut {
+                    extent,
+                    plan: units,
+                    any_delta,
+                    field_refs,
+                });
+            }
+            if rank == 0 {
+                write_metadata(&writer, h, &[bf as u64, u64::from(cfg.remove_redundancy)])
+                    .expect("metadata write failed");
+            }
+            comm.barrier();
+            (ledger, prep_s, levels_out)
+        });
+
+        // Transpose the rank outcomes into [level][rank] order.
+        let mut ledgers = Vec::with_capacity(nranks);
+        let mut prep_seconds = Vec::with_capacity(nranks);
+        let mut extents: Vec<Vec<Option<PlanExtent>>> = vec![Vec::new(); num_levels];
+        let mut deltas: Vec<Vec<bool>> = vec![Vec::new(); num_levels];
+        let mut plans: Vec<Vec<Vec<UnitRef>>> = vec![Vec::new(); num_levels];
+        let mut refs: Vec<Vec<Vec<Arc<TemporalReference>>>> = vec![Vec::new(); num_levels];
+        for (ledger, prep, levels_out) in per_rank {
+            ledgers.push(ledger);
+            prep_seconds.push(prep);
+            for (l, out) in levels_out.into_iter().enumerate() {
+                extents[l].push(out.extent);
+                deltas[l].push(out.any_delta);
+                plans[l].push(out.plan);
+                refs[l].push(out.field_refs);
+            }
+        }
+
+        // Chunk index: codec id + extent per rank chunk, plus the
+        // reference snapshot id on chunks that delta-code.
+        let prev_id = prev.map(|p| p.id);
+        for l in 0..num_levels {
+            let entries: Vec<ChunkIndexEntry> = if extents[l].iter().all(Option::is_none) {
+                Vec::new()
+            } else {
+                extents[l]
+                    .iter()
+                    .zip(&deltas[l])
+                    .map(|(e, &delta)| {
+                        let entry = ChunkIndexEntry::new(CodecId::Temporal as u32, *e);
+                        match (delta, prev_id) {
+                            (true, Some(rid)) => entry.with_reference(rid),
+                            _ => entry,
+                        }
+                    })
+                    .collect()
+            };
+            for f in 0..nfields {
+                writer.set_chunk_index(&field_dataset(l, f), ChunkIndex::new(entries.clone()))?;
+            }
+        }
+        // Whole-file temporal linkage (0 = no reference).
+        writer.write_dataset(
+            "meta/temporal",
+            &[id as f64, prev_id.unwrap_or(0) as f64],
+            2,
+            &NoFilter,
+        )?;
+        writer.finish()?;
+
+        self.prev = Some(PrevSnapshot {
+            id,
+            nfields,
+            plans,
+            refs,
+        });
+        self.next_id += 1;
+        let stored = ledgers.iter().map(|l| l.bytes_written).sum();
+        Ok(WriteReport {
+            nranks,
+            ledgers,
+            prep_seconds,
+            orig_bytes: h.snapshot_bytes(),
+            stored_bytes: stored,
+        })
+    }
+}
+
+/// Temporal linkage of one file, from its `meta/temporal` dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TemporalMeta {
+    /// This snapshot's id within its write session.
+    pub snapshot_id: u64,
+    /// Snapshot id this file's delta chunks predict from, if any.
+    pub reference_id: Option<u64>,
+}
+
+/// Read the temporal linkage of an open container. Errors on files
+/// without a `meta/temporal` dataset (non-temporal plotfiles).
+pub fn read_temporal_meta(r: &H5Reader) -> H5Result<TemporalMeta> {
+    let raw = r.read_dataset("meta/temporal")?;
+    if raw.len() < 2 {
+        return Err(H5Error::Format(format!(
+            "meta/temporal holds {} values, expected 2",
+            raw.len()
+        )));
+    }
+    let reference = raw[1] as u64;
+    Ok(TemporalMeta {
+        snapshot_id: raw[0] as u64,
+        reference_id: (reference != 0).then_some(reference),
+    })
+}
+
+/// Decoded reference state carried between [`read_temporal_hierarchy`]
+/// calls — the read-side mirror of the session's retained state.
+pub struct TemporalReadState {
+    /// Snapshot id of the decoded file.
+    pub id: u64,
+    /// `[level][rank][field]` decoded reference state.
+    refs: Vec<Vec<Vec<Arc<TemporalReference>>>>,
+}
+
+/// Load one snapshot of a temporal series from an open container,
+/// resolving delta chunks against `prev` (the state returned by decoding
+/// the referenced snapshot). Pass `None` for the first snapshot of a
+/// chain; a delta file decoded without its reference fails with a typed
+/// error, and a `prev` whose id does not match the file's recorded
+/// reference id is rejected before any chunk is touched.
+pub fn read_temporal_hierarchy(
+    r: &H5Reader,
+    prev: Option<&TemporalReadState>,
+) -> H5Result<(Plotfile, TemporalReadState)> {
+    let meta = read_plotfile_meta(r)?;
+    let tmeta = read_temporal_meta(r)?;
+    if let (Some(rid), Some(p)) = (tmeta.reference_id, prev) {
+        if p.id != rid {
+            return Err(H5Error::Format(format!(
+                "file references snapshot {rid}, reader holds {}",
+                p.id
+            )));
+        }
+    }
+    let nfields = meta.field_names.len();
+    let domains: Vec<IntBox> = meta.levels.iter().map(|l| l.domain).collect();
+    let mut levels: Vec<MultiFab> = meta
+        .levels
+        .iter()
+        .map(|l| MultiFab::new(l.boxes.clone(), l.owners.clone(), meta.field_names.clone()))
+        .collect();
+    let unit_plans = meta.unit_plans();
+    let mut refs: Vec<Vec<Vec<Arc<TemporalReference>>>> = Vec::with_capacity(meta.num_levels());
+    for l in 0..meta.num_levels() {
+        let nchunks = r.meta(&field_dataset(l, 0))?.chunks.len();
+        let mut level_refs: Vec<Vec<Arc<TemporalReference>>> = Vec::with_capacity(meta.nranks);
+        for (rank, plan) in unit_plans[l].iter().enumerate().take(meta.nranks) {
+            let mut rank_refs = Vec::with_capacity(nfields);
+            for f in 0..nfields {
+                if rank >= nchunks {
+                    // Chunk-less level: nothing stored, nothing to
+                    // reference next snapshot.
+                    rank_refs.push(Arc::new(TemporalReference::new(
+                        tmeta.snapshot_id,
+                        Vec::new(),
+                    )));
+                    continue;
+                }
+                let raw = r.read_chunk_raw(&field_dataset(l, f), rank)?;
+                let codec = match prev {
+                    Some(p) if l < p.refs.len() && rank < p.refs[l].len() => {
+                        TemporalCodec::decoder_with(p.refs[l][rank][f].clone())
+                    }
+                    _ => TemporalCodec::decoder(),
+                };
+                let units = codec.decompress(&raw).map_err(H5Error::Codec)?;
+                if units.len() != plan.len() {
+                    return Err(H5Error::Codec(CodecError::dims(format!(
+                        "level {l} field {f} rank {rank}: {} units decoded, plan has {}",
+                        units.len(),
+                        plan.len()
+                    ))));
+                }
+                for (u, p) in units.iter().zip(plan) {
+                    let sz = p.region.size();
+                    let want = sz_codec::Dims3::new(
+                        sz.get(0) as usize,
+                        sz.get(1) as usize,
+                        sz.get(2) as usize,
+                    );
+                    if u.dims() != want {
+                        return Err(H5Error::Codec(CodecError::dims(format!(
+                            "level {l} field {f} rank {rank}: unit dims {:?} != plan {want:?}",
+                            u.dims()
+                        ))));
+                    }
+                }
+                scatter_units_checked(&mut levels[l], plan, f, &units);
+                rank_refs.push(Arc::new(TemporalReference::new(tmeta.snapshot_id, units)));
+            }
+            level_refs.push(rank_refs);
+        }
+        refs.push(level_refs);
+    }
+    let pf = Plotfile {
+        field_names: meta.field_names,
+        levels,
+        domains,
+        bf: meta.bf,
+        remove_redundancy: meta.remove_redundancy,
+        unit_plans,
+    };
+    Ok((
+        pf,
+        TemporalReadState {
+            id: tmeta.snapshot_id,
+            refs,
+        },
+    ))
+}
+
+/// `scatter_units` behind the dims validation above (units are already
+/// checked against the plan; this is just the paste).
+fn scatter_units_checked(level: &mut MultiFab, plan: &[UnitRef], field: usize, units: &[Buffer3]) {
+    crate::preprocess::scatter_units(level, plan, field, units);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::verify_against;
+    use amr_apps::prelude::*;
+
+    fn series_cfg() -> AmrRunConfig {
+        AmrRunConfig {
+            coarse_dims: (16, 16, 16),
+            max_grid_size: 8,
+            blocking_factor: 8,
+            nranks: 2,
+            num_levels: 2,
+            fine_fraction: 0.05,
+            grid_eff: 0.7,
+        }
+    }
+
+    fn write_series(dt: f64, nsteps: usize, rel_eb: f64) -> Vec<(AmrHierarchy, H5Reader)> {
+        let scenario = NyxScenario::new(11);
+        let cfg = series_cfg();
+        let mut session = TemporalSession::new(TemporalSessionConfig::new(rel_eb), 8);
+        TimeSeries::new(&scenario, cfg, dt, nsteps)
+            .map(|(_, _, h)| {
+                let (w, mem) = H5Writer::in_memory();
+                session.write_to(Arc::new(w), &h).unwrap();
+                (h, H5Reader::from_storage(Box::new(mem)).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn series_roundtrip_respects_bounds() {
+        let rel_eb = 1e-3;
+        let series = write_series(0.02, 3, rel_eb);
+        let mut state: Option<TemporalReadState> = None;
+        for (step, (h, reader)) in series.iter().enumerate() {
+            let (pf, next) = read_temporal_hierarchy(reader, state.as_ref()).unwrap();
+            for c in verify_against(&pf, h, rel_eb) {
+                assert!(c.bound_ok, "step {step} field {} violates bound", c.field);
+            }
+            state = Some(next);
+        }
+    }
+
+    #[test]
+    fn later_snapshots_record_reference_linkage() {
+        let series = write_series(0.02, 2, 1e-3);
+        let first = read_temporal_meta(&series[0].1).unwrap();
+        assert_eq!(first.snapshot_id, 1);
+        assert_eq!(first.reference_id, None);
+        let second = read_temporal_meta(&series[1].1).unwrap();
+        assert_eq!(second.snapshot_id, 2);
+        assert_eq!(second.reference_id, Some(1));
+        // The chunk index carries the reference per chunk.
+        let idx = series[1].1.chunk_index("level_0/field_0").unwrap().unwrap();
+        assert!(!idx.entries.is_empty());
+        assert!(
+            idx.entries.iter().any(|e| e.reference == Some(1)),
+            "no chunk records its reference: {:?}",
+            idx.entries
+        );
+        assert!(idx
+            .entries
+            .iter()
+            .all(|e| e.codec_id == CodecId::Temporal as u32));
+    }
+
+    #[test]
+    fn delta_file_without_reference_fails_typed() {
+        let series = write_series(0.02, 2, 1e-3);
+        let err = match read_temporal_hierarchy(&series[1].1, None) {
+            Err(e) => e,
+            Ok(_) => panic!("delta file must not decode without its reference"),
+        };
+        assert!(
+            matches!(err.as_codec(), Some(CodecError::BadParameter { .. })),
+            "{err:?}"
+        );
+        // Mismatched reference state is rejected up front.
+        let (_, state0) = read_temporal_hierarchy(&series[0].1, None).unwrap();
+        let (_, state1) = read_temporal_hierarchy(&series[1].1, Some(&state0)).unwrap();
+        assert!(read_temporal_hierarchy(&series[1].1, Some(&state1)).is_err());
+    }
+
+    #[test]
+    fn session_reset_starts_fresh_chain() {
+        let scenario = NyxScenario::new(11);
+        let cfg = series_cfg();
+        let mut session = TemporalSession::new(TemporalSessionConfig::new(1e-3), 8);
+        let h = build_hierarchy(&scenario, &cfg, 0.0);
+        let (w1, m1) = H5Writer::in_memory();
+        session.write_to(Arc::new(w1), &h).unwrap();
+        session.reset_reference();
+        let (w2, m2) = H5Writer::in_memory();
+        session.write_to(Arc::new(w2), &h).unwrap();
+        let r2 = H5Reader::from_storage(Box::new(m2)).unwrap();
+        assert_eq!(read_temporal_meta(&r2).unwrap().reference_id, None);
+        // Self-contained: decodes with no prior state.
+        let (pf, _) = read_temporal_hierarchy(&r2, None).unwrap();
+        for c in verify_against(&pf, &h, 1e-3) {
+            assert!(c.bound_ok);
+        }
+        drop(m1);
+    }
+
+    #[test]
+    fn decompress_auto_handles_every_stream_given_reference() {
+        // Acceptance criterion: every temporal stream round-trips bitwise
+        // through decompress_auto given its reference — a registry with
+        // the right reference installed returns exactly what the session
+        // reader reconstructs.
+        let series = write_series(0.02, 2, 1e-3);
+        let (_, state0) = read_temporal_hierarchy(&series[0].1, None).unwrap();
+        let (pf1, _) = read_temporal_hierarchy(&series[1].1, Some(&state0)).unwrap();
+        let reader = &series[1].1;
+        let meta = read_plotfile_meta(reader).unwrap();
+        for l in 0..meta.num_levels() {
+            for f in 0..meta.field_names.len() {
+                let name = field_dataset(l, f);
+                let nchunks = reader.meta(&name).unwrap().chunks.len();
+                for rank in 0..nchunks {
+                    let raw = reader.read_chunk_raw(&name, rank).unwrap();
+                    let mut reg = crate::codec::default_registry();
+                    reg.register(Box::new(TemporalCodec::decoder_with(
+                        state0.refs[l][rank][f].clone(),
+                    )));
+                    let units = reg.decompress_auto(&raw).unwrap();
+                    // Bitwise parity with the session reader's scatter.
+                    let plan = &pf1.unit_plans[l][rank];
+                    for (u, p) in units.iter().zip(plan) {
+                        let recon = pf1.levels[l].fab(p.box_index).extract_region(&p.region, f);
+                        for (a, b) in u.data().iter().zip(&recon) {
+                            assert_eq!(a.to_bits(), b.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

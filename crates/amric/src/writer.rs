@@ -630,10 +630,7 @@ fn write_chunk_indexes(
         } else {
             rank_extents
                 .iter()
-                .map(|e| ChunkIndexEntry {
-                    codec_id: sz_codec::codec::CodecId::AmricPipeline as u32,
-                    extent: e[l],
-                })
+                .map(|e| ChunkIndexEntry::new(sz_codec::codec::CodecId::AmricPipeline as u32, e[l]))
                 .collect()
         };
         for f in 0..nfields {

@@ -85,11 +85,11 @@ fn dispatch_matrix_roundtrips_every_family() {
 }
 
 #[test]
-fn registry_covers_all_six_ids() {
+fn registry_covers_all_seven_ids() {
     let reg = default_registry();
     let mut ids: Vec<u16> = reg.ids().iter().map(|&i| i as u16).collect();
     ids.sort_unstable();
-    assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+    assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7]);
 }
 
 #[test]

@@ -492,10 +492,7 @@ impl H5Reader {
                 Ok(env) => env.codec as u32,
                 Err(_) => crate::index::CODEC_RAW,
             };
-            entries.push(ChunkIndexEntry {
-                codec_id,
-                extent: None,
-            });
+            entries.push(ChunkIndexEntry::new(codec_id, None));
         }
         Ok(ChunkIndex::new(entries))
     }
@@ -783,14 +780,8 @@ mod tests {
     #[test]
     fn chunk_index_roundtrip_and_pruning() {
         let idx = ChunkIndex::new(vec![
-            ChunkIndexEntry {
-                codec_id: crate::index::CODEC_RAW,
-                extent: Some(([0, 0, 0], [7, 7, 3])),
-            },
-            ChunkIndexEntry {
-                codec_id: crate::index::CODEC_RAW,
-                extent: Some(([0, 0, 4], [7, 7, 7])),
-            },
+            ChunkIndexEntry::new(crate::index::CODEC_RAW, Some(([0, 0, 0], [7, 7, 3]))),
+            ChunkIndexEntry::new(crate::index::CODEC_RAW, Some(([0, 0, 4], [7, 7, 7]))),
         ]);
         let r = {
             let idx = idx.clone();
@@ -853,17 +844,8 @@ mod tests {
             let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.01).cos()).collect();
             w.write_dataset("d", &data, 256, &NoFilter).unwrap();
             if with_index {
-                w.set_chunk_index(
-                    "d",
-                    ChunkIndex::new(vec![
-                        ChunkIndexEntry {
-                            codec_id: 1,
-                            extent: None
-                        };
-                        2
-                    ]),
-                )
-                .unwrap();
+                w.set_chunk_index("d", ChunkIndex::new(vec![ChunkIndexEntry::new(1, None); 2]))
+                    .unwrap();
             }
             w.finish().unwrap();
         };
@@ -915,10 +897,7 @@ mod tests {
         let (w, _mem) = H5Writer::in_memory();
         w.write_dataset("d", &[1.0, 2.0], 8, &NoFilter).unwrap();
         w.finish().unwrap();
-        let idx = ChunkIndex::new(vec![ChunkIndexEntry {
-            codec_id: crate::index::CODEC_RAW,
-            extent: None,
-        }]);
+        let idx = ChunkIndex::new(vec![ChunkIndexEntry::new(crate::index::CODEC_RAW, None)]);
         assert!(matches!(
             w.set_chunk_index("d", idx),
             Err(H5Error::Format(_))

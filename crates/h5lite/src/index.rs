@@ -7,11 +7,15 @@
 //! anything:
 //!
 //! * the **codec id** of the chunk's stream envelope (so tooling and
-//!   planners know how a chunk decodes without reading its payload), and
+//!   planners know how a chunk decodes without reading its payload),
 //! * an optional **box extent**: the index-space bounding box of the data
 //!   the chunk covers (the AMRIC writer stores the bounding box of the
 //!   rank's surviving unit blocks), letting a region-of-interest planner
-//!   prune chunks by rectangle intersection alone.
+//!   prune chunks by rectangle intersection alone, and
+//! * an optional **reference id**: for delta-coded chunks (the temporal
+//!   codec family), the snapshot id whose decoded data the chunk predicts
+//!   from — random access can resolve exactly which prior file a delta
+//!   chunk needs without decoding anything.
 //!
 //! The index is written by [`crate::file::H5Writer::finish`] as an
 //! optional section *after* the dataset entries inside the directory
@@ -45,9 +49,29 @@ pub struct ChunkIndexEntry {
     /// inclusive corners; `None` when the chunk holds no spatial data
     /// (empty rank) or the producer recorded no geometry.
     pub extent: Option<([i64; 3], [i64; 3])>,
+    /// Snapshot id the chunk's stream is delta-coded against (temporal
+    /// codec family); `None` for self-contained chunks. Files recording
+    /// no references serialize byte-identically to the pre-reference
+    /// format.
+    pub reference: Option<u64>,
 }
 
 impl ChunkIndexEntry {
+    /// Self-contained entry (no reference).
+    pub fn new(codec_id: u32, extent: Option<([i64; 3], [i64; 3])>) -> Self {
+        ChunkIndexEntry {
+            codec_id,
+            extent,
+            reference: None,
+        }
+    }
+
+    /// Record the reference snapshot id the chunk predicts from.
+    pub fn with_reference(mut self, reference: u64) -> Self {
+        self.reference = Some(reference);
+        self
+    }
+
     /// Does the entry's extent intersect the inclusive box `[lo, hi]`?
     /// Extent-less entries never intersect (they hold no spatial data).
     pub fn intersects(&self, lo: [i64; 3], hi: [i64; 3]) -> bool {
@@ -83,18 +107,32 @@ impl ChunkIndex {
             .collect()
     }
 
+    // Entry tag bits: the tag byte after the codec id is a bitset —
+    // bit 0 = box extent follows, bit 1 = reference id follows. Entries
+    // without a reference emit tag 0/1, byte-identical to the
+    // pre-reference format.
+    const TAG_EXTENT: u8 = 0b01;
+    const TAG_REFERENCE: u8 = 0b10;
+
     pub(crate) fn write_to(&self, w: &mut Writer) {
         w.put_u32(self.entries.len() as u32);
         for e in &self.entries {
             w.put_u32(e.codec_id);
-            match e.extent {
-                None => w.put_u8(0),
-                Some((lo, hi)) => {
-                    w.put_u8(1);
-                    for v in lo.iter().chain(hi.iter()) {
-                        w.put_u64(*v as u64);
-                    }
+            let mut tag = 0u8;
+            if e.extent.is_some() {
+                tag |= Self::TAG_EXTENT;
+            }
+            if e.reference.is_some() {
+                tag |= Self::TAG_REFERENCE;
+            }
+            w.put_u8(tag);
+            if let Some((lo, hi)) = e.extent {
+                for v in lo.iter().chain(hi.iter()) {
+                    w.put_u64(*v as u64);
                 }
+            }
+            if let Some(r) = e.reference {
+                w.put_u64(r);
             }
         }
     }
@@ -108,28 +146,35 @@ impl ChunkIndex {
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             let codec_id = r.get_u32()?;
-            let extent = match r.get_u8()? {
-                0 => None,
-                1 => {
-                    let mut c = [0i64; 6];
-                    for v in &mut c {
-                        *v = r.get_u64()? as i64;
-                    }
-                    let (lo, hi) = ([c[0], c[1], c[2]], [c[3], c[4], c[5]]);
-                    if (0..3).any(|d| lo[d] > hi[d]) {
-                        return Err(H5Error::Format(format!(
-                            "chunk index extent has lo {lo:?} > hi {hi:?}"
-                        )));
-                    }
-                    Some((lo, hi))
+            let tag = r.get_u8()?;
+            if tag & !(Self::TAG_EXTENT | Self::TAG_REFERENCE) != 0 {
+                return Err(H5Error::Format(format!("bad chunk index extent tag {tag}")));
+            }
+            let extent = if tag & Self::TAG_EXTENT != 0 {
+                let mut c = [0i64; 6];
+                for v in &mut c {
+                    *v = r.get_u64()? as i64;
                 }
-                other => {
+                let (lo, hi) = ([c[0], c[1], c[2]], [c[3], c[4], c[5]]);
+                if (0..3).any(|d| lo[d] > hi[d]) {
                     return Err(H5Error::Format(format!(
-                        "bad chunk index extent tag {other}"
-                    )))
+                        "chunk index extent has lo {lo:?} > hi {hi:?}"
+                    )));
                 }
+                Some((lo, hi))
+            } else {
+                None
             };
-            entries.push(ChunkIndexEntry { codec_id, extent });
+            let reference = if tag & Self::TAG_REFERENCE != 0 {
+                Some(r.get_u64()?)
+            } else {
+                None
+            };
+            entries.push(ChunkIndexEntry {
+                codec_id,
+                extent,
+                reference,
+            });
         }
         Ok(ChunkIndex { entries })
     }
@@ -184,14 +229,10 @@ mod tests {
             (
                 "level_0/field_0".into(),
                 ChunkIndex::new(vec![
-                    ChunkIndexEntry {
-                        codec_id: 3,
-                        extent: Some(([0, 0, 0], [7, 7, 7])),
-                    },
-                    ChunkIndexEntry {
-                        codec_id: 3,
-                        extent: None,
-                    },
+                    ChunkIndexEntry::new(3, Some(([0, 0, 0], [7, 7, 7]))),
+                    ChunkIndexEntry::new(3, None),
+                    ChunkIndexEntry::new(7, Some(([8, 0, 0], [15, 7, 7]))).with_reference(41),
+                    ChunkIndexEntry::new(7, None).with_reference(2),
                 ]),
             ),
             ("meta/header".into(), ChunkIndex::default()),
@@ -284,21 +325,50 @@ mod tests {
     #[test]
     fn intersection_queries() {
         let idx = ChunkIndex::new(vec![
-            ChunkIndexEntry {
-                codec_id: 3,
-                extent: Some(([0, 0, 0], [7, 7, 7])),
-            },
-            ChunkIndexEntry {
-                codec_id: 3,
-                extent: Some(([8, 0, 0], [15, 7, 7])),
-            },
-            ChunkIndexEntry {
-                codec_id: 3,
-                extent: None,
-            },
+            ChunkIndexEntry::new(3, Some(([0, 0, 0], [7, 7, 7]))),
+            ChunkIndexEntry::new(3, Some(([8, 0, 0], [15, 7, 7]))),
+            ChunkIndexEntry::new(3, None),
         ]);
         assert_eq!(idx.intersecting([0, 0, 0], [3, 3, 3]), vec![0]);
         assert_eq!(idx.intersecting([6, 0, 0], [9, 3, 3]), vec![0, 1]);
         assert!(idx.intersecting([20, 20, 20], [30, 30, 30]).is_empty());
+    }
+
+    #[test]
+    fn reference_free_entries_keep_legacy_bytes() {
+        // An index with no references must serialize byte-identically to
+        // the pre-reference format (tag 0/1, nothing appended) so
+        // existing files and the golden storage fixture stay valid.
+        let idx = ChunkIndex::new(vec![
+            ChunkIndexEntry::new(3, Some(([0, 0, 0], [7, 7, 7]))),
+            ChunkIndexEntry::new(3, None),
+        ]);
+        let mut w = Writer::new();
+        idx.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut legacy = Writer::new();
+        legacy.put_u32(2);
+        legacy.put_u32(3);
+        legacy.put_u8(1);
+        for v in [0u64, 0, 0, 7, 7, 7] {
+            legacy.put_u64(v);
+        }
+        legacy.put_u32(3);
+        legacy.put_u8(0);
+        assert_eq!(bytes, legacy.into_bytes());
+    }
+
+    #[test]
+    fn truncated_reference_is_typed_error() {
+        let idx = ChunkIndex::new(vec![ChunkIndexEntry::new(7, None).with_reference(9)]);
+        let mut w = Writer::new();
+        idx.write_to(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(ChunkIndex::read_from(&mut r).unwrap(), idx);
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(ChunkIndex::read_from(&mut r).is_err());
+        }
     }
 }

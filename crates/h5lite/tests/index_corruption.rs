@@ -18,9 +18,11 @@ fn build(with_index: bool) -> Vec<u8> {
     if with_index {
         for name in ["a/raw", "a/sz"] {
             let entries = (0..3)
-                .map(|i| ChunkIndexEntry {
-                    codec_id: if name == "a/raw" { CODEC_RAW } else { 1 },
-                    extent: Some(([0, 0, i * 8], [15, 15, i * 8 + 7])),
+                .map(|i| {
+                    ChunkIndexEntry::new(
+                        if name == "a/raw" { CODEC_RAW } else { 1 },
+                        Some(([0, 0, i * 8], [15, 15, i * 8 + 7])),
+                    )
                 })
                 .collect();
             w.set_chunk_index(name, ChunkIndex::new(entries)).unwrap();

@@ -106,14 +106,8 @@ fn write_serial(w: &H5Writer, with_index: bool) {
         w.set_chunk_index(
             "eq/aware",
             ChunkIndex::new(vec![
-                ChunkIndexEntry {
-                    codec_id: CODEC_RAW,
-                    extent: Some(([0, 0, 0], [7, 7, 3])),
-                },
-                ChunkIndexEntry {
-                    codec_id: CODEC_RAW,
-                    extent: Some(([0, 0, 4], [7, 7, 7])),
-                },
+                ChunkIndexEntry::new(CODEC_RAW, Some(([0, 0, 0], [7, 7, 3]))),
+                ChunkIndexEntry::new(CODEC_RAW, Some(([0, 0, 4], [7, 7, 7]))),
             ]),
         )
         .unwrap();

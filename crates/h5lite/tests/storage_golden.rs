@@ -41,14 +41,8 @@ fn write_golden(w: &H5Writer) {
     w.set_chunk_index(
         "golden/aware",
         ChunkIndex::new(vec![
-            ChunkIndexEntry {
-                codec_id: CODEC_RAW,
-                extent: Some(([0, 0, 0], [7, 7, 3])),
-            },
-            ChunkIndexEntry {
-                codec_id: CODEC_RAW,
-                extent: Some(([0, 0, 4], [7, 7, 7])),
-            },
+            ChunkIndexEntry::new(CODEC_RAW, Some(([0, 0, 0], [7, 7, 3]))),
+            ChunkIndexEntry::new(CODEC_RAW, Some(([0, 0, 4], [7, 7, 7]))),
         ]),
     )
     .unwrap();

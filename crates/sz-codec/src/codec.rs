@@ -45,6 +45,13 @@ pub const FLAG_EMPTY: u8 = 0b0000_0001;
 /// one buffer (e.g. SZ_Interp).
 pub const FLAG_MULTI: u8 = 0b0000_0010;
 
+/// Flag bit: the payload depends on a **reference snapshot** — at least
+/// one unit is delta-coded against previously decoded data identified by
+/// the reference id in the payload header. Streams without this flag are
+/// self-contained and decode through any registry; streams with it need
+/// their reference installed in the decoder (see the `temporal` module).
+pub const FLAG_REFERENCED: u8 = 0b0000_0100;
+
 /// Stable codec identifiers for the envelope header.
 ///
 /// These ids are part of the on-disk format and must never be renumbered.
@@ -67,6 +74,9 @@ pub enum CodecId {
     Zmesh = 5,
     /// The AMReX baseline (1-D SZ through small chunks).
     AmrexBaseline = 6,
+    /// Cross-snapshot temporal delta coding (this crate,
+    /// [`crate::temporal`]).
+    Temporal = 7,
 }
 
 impl CodecId {
@@ -79,6 +89,7 @@ impl CodecId {
             4 => CodecId::Tac,
             5 => CodecId::Zmesh,
             6 => CodecId::AmrexBaseline,
+            7 => CodecId::Temporal,
             _ => return None,
         })
     }
@@ -92,6 +103,7 @@ impl CodecId {
             CodecId::Tac => "tac",
             CodecId::Zmesh => "zmesh",
             CodecId::AmrexBaseline => "amrex-baseline",
+            CodecId::Temporal => "temporal",
         }
     }
 }
@@ -312,6 +324,7 @@ mod tests {
             CodecId::Tac,
             CodecId::Zmesh,
             CodecId::AmrexBaseline,
+            CodecId::Temporal,
         ] {
             assert_eq!(CodecId::from_u16(id as u16), Some(id));
             assert!(!id.name().is_empty());

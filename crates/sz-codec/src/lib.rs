@@ -17,9 +17,10 @@
 //! All streams share one 8-byte **envelope** (magic, codec id, version,
 //! flags — see [`codec`]); a [`codec::CodecRegistry`] dispatches any
 //! envelope stream to the right family's decoder. This crate implements
-//! two families — [`lr::LrCodec`] and [`interp::InterpCodec`] — and the
-//! `amric` crate layers the pipeline and the offline comparators (TAC,
-//! zMesh, AMReX baseline) on the same trait.
+//! three families — [`lr::LrCodec`], [`interp::InterpCodec`], and the
+//! cross-snapshot [`temporal::TemporalCodec`] — and the `amric` crate
+//! layers the pipeline and the offline comparators (TAC, zMesh, AMReX
+//! baseline) on the same trait.
 //!
 //! Decoders are total over `&[u8]`: malformed input returns a structured
 //! [`error::CodecError`] (`Truncated`, `BadMagic`, `BadMode`, …) — never
@@ -69,6 +70,7 @@ pub mod lr;
 pub mod metrics;
 pub mod quantizer;
 pub mod regression;
+pub mod temporal;
 pub mod wire;
 
 pub use buffer3::{Buffer3, Dims3};
@@ -117,6 +119,7 @@ pub mod prelude {
     pub use crate::lr::{self, LrCodec, LrConfig, LrScratch};
     pub use crate::metrics::{bit_rate, compression_ratio, ErrorStats, RatePoint};
     pub use crate::quantizer::absolute_bound;
+    pub use crate::temporal::{self, TemporalCodec, TemporalConfig, TemporalReference};
     pub use crate::{ErrorBound, SzAlgorithm};
 }
 
