@@ -7,10 +7,11 @@
 //! amric_inspect <file.h5l> --index      # chunk index + per-level ratios
 //! amric_inspect <file.h5l> --stats      # query-engine counters after probes
 //! amric_inspect <dir.h5ls> --shards     # shard manifest: per-shard bytes + extent map
+//! amric_inspect --quality <ref> <cmp>   # per-level PSNR/SSIM table of cmp vs ref
 //! ```
 //!
-//! (Hosted by `amr-query` — `--stats` drives a real `QueryEngine`, which
-//! lives a layer above the `amric` pipeline crate.)
+//! (Hosted by `amr-quality` — `--quality` compares two plotfiles through
+//! a pair of `QueryEngine`s, the layer above the `amric` pipeline crate.)
 
 use h5lite::prelude::*;
 use h5lite::sharded::shard_name;
@@ -304,11 +305,46 @@ fn print_shards(path: &str) {
     }
 }
 
+/// Compare `cmp` against `ref` and print the per-level PSNR/SSIM table.
+fn print_quality(reference: &str, candidate: &str) -> ExitCode {
+    use amr_query::QueryEngine;
+    let open = |p: &str| match QueryEngine::open(p) {
+        Ok(e) => Some(e),
+        Err(e) => {
+            eprintln!("cannot open {p}: {e}");
+            None
+        }
+    };
+    let (Some(re), Some(ce)) = (open(reference), open(candidate)) else {
+        return ExitCode::FAILURE;
+    };
+    match amr_quality::QualityReport::compare(&re, &ce) {
+        Ok(report) => {
+            println!("quality of {candidate} vs {reference}:");
+            print!("{}", report.render_table());
+            println!("worst-level PSNR: {} dB", report.min_psnr());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("comparison failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if args.iter().any(|a| a == "--quality") {
+        if let [reference, candidate] = paths[..] {
+            return print_quality(reference, candidate);
+        }
+        eprintln!("usage: amric_inspect --quality <reference.h5l> <candidate.h5l>");
+        return ExitCode::FAILURE;
+    }
+    let Some(path) = paths.first().copied() else {
         eprintln!(
-            "usage: amric_inspect <file.h5l|dir.h5ls> [--chunks] [--header] [--index] [--stats] [--shards]"
+            "usage: amric_inspect <file.h5l|dir.h5ls> [--chunks] [--header] [--index] [--stats] [--shards]\n       amric_inspect --quality <reference.h5l> <candidate.h5l>"
         );
         return ExitCode::FAILURE;
     };

@@ -1,0 +1,33 @@
+//! # amr-quality — visualization-fidelity metrics for AMRIC plotfiles
+//!
+//! The AMRIC paper's evaluation ends at compression ratio and raw PSNR;
+//! the follow-up question every user asks is *"what does the
+//! visualization look like?"*. This crate answers it quantitatively:
+//!
+//! * [`metrics`] — the primitive metrics: [`Psnr`] (a total, NaN-free
+//!   PSNR with an explicit `Infinite` case for exact reconstructions
+//!   and a defined value on constant slices), windowed [`ssim_plane`]
+//!   on 2-D plane slices, and range-relative [`ErrorHistogram`]s.
+//! * [`report`] — [`QualityReport`]: drive two [`amr_query::QueryEngine`]s
+//!   over the same hierarchy (full-domain regions for error stats,
+//!   mid-domain plane slices for PSNR/SSIM) and tabulate per field per
+//!   level.
+//!
+//! The `amric_inspect` binary lives here too; its `--quality <ref> <cmp>`
+//! subcommand prints a [`QualityReport`] for two plotfiles.
+//!
+//! Together with [`amric::BoundPolicy::GradientAdaptive`] this closes
+//! the loop: the writer spends bits where the data is rough, and this
+//! crate measures what that buys in the rendered output.
+
+pub mod metrics;
+pub mod report;
+
+pub use metrics::{ssim_plane, ErrorHistogram, Psnr, HISTOGRAM_BINS, SSIM_WINDOW};
+pub use report::{FieldQuality, LevelQuality, QualityReport};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::metrics::{ssim_plane, ErrorHistogram, Psnr};
+    pub use crate::report::{FieldQuality, LevelQuality, QualityReport};
+}

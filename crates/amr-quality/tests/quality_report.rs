@@ -1,0 +1,118 @@
+//! End-to-end `QualityReport` contract: compare real plotfile pairs
+//! written by the AMRIC writer and served through `QueryEngine`s.
+
+use amr_apps::prelude::*;
+use amr_quality::{Psnr, QualityReport};
+use amr_query::{QueryEngine, QueryError};
+use amric::config::AmricConfig;
+use amric::writer::write_amric;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("amr-quality-{}-{name}.h5l", std::process::id()));
+    p
+}
+
+fn nyx(seed: u64, coarse: i64, levels: usize) -> amr_mesh::AmrHierarchy {
+    let s = NyxScenario::new(seed);
+    let cfg = AmrRunConfig {
+        coarse_dims: (coarse, coarse, coarse),
+        max_grid_size: 8,
+        blocking_factor: 8,
+        nranks: 2,
+        num_levels: levels,
+        fine_fraction: 0.05,
+        grid_eff: 0.7,
+    };
+    build_hierarchy(&s, &cfg, 0.0)
+}
+
+#[test]
+fn report_tracks_bound_tightness() {
+    let h = nyx(91, 16, 2);
+    let reference = tmp("report-ref");
+    let good = tmp("report-good");
+    let bad = tmp("report-bad");
+    write_amric(&reference, &h, &AmricConfig::lr(1e-12), 8).unwrap();
+    write_amric(&good, &h, &AmricConfig::lr(1e-4), 8).unwrap();
+    write_amric(&bad, &h, &AmricConfig::lr(1e-2), 8).unwrap();
+
+    let re = QueryEngine::open(&reference).unwrap();
+    let rg = QualityReport::compare(&re, &QueryEngine::open(&good).unwrap()).unwrap();
+    let rb = QualityReport::compare(&re, &QueryEngine::open(&bad).unwrap()).unwrap();
+
+    assert_eq!(rg.fields.len(), h.field_names().len());
+    for (f, field) in rg.fields.iter().enumerate() {
+        assert_eq!(field.field, h.field_names()[f]);
+        assert_eq!(field.levels.len(), 2);
+        for l in &field.levels {
+            let domain = re.meta().levels[l.level].domain.size();
+            let cells = (domain.get(0) * domain.get(1) * domain.get(2)) as usize;
+            assert_eq!(l.cells, cells, "full-domain comparison expected");
+            assert_eq!(l.histogram.total(), cells as u64);
+            assert!(l.psnr.db() > 0.0, "{}: PSNR {:?}", field.field, l.psnr);
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&l.ssim),
+                "{}: SSIM {}",
+                field.field,
+                l.ssim
+            );
+            assert!(l.max_abs_err >= l.mean_abs_err);
+        }
+    }
+    // A 100x looser bound must read as worse on every metric summary.
+    assert!(
+        rg.min_psnr().db() > rb.min_psnr().db(),
+        "tight {} vs loose {}",
+        rg.min_psnr(),
+        rb.min_psnr()
+    );
+    for (fg, fb) in rg.fields.iter().zip(&rb.fields) {
+        assert!(fg.min_ssim() >= fb.min_ssim() - 1e-12, "{}", fg.field);
+    }
+    for p in [&reference, &good, &bad] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn identical_plotfiles_are_reported_perfect() {
+    let h = nyx(92, 16, 2);
+    let path = tmp("perfect");
+    write_amric(&path, &h, &AmricConfig::lr(1e-3), 8).unwrap();
+    let a = QueryEngine::open(&path).unwrap();
+    let b = QueryEngine::open(&path).unwrap();
+    let r = QualityReport::compare(&a, &b).unwrap();
+    assert_eq!(r.min_psnr(), Psnr::Infinite);
+    for f in &r.fields {
+        for l in &f.levels {
+            assert_eq!(l.psnr, Psnr::Infinite);
+            assert_eq!(l.ssim, 1.0, "{}", f.field);
+            assert_eq!(l.max_abs_err, 0.0);
+            assert_eq!(l.histogram.counts[0], l.histogram.total());
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn structural_mismatches_are_typed_errors() {
+    let two_level = tmp("mismatch-a");
+    let one_level = tmp("mismatch-b");
+    let small = tmp("mismatch-c");
+    write_amric(&two_level, &nyx(93, 16, 2), &AmricConfig::lr(1e-3), 8).unwrap();
+    write_amric(&one_level, &nyx(93, 16, 1), &AmricConfig::lr(1e-3), 8).unwrap();
+    write_amric(&small, &nyx(93, 8, 2), &AmricConfig::lr(1e-3), 8).unwrap();
+    let e2 = QueryEngine::open(&two_level).unwrap();
+    assert!(matches!(
+        QualityReport::compare(&e2, &QueryEngine::open(&one_level).unwrap()),
+        Err(QueryError::BadQuery(_))
+    ));
+    assert!(matches!(
+        QualityReport::compare(&e2, &QueryEngine::open(&small).unwrap()),
+        Err(QueryError::BadQuery(_))
+    ));
+    for p in [&two_level, &one_level, &small] {
+        std::fs::remove_file(p).ok();
+    }
+}

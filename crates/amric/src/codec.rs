@@ -10,7 +10,8 @@
 
 use crate::config::{AmricConfig, BaselineConfig};
 use crate::pipeline::{
-    compress_field_units_with_bound_pooled, decompress_field_units, resolve_abs_eb,
+    compress_field_units_resolved_pooled, decompress_field_units, local_range, resolve_abs_eb,
+    ResolvedBound,
 };
 use amr_mesh::IntVect;
 use sz_codec::codec::{expect_envelope, write_envelope, FLAG_MULTI};
@@ -63,16 +64,19 @@ impl Codec for AmricCodec {
     }
 
     fn compress_into(&self, units: &[Buffer3], out: &mut Vec<u8>) -> CodecResult<StreamInfo> {
-        let abs_eb = match self.abs_eb {
-            Some(eb) => eb,
-            None if units.is_empty() => 1.0, // unused: the empty marker short-circuits
-            None => resolve_abs_eb(units, self.cfg.rel_eb),
+        // An explicit absolute bound overrides the policy (the writer has
+        // already resolved it); otherwise resolve the configured policy
+        // against the local value range.
+        let bound = match self.abs_eb {
+            Some(eb) => ResolvedBound::Fixed(eb),
+            None if units.is_empty() => ResolvedBound::Fixed(1.0), // unused: empty marker
+            None => ResolvedBound::from_policy(self.cfg.bound, self.cfg.rel_eb, local_range(units)),
         };
-        Ok(compress_field_units_with_bound_pooled(
+        Ok(compress_field_units_resolved_pooled(
             units,
             &self.cfg,
             self.unit_edge,
-            abs_eb,
+            bound,
             out,
         ))
     }

@@ -54,6 +54,32 @@ impl WriteParallelism {
     }
 }
 
+/// How the writer spends the error budget across unit blocks.
+///
+/// `Fixed` is the paper's behavior: one absolute bound per (level, field),
+/// resolved from the configured relative bound against the global value
+/// range. `GradientAdaptive` scores each unit block's gradient activity
+/// during the pre-process pass and gives rough (high-gradient) units the
+/// `tight` bound and smooth units the `loose` one — the quality-per-byte
+/// trade the visualization follow-up work evaluates. Both bounds are
+/// value-range-relative, like [`AmricConfig::rel_eb`], and the bound each
+/// unit actually used is recorded in the stream (the
+/// [`sz_codec::codec::FLAG_UNIT_BOUNDS`] envelope bit) so decoders and
+/// quality metrics can recover it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BoundPolicy {
+    /// One uniform bound per (level, field) — the paper's configuration.
+    Fixed,
+    /// Per-unit bounds picked by gradient activity: `tight` for rough
+    /// units, `loose` for smooth ones (both value-range-relative).
+    GradientAdaptive {
+        /// Relative bound for high-gradient (rough) units.
+        tight: f64,
+        /// Relative bound for smooth units; must be `>= tight`.
+        loose: f64,
+    },
+}
+
 /// How unit blocks are merged before SZ sees them (paper §3.1–3.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MergePolicy {
@@ -93,6 +119,11 @@ pub struct AmricConfig {
     /// compression with the collective writes). Does not affect the
     /// compressed streams — parallel output is byte-identical to serial.
     pub parallelism: WriteParallelism,
+    /// Error-bound policy: one uniform bound ([`BoundPolicy::Fixed`],
+    /// paper behavior, byte-identical to pre-policy streams) or per-unit
+    /// gradient-adaptive bounds. Under `GradientAdaptive` the `rel_eb`
+    /// field is ignored in favor of the policy's tight/loose pair.
+    pub bound: BoundPolicy,
 }
 
 impl AmricConfig {
@@ -107,6 +138,7 @@ impl AmricConfig {
             remove_redundancy: true,
             size_aware_filter: true,
             parallelism: WriteParallelism::Serial,
+            bound: BoundPolicy::Fixed,
         }
     }
 
@@ -121,6 +153,7 @@ impl AmricConfig {
             remove_redundancy: true,
             size_aware_filter: true,
             parallelism: WriteParallelism::Serial,
+            bound: BoundPolicy::Fixed,
         }
     }
 
@@ -176,6 +209,19 @@ impl AmricConfig {
     /// Set the write-path parallelism policy directly.
     pub fn with_parallelism(mut self, parallelism: WriteParallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Set the error-bound policy. `GradientAdaptive` bounds are
+    /// value-range-relative and must satisfy `0 < tight <= loose`.
+    pub fn with_bound_policy(mut self, bound: BoundPolicy) -> Self {
+        if let BoundPolicy::GradientAdaptive { tight, loose } = bound {
+            assert!(
+                tight > 0.0 && tight.is_finite() && loose >= tight && loose.is_finite(),
+                "adaptive bounds need 0 < tight <= loose"
+            );
+        }
+        self.bound = bound;
         self
     }
 

@@ -62,8 +62,9 @@ pub mod writer;
 pub mod zmesh;
 
 pub use codec::{decompress_auto, default_registry};
-pub use config::{AmricConfig, BaselineConfig, MergePolicy, WriteParallelism};
+pub use config::{AmricConfig, BaselineConfig, BoundPolicy, MergePolicy, WriteParallelism};
 pub use parallel::compress_chunks_parallel;
+pub use pipeline::{stream_unit_bounds, ResolvedBound};
 
 /// Commonly used items.
 pub mod prelude {
@@ -71,15 +72,19 @@ pub mod prelude {
     pub use crate::codec::{
         decompress_auto, default_registry, AmricCodec, BaselineCodec, TacCodec, ZmeshCodec,
     };
-    pub use crate::config::{AmricConfig, BaselineConfig, MergePolicy, WriteParallelism};
+    pub use crate::config::{
+        AmricConfig, BaselineConfig, BoundPolicy, MergePolicy, WriteParallelism,
+    };
     pub use crate::parallel::compress_chunks_parallel;
     pub use crate::pipeline::{
-        compress_field_units, compress_field_units_with_bound,
+        compress_field_units, compress_field_units_resolved, compress_field_units_resolved_into,
+        compress_field_units_resolved_pooled, compress_field_units_with_bound,
         compress_field_units_with_bound_into, compress_field_units_with_bound_pooled,
-        decompress_field_units, resolve_abs_eb, AmricScratch,
+        decompress_field_units, resolve_abs_eb, stream_unit_bounds, AmricScratch, ResolvedBound,
     };
     pub use crate::preprocess::{
-        extract_units, plan_units, plan_units_layout, scatter_units, unit_edge_for_level, UnitRef,
+        extract_units, plan_units, plan_units_layout, scatter_units, unit_activity,
+        unit_edge_for_level, UnitRef,
     };
     pub use crate::reader::{
         read_amric_hierarchy, read_plotfile_meta, verify_against, LevelLayout, PlotfileMeta,

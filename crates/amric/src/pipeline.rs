@@ -1,9 +1,10 @@
 //! The AMRIC compression pipeline for one (rank, level, field) unit-block
 //! set: reorganize (§3.1) → optimized SZ (§3.2) → self-describing stream.
 
-use crate::config::{AmricConfig, MergePolicy};
+use crate::config::{AmricConfig, BoundPolicy, MergePolicy};
+use crate::preprocess::unit_activity;
 use crate::reorganize::{cluster_pack, cluster_unpack, linear_merge, linear_split, ClusterGrid};
-use sz_codec::codec::{expect_envelope, write_envelope, StreamInfo};
+use sz_codec::codec::{expect_envelope, write_envelope, StreamInfo, FLAG_UNIT_BOUNDS};
 use sz_codec::prelude::*;
 use sz_codec::wire::{Reader, Writer};
 
@@ -30,6 +31,9 @@ enum Mode {
     LrLinearMerge = 1,
     InterpLinear = 2,
     InterpCluster = 3,
+    /// Per-unit adaptive bounds: two LR-SLE substreams (tight group,
+    /// loose group) plus a group table mapping units back to input order.
+    Adaptive = 4,
     Empty = 255,
 }
 
@@ -40,10 +44,65 @@ impl Mode {
             1 => Mode::LrLinearMerge,
             2 => Mode::InterpLinear,
             3 => Mode::InterpCluster,
+            4 => Mode::Adaptive,
             255 => Mode::Empty,
             _ => return Err(CodecError::BadMode { found: v }),
         })
     }
+}
+
+/// An error bound resolved to absolute values — what the writer hands the
+/// pipeline after scaling the configured relative policy by the global
+/// field range. `Fixed` takes the exact pre-policy code path (streams stay
+/// byte-identical to earlier releases, pinned by the golden corpus);
+/// `Adaptive` selects [the per-unit mode](BoundPolicy::GradientAdaptive).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ResolvedBound {
+    /// One absolute bound for every unit.
+    Fixed(f64),
+    /// Absolute tight/loose bounds; each unit gets one or the other by
+    /// gradient activity.
+    Adaptive {
+        /// Absolute bound for high-gradient (rough) units.
+        tight: f64,
+        /// Absolute bound for smooth units (`>= tight`).
+        loose: f64,
+    },
+}
+
+impl ResolvedBound {
+    /// Resolve a configured [`BoundPolicy`] against a known value range
+    /// (range 0 falls back to the relative bound itself, like
+    /// [`absolute_bound`]).
+    pub fn from_policy(policy: BoundPolicy, rel_eb: f64, range: f64) -> ResolvedBound {
+        match policy {
+            BoundPolicy::Fixed => ResolvedBound::Fixed(absolute_bound(rel_eb, range)),
+            BoundPolicy::GradientAdaptive { tight, loose } => ResolvedBound::Adaptive {
+                tight: absolute_bound(tight, range),
+                loose: absolute_bound(loose, range),
+            },
+        }
+    }
+
+    /// The loosest absolute bound any unit may see — the worst-case error
+    /// guarantee of the stream.
+    pub fn loose(&self) -> f64 {
+        match *self {
+            ResolvedBound::Fixed(b) => b,
+            ResolvedBound::Adaptive { loose, .. } => loose,
+        }
+    }
+}
+
+/// Split units into bound groups: `true` = rough (tight bound). A unit is
+/// rough when its [`unit_activity`] exceeds the mean activity of the
+/// chunk, so constant or uniformly smooth chunks classify all-loose.
+/// Deterministic in the unit data alone — the parallel write path stays
+/// byte-identical to serial with no extra plumbing.
+fn classify_units(units: &[Buffer3]) -> Vec<bool> {
+    let scores: Vec<f64> = units.iter().map(unit_activity).collect();
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    scores.iter().map(|&s| s > mean).collect()
 }
 
 /// Can the units be merged along z (uniform x/y footprint)?
@@ -71,6 +130,11 @@ fn uniform_cubes(units: &[Buffer3]) -> bool {
 /// bound, the constant field round-trips within `rel_eb`, and the in-situ
 /// writer resolves its global bound under the same contract.
 pub fn resolve_abs_eb(units: &[Buffer3], rel_eb: f64) -> f64 {
+    absolute_bound(rel_eb, local_range(units))
+}
+
+/// Value range across a unit set (0.0 for constant or empty sets).
+pub(crate) fn local_range(units: &[Buffer3]) -> f64 {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for u in units {
@@ -78,8 +142,11 @@ pub fn resolve_abs_eb(units: &[Buffer3], rel_eb: f64) -> f64 {
         lo = lo.min(l);
         hi = hi.max(h);
     }
-    let range = if hi > lo { hi - lo } else { 0.0 };
-    absolute_bound(rel_eb, range)
+    if hi > lo {
+        hi - lo
+    } else {
+        0.0
+    }
 }
 
 /// Compress one field's unit blocks under the given configuration,
@@ -88,12 +155,138 @@ pub fn resolve_abs_eb(units: &[Buffer3], rel_eb: f64) -> f64 {
 /// bound globally across ranks and calls
 /// [`compress_field_units_with_bound`] instead.
 pub fn compress_field_units(units: &[Buffer3], cfg: &AmricConfig, unit_edge: usize) -> Vec<u8> {
-    let abs_eb = if units.is_empty() {
-        1.0 // unused: the empty marker short-circuits
+    let bound = if units.is_empty() {
+        ResolvedBound::Fixed(1.0) // unused: the empty marker short-circuits
     } else {
-        resolve_abs_eb(units, cfg.rel_eb)
+        ResolvedBound::from_policy(cfg.bound, cfg.rel_eb, local_range(units))
     };
-    compress_field_units_with_bound(units, cfg, unit_edge, abs_eb)
+    compress_field_units_resolved(units, cfg, unit_edge, bound)
+}
+
+/// Compress one field's unit blocks with an explicit resolved bound —
+/// the policy-aware generalization of
+/// [`compress_field_units_with_bound`]. `Fixed` takes the exact legacy
+/// code path (byte-identical streams); `Adaptive` writes the per-unit
+/// bound mode.
+pub fn compress_field_units_resolved(
+    units: &[Buffer3],
+    cfg: &AmricConfig,
+    unit_edge: usize,
+    bound: ResolvedBound,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    AMRIC_POOL.with(|s| {
+        compress_field_units_resolved_into(
+            units,
+            cfg,
+            unit_edge,
+            bound,
+            &mut s.borrow_mut(),
+            &mut out,
+        )
+    });
+    out
+}
+
+/// Like [`compress_field_units_resolved_into`] but reusing a thread-local
+/// scratch — for `&self` contexts that cannot thread a scratch through.
+pub fn compress_field_units_resolved_pooled(
+    units: &[Buffer3],
+    cfg: &AmricConfig,
+    unit_edge: usize,
+    bound: ResolvedBound,
+    out: &mut Vec<u8>,
+) -> StreamInfo {
+    AMRIC_POOL.with(|s| {
+        compress_field_units_resolved_into(units, cfg, unit_edge, bound, &mut s.borrow_mut(), out)
+    })
+}
+
+/// Policy-dispatching compress core: `Fixed` forwards to the untouched
+/// legacy path ([`compress_field_units_with_bound_into`]); `Adaptive`
+/// appends the `Mode::Adaptive` stream. Both append to `out` and reuse
+/// `scratch`.
+pub fn compress_field_units_resolved_into(
+    units: &[Buffer3],
+    cfg: &AmricConfig,
+    unit_edge: usize,
+    bound: ResolvedBound,
+    scratch: &mut AmricScratch,
+    out: &mut Vec<u8>,
+) -> StreamInfo {
+    match bound {
+        ResolvedBound::Fixed(abs_eb) => {
+            compress_field_units_with_bound_into(units, cfg, unit_edge, abs_eb, scratch, out)
+        }
+        // An empty chunk carries no bound: the plain empty marker is the
+        // canonical stream either way.
+        ResolvedBound::Adaptive { .. } if units.is_empty() => {
+            compress_field_units_with_bound_into(units, cfg, unit_edge, 1.0, scratch, out)
+        }
+        ResolvedBound::Adaptive { tight, loose } => {
+            compress_adaptive_into(units, cfg, unit_edge, tight, loose, scratch, out)
+        }
+    }
+}
+
+/// Write the [`Mode::Adaptive`] stream: group table + two LR-SLE
+/// substreams (tight group length-prefixed, loose group to end of
+/// stream). Adaptive always sub-codes with LR-SLE — it handles any unit
+/// shapes and keeps per-unit bounds independent — regardless of the
+/// configured algorithm.
+fn compress_adaptive_into(
+    units: &[Buffer3],
+    cfg: &AmricConfig,
+    unit_edge: usize,
+    tight: f64,
+    loose: f64,
+    scratch: &mut AmricScratch,
+    out: &mut Vec<u8>,
+) -> StreamInfo {
+    let start = out.len();
+    let rough = classify_units(units);
+    let mut w = Writer::from_vec(std::mem::take(out));
+    write_envelope(&mut w, CodecId::AmricPipeline, VERSION, FLAG_UNIT_BOUNDS);
+    w.put_u8(Mode::Adaptive as u8);
+    w.put_u32(units.len() as u32);
+    w.put_f64(tight);
+    w.put_f64(loose);
+    for &r in &rough {
+        w.put_u8(r as u8);
+    }
+    let block_size = cfg.sz_block_size(unit_edge);
+    let tight_units: Vec<&Buffer3> = units
+        .iter()
+        .zip(&rough)
+        .filter_map(|(u, &r)| r.then_some(u))
+        .collect();
+    let loose_units: Vec<&Buffer3> = units
+        .iter()
+        .zip(&rough)
+        .filter_map(|(u, &r)| (!r).then_some(u))
+        .collect();
+    // Tight substream, u32-length-prefixed so the loose one can ride raw
+    // to the end of the stream. The length is patched in after the
+    // substream is appended.
+    let len_pos = w.buf_mut().len();
+    w.put_u32(0);
+    if !tight_units.is_empty() {
+        let lr_cfg = LrConfig::new(tight).with_block_size(block_size);
+        lr::compress_domains_into(&tight_units, &lr_cfg, &mut scratch.lr, w.buf_mut());
+    }
+    let tight_len = (w.buf_mut().len() - len_pos - 4) as u32;
+    w.buf_mut()[len_pos..len_pos + 4].copy_from_slice(&tight_len.to_le_bytes());
+    if !loose_units.is_empty() {
+        let lr_cfg = LrConfig::new(loose).with_block_size(block_size);
+        lr::compress_domains_into(&loose_units, &lr_cfg, &mut scratch.lr, w.buf_mut());
+    }
+    *out = w.into_bytes();
+    StreamInfo {
+        codec: CodecId::AmricPipeline,
+        bytes: out.len() - start,
+        units: units.len(),
+        cells: units.iter().map(|u| u.dims().len()).sum(),
+    }
 }
 
 /// Compress one field's unit blocks with an explicit absolute error bound
@@ -199,6 +392,7 @@ pub fn compress_field_units_with_bound_into(
             w.put_u32(grid.gz as u32);
             interp::compress_into(&packed, &InterpConfig::new(abs_eb), w.buf_mut());
         }
+        Mode::Adaptive => unreachable!("select_mode never picks Adaptive"),
         Mode::Empty => unreachable!("handled above"),
     }
     *out = w.into_bytes();
@@ -298,8 +492,106 @@ pub fn decompress_field_units(bytes: &[u8]) -> CodecResult<Vec<Buffer3>> {
             }
             Ok(cluster_unpack(&packed, grid, Dims3::cube(edge), n))
         }
+        Mode::Adaptive => {
+            let (_bounds, rough, mut r) = read_adaptive_header(&mut r, n)?;
+            let n_tight = rough.iter().filter(|&&g| g).count();
+            let n_loose = n - n_tight;
+            let tight_len = r.get_u32()? as usize;
+            let tight_raw = r.get_raw(tight_len)?;
+            let loose_raw = r.get_raw(r.remaining())?;
+            if (n_tight == 0) != tight_raw.is_empty() || (n_loose == 0) != loose_raw.is_empty() {
+                return Err(CodecError::dims("adaptive substream/group mismatch"));
+            }
+            let tight_units = if n_tight == 0 {
+                Vec::new()
+            } else {
+                lr::decompress_domains(tight_raw)?
+            };
+            let loose_units = if n_loose == 0 {
+                Vec::new()
+            } else {
+                lr::decompress_domains(loose_raw)?
+            };
+            if tight_units.len() != n_tight || loose_units.len() != n_loose {
+                return Err(CodecError::dims(format!(
+                    "adaptive groups hold {}+{} units, expected {n_tight}+{n_loose}",
+                    tight_units.len(),
+                    loose_units.len()
+                )));
+            }
+            let mut tight_it = tight_units.into_iter();
+            let mut loose_it = loose_units.into_iter();
+            Ok(rough
+                .iter()
+                .map(|&g| {
+                    if g {
+                        tight_it.next().expect("counted")
+                    } else {
+                        loose_it.next().expect("counted")
+                    }
+                })
+                .collect())
+        }
         Mode::Empty => unreachable!("handled above"),
     }
+}
+
+/// Parse the adaptive payload header after the unit count: the tight and
+/// loose absolute bounds plus the per-unit group table. Returns the
+/// `(tight, loose)` pair, the group table (`true` = tight), and the
+/// reader positioned at the tight-substream length prefix.
+fn read_adaptive_header<'a>(
+    r: &mut Reader<'a>,
+    n: usize,
+) -> CodecResult<((f64, f64), Vec<bool>, Reader<'a>)> {
+    let tight = r.get_f64()?;
+    let loose = r.get_f64()?;
+    if !(tight > 0.0 && tight.is_finite() && loose >= tight && loose.is_finite()) {
+        return Err(CodecError::BadParameter {
+            what: "adaptive bounds",
+        });
+    }
+    // Each unit consumes a group byte; reject counts the stream can't hold.
+    r.check_count(n, 1)?;
+    let mut rough = Vec::with_capacity(n);
+    for _ in 0..n {
+        match r.get_u8()? {
+            0 => rough.push(false),
+            1 => rough.push(true),
+            _ => {
+                return Err(CodecError::BadParameter {
+                    what: "bound group id",
+                })
+            }
+        }
+    }
+    Ok((
+        (tight, loose),
+        rough,
+        Reader::new(r.get_raw(r.remaining())?),
+    ))
+}
+
+/// Recover the absolute error bound each unit of a pipeline stream was
+/// actually quantized with. Returns `Some(per-unit bounds, input order)`
+/// for adaptive streams (`Mode::Adaptive`, [`FLAG_UNIT_BOUNDS`]) and
+/// `None` for fixed-bound streams, which carry no bound on the wire
+/// (their format predates the policy and stays byte-identical).
+pub fn stream_unit_bounds(bytes: &[u8]) -> CodecResult<Option<Vec<f64>>> {
+    let env = expect_envelope(bytes, CodecId::AmricPipeline, VERSION)?;
+    let mut r = Reader::new(&bytes[env.payload_offset..]);
+    let mode = Mode::from_u8(r.get_u8()?)?;
+    if mode != Mode::Adaptive {
+        return Ok(None);
+    }
+    let n = r.get_u32()? as usize;
+    let ((tight, loose), rough, _rest) = read_adaptive_header(&mut r, n)?;
+    Ok(Some(
+        rough
+            .iter()
+            .map(|&g| if g { tight } else { loose })
+            .collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -422,6 +714,162 @@ mod tests {
         bytes[1] ^= 0xFF;
         assert!(decompress_field_units(&bytes).is_err());
         assert!(decompress_field_units(&bytes[..3]).is_err());
+    }
+
+    /// Mixed-roughness fixture: half the units are smooth ramps, half
+    /// hold high-frequency structure, so the activity classifier splits
+    /// them.
+    fn mixed_units(n: usize, edge: usize) -> Vec<Buffer3> {
+        (0..n)
+            .map(|u| {
+                let mut b = Buffer3::zeros(Dims3::cube(edge));
+                if u % 2 == 0 {
+                    b.fill_with(|i, j, k| (i + j + k) as f64 * 1e-3 + u as f64);
+                } else {
+                    b.fill_with(|i, j, k| {
+                        ((i * 7 + j * 3 + k * 5) as f64 * 1.3).sin() * 4.0 + u as f64
+                    });
+                }
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adaptive_roundtrip_within_per_unit_bounds() {
+        let u = mixed_units(10, 8);
+        let cfg = AmricConfig::lr(1e-3);
+        let bound = ResolvedBound::Adaptive {
+            tight: 1e-4,
+            loose: 1e-2,
+        };
+        let bytes = compress_field_units_resolved(&u, &cfg, 8, bound);
+        let env = expect_envelope(&bytes, CodecId::AmricPipeline, 1).unwrap();
+        assert_ne!(env.flags & FLAG_UNIT_BOUNDS, 0, "adaptive flag missing");
+        let back = decompress_field_units(&bytes).unwrap();
+        let bounds = stream_unit_bounds(&bytes).unwrap().expect("adaptive");
+        assert_eq!(bounds.len(), u.len());
+        // Both groups must be populated on this fixture.
+        assert!(bounds.contains(&1e-4));
+        assert!(bounds.contains(&1e-2));
+        for ((o, b), &eb) in u.iter().zip(&back).zip(&bounds) {
+            assert_eq!(o.dims(), b.dims());
+            let s = ErrorStats::compare(o.data(), b.data());
+            assert!(
+                s.max_abs_err <= eb * (1.0 + 1e-9),
+                "unit err {} > its bound {eb}",
+                s.max_abs_err
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_single_group_chunks_roundtrip() {
+        // Constant chunk: zero activity everywhere classifies all-loose
+        // (empty tight substream); identical rough units classify the
+        // same way. Both single-group layouts must decode.
+        let cfg = AmricConfig::lr(1e-3);
+        let bound = ResolvedBound::Adaptive {
+            tight: 1e-4,
+            loose: 1e-2,
+        };
+        let flat = vec![Buffer3::from_vec(Dims3::cube(4), vec![2.5; 64]); 3];
+        let bytes = compress_field_units_resolved(&flat, &cfg, 4, bound);
+        let back = decompress_field_units(&bytes).unwrap();
+        check_bound(&flat, &back, 1e-2);
+        let bounds = stream_unit_bounds(&bytes).unwrap().expect("adaptive");
+        assert!(bounds.iter().all(|&b| b == 1e-2), "constant ⇒ all loose");
+    }
+
+    #[test]
+    fn adaptive_empty_units_is_plain_empty_marker() {
+        let cfg = AmricConfig::lr(1e-3);
+        let bound = ResolvedBound::Adaptive {
+            tight: 1e-4,
+            loose: 1e-2,
+        };
+        let bytes = compress_field_units_resolved(&[], &cfg, 8, bound);
+        let fixed = compress_field_units(&[], &cfg, 8);
+        assert_eq!(bytes, fixed, "empty chunks carry no bound");
+        assert_eq!(stream_unit_bounds(&bytes).unwrap(), None);
+    }
+
+    #[test]
+    fn fixed_policy_streams_carry_no_unit_bounds() {
+        let u = units(6, 8, 9.0);
+        for cfg in [AmricConfig::lr(1e-3), AmricConfig::interp(1e-3)] {
+            let bytes = compress_field_units(&u, &cfg, 8);
+            let env = expect_envelope(&bytes, CodecId::AmricPipeline, 1).unwrap();
+            assert_eq!(env.flags & FLAG_UNIT_BOUNDS, 0);
+            assert_eq!(stream_unit_bounds(&bytes).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn resolved_bound_from_policy() {
+        use crate::config::BoundPolicy;
+        let f = ResolvedBound::from_policy(BoundPolicy::Fixed, 1e-3, 10.0);
+        assert_eq!(f, ResolvedBound::Fixed(1e-2));
+        assert_eq!(f.loose(), 1e-2);
+        let a = ResolvedBound::from_policy(
+            BoundPolicy::GradientAdaptive {
+                tight: 1e-4,
+                loose: 1e-2,
+            },
+            1e-3,
+            10.0,
+        );
+        assert_eq!(
+            a,
+            ResolvedBound::Adaptive {
+                tight: 1e-3,
+                loose: 1e-1,
+            }
+        );
+        assert_eq!(a.loose(), 1e-1);
+        // Range 0 falls back to the relative values themselves.
+        let z = ResolvedBound::from_policy(
+            BoundPolicy::GradientAdaptive {
+                tight: 1e-4,
+                loose: 1e-2,
+            },
+            1e-3,
+            0.0,
+        );
+        assert_eq!(
+            z,
+            ResolvedBound::Adaptive {
+                tight: 1e-4,
+                loose: 1e-2,
+            }
+        );
+    }
+
+    #[test]
+    fn adaptive_corrupt_streams_error() {
+        let u = mixed_units(6, 8);
+        let cfg = AmricConfig::lr(1e-3);
+        let bound = ResolvedBound::Adaptive {
+            tight: 1e-4,
+            loose: 1e-2,
+        };
+        let bytes = compress_field_units_resolved(&u, &cfg, 8, bound);
+        let env = expect_envelope(&bytes, CodecId::AmricPipeline, 1).unwrap();
+        // Forge a group id > 1.
+        let mut forged = bytes.clone();
+        forged[env.payload_offset + 1 + 4 + 16] = 7;
+        assert!(decompress_field_units(&forged).is_err());
+        assert!(stream_unit_bounds(&forged).is_err());
+        // Swap the bounds so tight > loose.
+        let mut swapped = bytes.clone();
+        let p = env.payload_offset + 1 + 4;
+        swapped[p..p + 8].copy_from_slice(&1e-2f64.to_le_bytes());
+        swapped[p + 8..p + 16].copy_from_slice(&1e-4f64.to_le_bytes());
+        assert!(decompress_field_units(&swapped).is_err());
+        // Truncations must error, never panic.
+        for cut in [env.payload_offset + 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decompress_field_units(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

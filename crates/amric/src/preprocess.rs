@@ -161,6 +161,56 @@ pub fn scatter_units(level: &mut MultiFab, units: &[UnitRef], field: usize, data
     }
 }
 
+/// Gradient-activity score of one unit block: the mean absolute
+/// nearest-neighbor difference over all three axes. Smooth (near-constant
+/// or slowly varying) units score near zero; units holding shocks, fronts,
+/// or tagged fine structure score high. The adaptive bound policy
+/// ([`crate::config::BoundPolicy::GradientAdaptive`]) classifies units by
+/// comparing this score against the mean score of the chunk.
+///
+/// Deterministic in the unit data alone, so the parallel write path needs
+/// no extra plumbing to stay byte-identical to serial.
+pub fn unit_activity(unit: &Buffer3) -> f64 {
+    let d = unit.dims();
+    let data = unit.data();
+    let mut sum = 0.0f64;
+    let mut n = 0u64;
+    for k in 0..d.nz {
+        for j in 0..d.ny {
+            let row = d.idx(0, j, k);
+            for i in 1..d.nx {
+                sum += (data[row + i] - data[row + i - 1]).abs();
+            }
+            n += (d.nx - 1) as u64;
+        }
+    }
+    for k in 0..d.nz {
+        for j in 1..d.ny {
+            let row = d.idx(0, j, k);
+            let prev = d.idx(0, j - 1, k);
+            for i in 0..d.nx {
+                sum += (data[row + i] - data[prev + i]).abs();
+            }
+            n += d.nx as u64;
+        }
+    }
+    for k in 1..d.nz {
+        for j in 0..d.ny {
+            let row = d.idx(0, j, k);
+            let prev = d.idx(0, j, k - 1);
+            for i in 0..d.nx {
+                sum += (data[row + i] - data[prev + i]).abs();
+            }
+            n += d.nx as u64;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
 /// Summary of a level's pre-processing for reporting.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PreprocessSummary {

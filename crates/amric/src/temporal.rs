@@ -150,6 +150,11 @@ pub struct TemporalSession {
     bf: i64,
     next_id: u64,
     prev: Option<PrevSnapshot>,
+    /// Automatic keyframe cadence: every `n`-th write drops the retained
+    /// reference first (0 = never, the default).
+    keyframe_interval: u64,
+    /// Writes since the last keyframe (a spatial-only snapshot).
+    since_keyframe: u64,
 }
 
 /// Corner-tuple key for region-identity unit mapping (IntBox carries no
@@ -170,7 +175,21 @@ impl TemporalSession {
             bf,
             next_id: 1,
             prev: None,
+            keyframe_interval: 0,
+            since_keyframe: 0,
         }
+    }
+
+    /// Automatic [`reset_reference`](TemporalSession::reset_reference)
+    /// cadence: every `n`-th snapshot is written spatial-only (a
+    /// keyframe), bounding every delta chain to `n - 1` links so a reader
+    /// never has to walk more than `n` files and a lost snapshot orphans
+    /// at most one interval. `n = 1` disables delta coding entirely;
+    /// `n = 0` means no automatic cadence (the default). A manual
+    /// `reset_reference` call restarts the interval count.
+    pub fn with_keyframe_interval(mut self, n: u64) -> Self {
+        self.keyframe_interval = n;
+        self
     }
 
     /// Snapshot id the next [`TemporalSession::write`] call will record.
@@ -182,6 +201,7 @@ impl TemporalSession {
     /// spatial-only, starting a fresh delta chain.
     pub fn reset_reference(&mut self) {
         self.prev = None;
+        self.since_keyframe = 0;
     }
 
     /// Write one snapshot of the series to a new container at `path`.
@@ -197,6 +217,13 @@ impl TemporalSession {
     /// rank collectives against an already-created writer and finishes
     /// the container.
     pub fn write_to(&mut self, writer: Arc<H5Writer>, h: &AmrHierarchy) -> H5Result<WriteReport> {
+        // Keyframe cadence: due snapshots drop the reference *before*
+        // encoding, so the stream, chunk index, and `meta/temporal` all
+        // record a self-contained snapshot (no reference anywhere).
+        if self.keyframe_interval > 0 && self.since_keyframe >= self.keyframe_interval {
+            self.reset_reference();
+        }
+        self.since_keyframe += 1;
         let nranks = h.level(0).data.distribution().nranks();
         let num_levels = h.num_levels();
         let nfields = h.field_names().len();
@@ -647,6 +674,83 @@ mod tests {
             assert!(c.bound_ok);
         }
         drop(m1);
+    }
+
+    #[test]
+    fn keyframe_interval_resets_chain_automatically() {
+        // Interval 2: snapshots 1, 3, 5, … are keyframes. The chain
+        // contract for a keyframe is total — `meta/temporal` records no
+        // reference, every chunk index entry carries none, and the file
+        // decodes with no prior state.
+        let scenario = NyxScenario::new(11);
+        let cfg = series_cfg();
+        let mut session =
+            TemporalSession::new(TemporalSessionConfig::new(1e-3), 8).with_keyframe_interval(2);
+        let series: Vec<(AmrHierarchy, H5Reader)> = TimeSeries::new(&scenario, cfg, 0.02, 5)
+            .map(|(_, _, h)| {
+                let (w, mem) = H5Writer::in_memory();
+                session.write_to(Arc::new(w), &h).unwrap();
+                (h, H5Reader::from_storage(Box::new(mem)).unwrap())
+            })
+            .collect();
+        let refs: Vec<Option<u64>> = series
+            .iter()
+            .map(|(_, r)| read_temporal_meta(r).unwrap().reference_id)
+            .collect();
+        assert_eq!(refs, vec![None, Some(1), None, Some(3), None]);
+        for keyframe in [2usize, 4] {
+            let (h, reader) = &series[keyframe];
+            let meta = read_plotfile_meta(reader).unwrap();
+            for l in 0..meta.num_levels() {
+                for f in 0..meta.field_names.len() {
+                    let idx = reader.chunk_index(&field_dataset(l, f)).unwrap().unwrap();
+                    for e in &idx.entries {
+                        assert_eq!(e.reference, None, "keyframe chunk carries a reference");
+                    }
+                }
+            }
+            // Self-contained: decodes with no prior state, within bound.
+            let (pf, _) = read_temporal_hierarchy(reader, None).unwrap();
+            for c in verify_against(&pf, h, 1e-3) {
+                assert!(c.bound_ok);
+            }
+        }
+        // A delta snapshot in between still needs its reference.
+        assert!(read_temporal_hierarchy(&series[1].1, None).is_err());
+    }
+
+    #[test]
+    fn keyframe_interval_one_disables_deltas_and_manual_reset_restarts_count() {
+        let scenario = NyxScenario::new(11);
+        let cfg = series_cfg();
+        let mut every =
+            TemporalSession::new(TemporalSessionConfig::new(1e-3), 8).with_keyframe_interval(1);
+        for (_, _, h) in TimeSeries::new(&scenario, cfg, 0.02, 3) {
+            let (w, mem) = H5Writer::in_memory();
+            every.write_to(Arc::new(w), &h).unwrap();
+            let r = H5Reader::from_storage(Box::new(mem)).unwrap();
+            assert_eq!(read_temporal_meta(&r).unwrap().reference_id, None);
+        }
+        // Manual reset restarts the interval: with interval 3, snapshots
+        // 1 and 4 would be keyframes, but a reset before #3 makes the
+        // cadence 1, 3, 6.
+        let mut session =
+            TemporalSession::new(TemporalSessionConfig::new(1e-3), 8).with_keyframe_interval(3);
+        let mut refs = Vec::new();
+        for (i, (_, _, h)) in TimeSeries::new(&scenario, cfg, 0.02, 6).enumerate() {
+            if i == 2 {
+                session.reset_reference();
+            }
+            let (w, mem) = H5Writer::in_memory();
+            session.write_to(Arc::new(w), &h).unwrap();
+            let r = H5Reader::from_storage(Box::new(mem)).unwrap();
+            refs.push(read_temporal_meta(&r).unwrap().reference_id);
+        }
+        assert_eq!(
+            refs,
+            vec![None, Some(1), None, Some(3), Some(4), None],
+            "manual reset must restart the keyframe count"
+        );
     }
 
     #[test]

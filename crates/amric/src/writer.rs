@@ -11,8 +11,8 @@
 
 use crate::config::AmricConfig;
 use crate::pipeline::{
-    compress_field_units_with_bound_into, compress_field_units_with_bound_pooled,
-    decompress_field_units, AmricScratch,
+    compress_field_units_resolved_into, compress_field_units_resolved_pooled,
+    decompress_field_units, AmricScratch, ResolvedBound,
 };
 use crate::preprocess::{extract_units, plan_units, unit_edge_for_level};
 use amr_mesh::prelude::*;
@@ -37,14 +37,27 @@ pub struct AmricFieldFilter {
     pub cfg: AmricConfig,
     /// Unit-block edge for the level being written.
     pub unit_edge: usize,
-    /// Absolute error bound, resolved by the writer from the *global*
-    /// (all-rank) range of the field on this level — standard SZ REL
-    /// semantics over the whole dataset. Quiet ranks therefore quantize to
+    /// Error bound, resolved by the writer from the *global* (all-rank)
+    /// range of the field on this level — standard SZ REL semantics over
+    /// the whole dataset. Quiet ranks therefore quantize to
     /// near-constants, which is where WarpX's huge ratios come from.
-    pub abs_eb: f64,
+    /// [`ResolvedBound::Fixed`] is the paper path (byte-identical to the
+    /// pre-policy writer); [`ResolvedBound::Adaptive`] spends the budget
+    /// per unit block.
+    pub bound: ResolvedBound,
 }
 
 impl AmricFieldFilter {
+    /// Filter with one uniform absolute bound — the pre-policy
+    /// constructor shape, used throughout the fixed-bound suites.
+    pub fn fixed(cfg: AmricConfig, unit_edge: usize, abs_eb: f64) -> Self {
+        AmricFieldFilter {
+            cfg,
+            unit_edge,
+            bound: ResolvedBound::Fixed(abs_eb),
+        }
+    }
+
     /// Cut the chunk payload into its cubic unit blocks, rejecting chunks
     /// whose length is not a multiple of the unit volume (typed error,
     /// never a panic — the PR 2 regression contract).
@@ -76,11 +89,11 @@ impl AmricFieldFilter {
         out: &mut Vec<u8>,
     ) -> H5Result<()> {
         let units = self.cut_units(chunk)?;
-        compress_field_units_with_bound_into(
+        compress_field_units_resolved_into(
             &units,
             &self.cfg,
             self.unit_edge,
-            self.abs_eb,
+            self.bound,
             scratch,
             out,
         );
@@ -99,7 +112,7 @@ impl ChunkFilter for AmricFieldFilter {
 
     fn encode_into(&self, chunk: &[f64], out: &mut Vec<u8>) -> H5Result<()> {
         let units = self.cut_units(chunk)?;
-        compress_field_units_with_bound_pooled(&units, &self.cfg, self.unit_edge, self.abs_eb, out);
+        compress_field_units_resolved_pooled(&units, &self.cfg, self.unit_edge, self.bound, out);
         Ok(())
     }
 
@@ -547,12 +560,13 @@ pub fn write_amric_to(
                 let range = if ghi > glo { ghi - glo } else { 0.0 };
                 // Constant (range-0) fields fall back to the raw relative
                 // value — same contract as `resolve_abs_eb`, so quiet
-                // ranks get a well-defined, non-degenerate bound.
-                let abs_eb = sz_codec::quantizer::absolute_bound(cfg.rel_eb, range);
+                // ranks get a well-defined, non-degenerate bound. Under an
+                // adaptive policy both tight and loose resolve against the
+                // same global range.
                 let filter = AmricFieldFilter {
                     cfg: *cfg,
                     unit_edge: unit as usize,
-                    abs_eb,
+                    bound: ResolvedBound::from_policy(cfg.bound, cfg.rel_eb, range),
                 };
                 // Global chunk = biggest rank (§3.3 Solution 2).
                 let chunk_elems = comm.allreduce_max(staged.len() as u64) as usize;
@@ -703,11 +717,8 @@ mod tests {
 
     #[test]
     fn filter_roundtrip_standalone() {
-        let filter = AmricFieldFilter {
-            cfg: AmricConfig::lr(1e-3),
-            unit_edge: 4,
-            abs_eb: 1e-3 * 3.2, // rel bound × data range used below
-        };
+        // Bound = rel bound × data range used below.
+        let filter = AmricFieldFilter::fixed(AmricConfig::lr(1e-3), 4, 1e-3 * 3.2);
         let mut chunk = Vec::new();
         for u in 0..5 {
             for i in 0..64 {
@@ -726,11 +737,7 @@ mod tests {
     fn filter_rejects_non_unit_multiple_chunks() {
         // Regression: a chunk whose length is not a multiple of the unit
         // volume must surface as a typed error, not an assert panic.
-        let filter = AmricFieldFilter {
-            cfg: AmricConfig::lr(1e-3),
-            unit_edge: 4,
-            abs_eb: 1e-3,
-        };
+        let filter = AmricFieldFilter::fixed(AmricConfig::lr(1e-3), 4, 1e-3);
         let chunk = vec![0.0; 63]; // 4³ = 64 ∤ 63
         let err = filter.encode(&chunk).unwrap_err();
         assert!(
@@ -782,11 +789,7 @@ mod tests {
         let (writer, mem) = H5Writer::in_memory();
         let writer = Arc::new(writer);
         let w = Arc::clone(&writer);
-        let filter = AmricFieldFilter {
-            cfg: AmricConfig::lr(1e-3),
-            unit_edge: 4,
-            abs_eb: 1e-3,
-        };
+        let filter = AmricFieldFilter::fixed(AmricConfig::lr(1e-3), 4, 1e-3);
         let receipts = rankpar::run_ranks(2, move |comm| {
             let mk = |f: usize, chunks: Vec<ChunkData>| FieldWriteJob {
                 name: format!("f{f}"),
@@ -820,11 +823,7 @@ mod tests {
         // A field staging many chunks per rank: frames must stream to
         // storage in batches (bounded memory) and still produce the same
         // stored chunk bytes, in rank-major chunk order, as workers=1.
-        let filter = AmricFieldFilter {
-            cfg: AmricConfig::lr(1e-3),
-            unit_edge: 4,
-            abs_eb: 1e-3,
-        };
+        let filter = AmricFieldFilter::fixed(AmricConfig::lr(1e-3), 4, 1e-3);
         let chunk = |rank: usize, c: usize| {
             ChunkData::full(
                 (0..128)

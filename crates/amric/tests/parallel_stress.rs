@@ -39,11 +39,7 @@ fn tmp(name: &str) -> std::path::PathBuf {
 }
 
 fn filter(unit_edge: usize) -> AmricFieldFilter {
-    AmricFieldFilter {
-        cfg: AmricConfig::lr(1e-3),
-        unit_edge,
-        abs_eb: 1e-3,
-    }
+    AmricFieldFilter::fixed(AmricConfig::lr(1e-3), unit_edge, 1e-3)
 }
 
 fn good_chunk(seed: usize) -> ChunkData {

@@ -52,6 +52,13 @@ pub const FLAG_MULTI: u8 = 0b0000_0010;
 /// their reference installed in the decoder (see the `temporal` module).
 pub const FLAG_REFERENCED: u8 = 0b0000_0100;
 
+/// Flag bit: the payload header records a **per-unit error bound** — the
+/// stream was produced under an adaptive bound policy and each unit block
+/// carries (directly or via a group table) the absolute bound it was
+/// quantized with, so decoders and quality metrics can recover the bound
+/// actually used. Streams without this flag used one uniform bound.
+pub const FLAG_UNIT_BOUNDS: u8 = 0b0000_1000;
+
 /// Stable codec identifiers for the envelope header.
 ///
 /// These ids are part of the on-disk format and must never be renumbered.
